@@ -1,0 +1,40 @@
+# Capacity Bound-free Web Warehouse — build targets.
+
+GO ?= go
+
+.PHONY: all build test race cover bench tables examples clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/warehouse/ ./internal/crawl/ \
+		./internal/cluster/ ./internal/storage/ ./internal/blob/
+
+cover:
+	$(GO) test -cover ./...
+
+# One regeneration of every experiment under the bench harness.
+bench:
+	$(GO) test -bench=. -benchmem -benchtime=1x .
+
+# Paper tables via the CLI (same experiments, readable output).
+tables:
+	$(GO) run ./cmd/cbfww-bench
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/loganalysis
+	$(GO) run ./examples/hotspotnews
+	$(GO) run ./examples/socialnav
+	$(GO) run ./examples/crawler
+	$(GO) run ./examples/proxywarehouse
+
+clean:
+	$(GO) clean -testcache

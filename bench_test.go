@@ -1,0 +1,211 @@
+// Package cbfww_bench holds the top-level benchmark harness: one
+// testing.B benchmark per paper artifact (they regenerate the same tables
+// cmd/cbfww-bench prints; see EXPERIMENTS.md for the index), plus
+// micro-benchmarks of the warehouse's hot paths.
+//
+//	go test -bench=. -benchmem
+//	go test -bench=BenchmarkFig8 -benchtime=1x    # one regeneration
+package cbfww_bench
+
+import (
+	"fmt"
+	"testing"
+
+	"cbfww/internal/core"
+	"cbfww/internal/experiments"
+	"cbfww/internal/warehouse"
+	"cbfww/internal/workload"
+)
+
+// benchSeed keeps regenerated tables identical across runs.
+const benchSeed = 1
+
+// run regenerates a table b.N times and reports its row count so the
+// harness fails loudly if an experiment silently produces nothing.
+func run(b *testing.B, f func(int64) experiments.Table) {
+	b.Helper()
+	var rows int
+	for i := 0; i < b.N; i++ {
+		t := f(benchSeed)
+		rows = len(t.Rows)
+	}
+	if rows == 0 {
+		b.Fatal("experiment produced an empty table")
+	}
+	b.ReportMetric(float64(rows), "rows")
+}
+
+func noSeed(f func() experiments.Table) func(int64) experiments.Table {
+	return func(int64) experiments.Table { return f() }
+}
+
+// BenchmarkTable1Capabilities regenerates Table 1 (E-T1).
+func BenchmarkTable1Capabilities(b *testing.B) { run(b, noSeed(experiments.T1Capabilities)) }
+
+// BenchmarkTable2UsageAttributes regenerates Table 2 (E-T2).
+func BenchmarkTable2UsageAttributes(b *testing.B) { run(b, noSeed(experiments.T2UsageAttributes)) }
+
+// BenchmarkClaim60PctOneTimers regenerates the §1 measurement (E-C1).
+func BenchmarkClaim60PctOneTimers(b *testing.B) { run(b, experiments.C1OneTimers) }
+
+// BenchmarkFig2SharedObjectPriority regenerates Figure 2 (E-F2).
+func BenchmarkFig2SharedObjectPriority(b *testing.B) {
+	run(b, noSeed(experiments.F2SharedObjectPriority))
+}
+
+// BenchmarkFig3StorageMapping regenerates Figure 3 (E-F3).
+func BenchmarkFig3StorageMapping(b *testing.B) { run(b, experiments.F3StorageMapping) }
+
+// BenchmarkFig5LogicalDocuments regenerates Figure 5 (E-F5).
+func BenchmarkFig5LogicalDocuments(b *testing.B) { run(b, experiments.F5LogicalDocuments) }
+
+// BenchmarkFig6LogicalContent regenerates Figure 6 (E-F6).
+func BenchmarkFig6LogicalContent(b *testing.B) { run(b, noSeed(experiments.F6LogicalContent)) }
+
+// BenchmarkFig7SemanticRegions regenerates Figure 7 (E-F7).
+func BenchmarkFig7SemanticRegions(b *testing.B) { run(b, experiments.F7SemanticRegions) }
+
+// BenchmarkFig8AdmissionPriority regenerates Figure 8 (E-F8).
+func BenchmarkFig8AdmissionPriority(b *testing.B) { run(b, experiments.F8AdmissionPriority) }
+
+// BenchmarkQ1PopularityQueries regenerates the §4.3 query demonstration
+// (E-Q1).
+func BenchmarkQ1PopularityQueries(b *testing.B) { run(b, experiments.Q1PopularityQueries) }
+
+// BenchmarkX1FrequencyEstimators regenerates the §4.2 estimator comparison
+// (E-X1).
+func BenchmarkX1FrequencyEstimators(b *testing.B) { run(b, experiments.X1FrequencyEstimators) }
+
+// BenchmarkX2TopicSensor regenerates the Topic Sensor ablation (E-X2).
+func BenchmarkX2TopicSensor(b *testing.B) { run(b, experiments.X2TopicSensor) }
+
+// BenchmarkX3BoundedBaselines regenerates the bounded-policy sweep (E-X3).
+func BenchmarkX3BoundedBaselines(b *testing.B) { run(b, experiments.X3BoundedBaselines) }
+
+// BenchmarkX4CopyControl regenerates the failure-injection table (E-X4).
+func BenchmarkX4CopyControl(b *testing.B) { run(b, experiments.X4CopyControl) }
+
+// BenchmarkX5Consistency regenerates the consistency comparison (E-X5).
+func BenchmarkX5Consistency(b *testing.B) { run(b, experiments.X5Consistency) }
+
+// BenchmarkHotSpotLifetimes regenerates the §4.4 hot-spot analysis.
+func BenchmarkHotSpotLifetimes(b *testing.B) { run(b, experiments.AnalyzerHotSpots) }
+
+// BenchmarkA1OmegaTitleWeight regenerates the ω ablation (E-A1).
+func BenchmarkA1OmegaTitleWeight(b *testing.B) { run(b, experiments.A1OmegaTitleWeight) }
+
+// BenchmarkA2RegionThreshold regenerates the region-threshold ablation
+// (E-A2).
+func BenchmarkA2RegionThreshold(b *testing.B) { run(b, experiments.A2RegionThreshold) }
+
+// BenchmarkA3AdmissionDecay regenerates the admission-decay ablation
+// (E-A3).
+func BenchmarkA3AdmissionDecay(b *testing.B) { run(b, experiments.A3AdmissionDecay) }
+
+// BenchmarkB1BlobDedup regenerates the content-addressed dedup
+// measurement.
+func BenchmarkB1BlobDedup(b *testing.B) { run(b, experiments.B1BlobDedup) }
+
+// BenchmarkL1TertiaryLocality regenerates the §4.4 locality-of-reference
+// experiment.
+func BenchmarkL1TertiaryLocality(b *testing.B) { run(b, experiments.L1TertiaryLocality) }
+
+// --- hot-path micro-benchmarks ---------------------------------------
+
+// benchWorld builds a warmed warehouse for the micro-benchmarks.
+func benchWorld(b *testing.B) (*warehouse.Warehouse, *workload.GeneratedWeb, *core.SimClock) {
+	b.Helper()
+	clock := core.NewSimClock(0)
+	wcfg := workload.DefaultWebConfig()
+	wcfg.Sites, wcfg.PagesPerSite, wcfg.Seed = 10, 50, benchSeed
+	g, err := workload.GenerateWeb(clock, wcfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w, err := warehouse.New(warehouse.DefaultConfig(), clock, g.Web)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, u := range g.PageURLs {
+		if _, err := w.Get("warm", u); err != nil {
+			b.Fatal(err)
+		}
+		clock.Advance(1)
+	}
+	return w, g, clock
+}
+
+// BenchmarkWarehouseGetHit measures the resident-page serve path.
+func BenchmarkWarehouseGetHit(b *testing.B) {
+	w, g, clock := benchWorld(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		clock.Advance(1)
+		if _, err := w.Get("bench", g.PageURLs[i%len(g.PageURLs)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWarehouseQueryMFU measures a modifier query over the populated
+// warehouse.
+func BenchmarkWarehouseQueryMFU(b *testing.B) {
+	w, _, _ := benchWorld(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.Query("SELECT MFU 10 p.url FROM Physical_Page p"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWarehouseQueryMention measures a MENTION scan.
+func BenchmarkWarehouseQueryMention(b *testing.B) {
+	w, g, _ := benchWorld(b)
+	// Use a term guaranteed to exist: the first page's first title word.
+	snap, ok := w.Versions().Latest(g.PageURLs[0])
+	if !ok {
+		b.Fatal("no content")
+	}
+	term := firstWord(snap.Title)
+	q := fmt.Sprintf("SELECT MRU 10 p.url FROM Physical_Page p WHERE p.title MENTION '%s'", term)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.Query(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWarehouseMaintain measures a full self-organization sweep.
+func BenchmarkWarehouseMaintain(b *testing.B) {
+	w, _, clock := benchWorld(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		clock.Advance(3600)
+		if _, err := w.Maintain(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWarehouseMinePaths measures the discovery sweep over the
+// accumulated operational log.
+func BenchmarkWarehouseMinePaths(b *testing.B) {
+	w, _, _ := benchWorld(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.MinePaths(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func firstWord(s string) string {
+	for i := 0; i < len(s); i++ {
+		if s[i] == ' ' {
+			return s[:i]
+		}
+	}
+	return s
+}

@@ -1,0 +1,105 @@
+// Command cbfww-bench regenerates every table and figure of the paper's
+// reproduction (see EXPERIMENTS.md for the index):
+//
+//	cbfww-bench                 # run everything
+//	cbfww-bench -exp f8,x3      # run selected experiments
+//	cbfww-bench -list           # list experiment IDs
+//	cbfww-bench -seed 7         # change the workload seed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"cbfww/internal/experiments"
+)
+
+// experiment binds an ID to its generator.
+type experiment struct {
+	id    string
+	title string
+	run   func(seed int64) experiments.Table
+}
+
+func catalog() []experiment {
+	noSeed := func(f func() experiments.Table) func(int64) experiments.Table {
+		return func(int64) experiments.Table { return f() }
+	}
+	return []experiment{
+		{"t1", "Table 1: system-class comparison", noSeed(experiments.T1Capabilities)},
+		{"t2", "Table 2: usage-history attributes", noSeed(experiments.T2UsageAttributes)},
+		{"c1", "§1 claim: >60% one-timers", experiments.C1OneTimers},
+		{"f2", "Figure 2: shared-object priority", noSeed(experiments.F2SharedObjectPriority)},
+		{"f3", "Figure 3: storage-hierarchy mapping", experiments.F3StorageMapping},
+		{"f5", "Figure 5: logical documents", experiments.F5LogicalDocuments},
+		{"f6", "Figure 6: logical content assembly", noSeed(experiments.F6LogicalContent)},
+		{"f7", "Figure 7: semantic regions", experiments.F7SemanticRegions},
+		{"f8", "Figure 8: admission-time priority", experiments.F8AdmissionPriority},
+		{"q1", "§4.3: popularity-aware queries", experiments.Q1PopularityQueries},
+		{"x1", "§4.2: frequency estimators", experiments.X1FrequencyEstimators},
+		{"x2", "§3(3): topic sensor", experiments.X2TopicSensor},
+		{"x3", "bounded baselines sweep", experiments.X3BoundedBaselines},
+		{"x4", "§4.4: copy control & recovery", experiments.X4CopyControl},
+		{"x5", "§3(7): consistency modes", experiments.X5Consistency},
+		{"hs", "§4.4: hot-spot lifetimes", experiments.AnalyzerHotSpots},
+		{"a1", "ablation: §5.3 title weight ω", experiments.A1OmegaTitleWeight},
+		{"a2", "ablation: region similarity threshold", experiments.A2RegionThreshold},
+		{"a3", "ablation: admission-estimate decay", experiments.A3AdmissionDecay},
+		{"b1", "blob store: content-addressed dedup", experiments.B1BlobDedup},
+		{"l1", "§4.4: tertiary locality of reference", experiments.L1TertiaryLocality},
+	}
+}
+
+func main() {
+	var (
+		expFlag  = flag.String("exp", "", "comma-separated experiment IDs (default: all)")
+		seed     = flag.Int64("seed", 1, "workload seed")
+		listOnly = flag.Bool("list", false, "list experiment IDs and exit")
+	)
+	flag.Parse()
+
+	all := catalog()
+	if *listOnly {
+		for _, e := range all {
+			fmt.Printf("%-4s %s\n", e.id, e.title)
+		}
+		return
+	}
+
+	want := map[string]bool{}
+	if *expFlag != "" {
+		for _, id := range strings.Split(*expFlag, ",") {
+			want[strings.TrimSpace(strings.ToLower(id))] = true
+		}
+		known := map[string]bool{}
+		for _, e := range all {
+			known[e.id] = true
+		}
+		var unknown []string
+		for id := range want {
+			if !known[id] {
+				unknown = append(unknown, id)
+			}
+		}
+		if len(unknown) > 0 {
+			sort.Strings(unknown)
+			fmt.Fprintf(os.Stderr, "cbfww-bench: unknown experiment(s): %s (use -list)\n",
+				strings.Join(unknown, ", "))
+			os.Exit(2)
+		}
+	}
+
+	for _, e := range all {
+		if len(want) > 0 && !want[e.id] {
+			continue
+		}
+		start := time.Now()
+		table := e.run(*seed)
+		fmt.Println(table)
+		fmt.Printf("[%s finished in %v]\n\n", e.id, time.Since(start).Round(time.Millisecond))
+	}
+}

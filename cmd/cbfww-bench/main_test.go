@@ -1,0 +1,39 @@
+package main
+
+import "testing"
+
+// The experiment catalog must have unique, non-empty IDs and working
+// generators — cmd-level sanity for the harness users script against.
+func TestCatalogIDsUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range catalog() {
+		if e.id == "" || e.title == "" || e.run == nil {
+			t.Errorf("incomplete entry %+v", e)
+		}
+		if seen[e.id] {
+			t.Errorf("duplicate experiment id %q", e.id)
+		}
+		seen[e.id] = true
+	}
+	if len(seen) < 16 {
+		t.Errorf("catalog has only %d experiments", len(seen))
+	}
+}
+
+// The cheap experiments must produce non-empty tables through the catalog
+// wiring (the expensive ones are covered by internal/experiments tests).
+func TestCatalogCheapExperimentsRun(t *testing.T) {
+	cheap := map[string]bool{"t1": true, "t2": true, "f2": true, "f6": true, "x4": true, "b1": true}
+	for _, e := range catalog() {
+		if !cheap[e.id] {
+			continue
+		}
+		tb := e.run(1)
+		if len(tb.Rows) == 0 {
+			t.Errorf("%s produced no rows", e.id)
+		}
+		if tb.String() == "" {
+			t.Errorf("%s renders empty", e.id)
+		}
+	}
+}

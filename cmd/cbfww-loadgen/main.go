@@ -1,0 +1,100 @@
+// Command cbfww-loadgen generates synthetic webs and Kyoto-inet-like
+// access traces to files, for inspection or for feeding external tools:
+//
+//	cbfww-loadgen -sites 20 -pages 100 -sessions 5000 -out trace.log
+//	cbfww-loadgen -report            # print the analyzer report instead
+//
+// The trace is written in the extended Common Log Format of
+// internal/logmine (one record per line); -urls additionally dumps the
+// generated page URLs with their ground-truth topics.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cbfww/internal/analyzer"
+	"cbfww/internal/core"
+	"cbfww/internal/workload"
+)
+
+func main() {
+	var (
+		sites    = flag.Int("sites", 20, "number of origin sites")
+		pages    = flag.Int("pages", 50, "pages per site")
+		topics   = flag.Int("topics", 10, "ground-truth topics")
+		sessions = flag.Int("sessions", 2000, "navigation sessions to generate")
+		length   = flag.Int64("length", 30*24*3600, "trace length in ticks (1 tick = 1s)")
+		zipf     = flag.Float64("zipf", 0.9, "popularity skew s")
+		affinity = flag.Float64("affinity", 0.5, "topic-popularity affinity [0,1]")
+		churn    = flag.Float64("churn", 0.001, "expected page updates per tick")
+		seed     = flag.Int64("seed", 1, "random seed")
+		out      = flag.String("out", "-", "trace output file (- = stdout)")
+		urls     = flag.String("urls", "", "also dump page URLs + topics to this file")
+		report   = flag.Bool("report", false, "print analyzer report instead of the raw trace")
+	)
+	flag.Parse()
+
+	clock := core.NewSimClock(0)
+	wcfg := workload.DefaultWebConfig()
+	wcfg.Sites, wcfg.PagesPerSite, wcfg.Topics, wcfg.Seed = *sites, *pages, *topics, *seed
+	g, err := workload.GenerateWeb(clock, wcfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	tcfg := workload.DefaultTraceConfig()
+	tcfg.Sessions = *sessions
+	tcfg.Length = core.Duration(*length)
+	tcfg.ZipfS = *zipf
+	tcfg.TopicAffinity = *affinity
+	tcfg.UpdatesPerTick = *churn
+	tcfg.Seed = *seed
+	tr, err := workload.GenerateTrace(g, clock, tcfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *urls != "" {
+		f, err := os.Create(*urls)
+		if err != nil {
+			fatal(err)
+		}
+		for _, u := range g.PageURLs {
+			fmt.Fprintf(f, "%s topic=%d\n", u, g.TopicOf[u])
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+
+	if *report {
+		rep := analyzer.Analyze(tr.Log, 3)
+		fmt.Print(rep)
+		fmt.Println("top 10 URLs:")
+		for _, uc := range rep.TopK(10) {
+			fmt.Printf("  %6d  %s\n", uc.Count, uc.URL)
+		}
+		return
+	}
+
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if _, err := tr.Log.WriteTo(w); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d records (%d content updates applied)\n", len(tr.Log), tr.Updates)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cbfww-loadgen:", err)
+	os.Exit(1)
+}

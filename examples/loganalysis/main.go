@@ -1,0 +1,74 @@
+// Loganalysis: reproduce the paper's headline measurement on a month-long
+// synthetic access log — "Over 60% of web pages once used will never be
+// retrieved again before modified or replaced" — plus the hot-spot and
+// popularity analyses the Data Analyzer provides.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cbfww/internal/analyzer"
+	"cbfww/internal/core"
+	"cbfww/internal/logmine"
+	"cbfww/internal/workload"
+)
+
+func main() {
+	// One month of traffic (1 tick = 1 second) over 3 000 pages.
+	clock := core.NewSimClock(0)
+	wcfg := workload.DefaultWebConfig()
+	wcfg.Sites, wcfg.PagesPerSite = 25, 200
+	web, err := workload.GenerateWeb(clock, wcfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tcfg := workload.DefaultTraceConfig()
+	tcfg.Sessions = 4000
+	tcfg.Length = 30 * 24 * 3600
+	tcfg.FollowLinkProb = 0.35
+	tcfg.UpdatesPerTick = 0.004
+	tcfg.Events = []workload.Event{
+		{Start: 12 * 24 * 3600, Length: 6 * 3600, Topic: 4, Intensity: 0.8,
+			Headline: "city marathon today", Lead: 3600},
+	}
+	trace, err := workload.GenerateTrace(web, clock, tcfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("generated %d requests over %d pages (%d content updates)\n\n",
+		len(trace.Log), web.Web.NumPages(), trace.Updates)
+
+	// The paper's measurement.
+	reuse := logmine.AnalyzeReuse(trace.Log)
+	fmt.Printf("objects referenced:        %d\n", reuse.Objects)
+	fmt.Printf("one-timers:                %d\n", reuse.OneTimers)
+	fmt.Printf("one-timer ratio:           %.1f%%   (paper: \"over 60%%\")\n",
+		100*reuse.OneTimerRatio())
+	fmt.Printf("infinite-cache hit bound:  %.1f%%\n\n", 100*reuse.MaxHitRatio())
+
+	// The full analyzer report.
+	rep := analyzer.Analyze(trace.Log, 4)
+	fmt.Print(rep)
+
+	fmt.Println("\ntop 5 pages:")
+	for _, uc := range rep.TopK(5) {
+		fmt.Printf("  %6d  %s (topic %d)\n", uc.Count, uc.URL, web.TopicOf[uc.URL])
+	}
+
+	fmt.Println("\nburstiest hot spots (count over middle-80% lifetime):")
+	for i, h := range rep.HotSpots {
+		if i >= 5 {
+			break
+		}
+		fmt.Printf("  %4d refs in %7d ticks  %s\n", h.Count, int64(h.Lifetime), h.URL)
+	}
+
+	// Inter-arrival distribution: how quickly reuse happens when it does.
+	gaps := logmine.InterArrival(trace.Log)
+	if len(gaps) > 0 {
+		fmt.Printf("\nre-reference gaps: p50=%d p90=%d p99=%d ticks\n",
+			gaps[len(gaps)/2], gaps[len(gaps)*9/10], gaps[len(gaps)*99/100])
+	}
+	_ = core.TimeNever
+}

@@ -1,0 +1,3 @@
+module cbfww
+
+go 1.22

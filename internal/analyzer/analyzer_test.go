@@ -1,0 +1,143 @@
+package analyzer
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"cbfww/internal/core"
+	"cbfww/internal/logmine"
+)
+
+func rec(t core.Time, url string) logmine.Record {
+	return logmine.Record{Time: t, User: "u", URL: url, Status: 200, Bytes: 1}
+}
+
+func TestAnalyzeBasics(t *testing.T) {
+	l := logmine.Log{
+		rec(0, "/hot"), rec(1, "/hot"), rec(2, "/hot"), rec(3, "/hot"),
+		rec(10, "/once"),
+		rec(5, "/slow"), rec(500, "/slow"),
+	}
+	r := Analyze(l, 2)
+	if r.Requests != 7 {
+		t.Errorf("Requests = %d", r.Requests)
+	}
+	if r.Start != 0 || r.End != 500 {
+		t.Errorf("span = [%v, %v]", r.Start, r.End)
+	}
+	if r.Reuse.Objects != 3 || r.Reuse.OneTimers != 1 {
+		t.Errorf("reuse = %+v", r.Reuse)
+	}
+	// Popularity descending.
+	if r.Popularity[0].URL != "/hot" || r.Popularity[0].Count != 4 {
+		t.Errorf("top = %+v", r.Popularity[0])
+	}
+	top := r.TopK(2)
+	if len(top) != 2 {
+		t.Errorf("TopK = %v", top)
+	}
+	if got := r.TopK(100); len(got) != 3 {
+		t.Errorf("TopK(100) = %d", len(got))
+	}
+	// Hot spots: /hot (4 refs in 3 ticks) must be burstier than /slow
+	// (2 refs in 495 ticks).
+	if len(r.HotSpots) != 2 {
+		t.Fatalf("hot spots = %+v", r.HotSpots)
+	}
+	if r.HotSpots[0].URL != "/hot" {
+		t.Errorf("burstiest = %+v", r.HotSpots[0])
+	}
+	if r.HotSpots[0].Lifetime >= r.HotSpots[1].Lifetime {
+		t.Errorf("lifetimes: %v vs %v", r.HotSpots[0].Lifetime, r.HotSpots[1].Lifetime)
+	}
+	if r.MedianHotSpotLifetime() == 0 && len(r.HotSpots) > 0 {
+		// median over {3ish, 495} must be nonzero
+		t.Errorf("median lifetime = 0")
+	}
+	if s := r.String(); !strings.Contains(s, "one-timer ratio") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestAnalyzeEmpty(t *testing.T) {
+	r := Analyze(nil, 2)
+	if r.Requests != 0 || len(r.Popularity) != 0 || r.GiniCoefficient != 0 {
+		t.Errorf("empty report = %+v", r)
+	}
+	if r.MedianHotSpotLifetime() != 0 {
+		t.Error("median lifetime on empty report")
+	}
+}
+
+func TestGiniSkew(t *testing.T) {
+	// Uniform popularity: gini ~ 0.
+	var uniform logmine.Log
+	for i := 0; i < 10; i++ {
+		for j := 0; j < 5; j++ {
+			uniform = append(uniform, rec(core.Time(i*5+j), "/p"+string(rune('0'+i))))
+		}
+	}
+	ru := Analyze(uniform, 2)
+	if ru.GiniCoefficient > 0.05 {
+		t.Errorf("uniform gini = %v", ru.GiniCoefficient)
+	}
+	// Extreme skew: one URL dominates.
+	var skew logmine.Log
+	for i := 0; i < 96; i++ {
+		skew = append(skew, rec(core.Time(i), "/star"))
+	}
+	for i := 0; i < 4; i++ {
+		skew = append(skew, rec(core.Time(100+i), "/tail"+string(rune('0'+i))))
+	}
+	rs := Analyze(skew, 2)
+	if rs.GiniCoefficient < 0.5 {
+		t.Errorf("skewed gini = %v", rs.GiniCoefficient)
+	}
+	if rs.GiniCoefficient <= ru.GiniCoefficient {
+		t.Error("gini ordering wrong")
+	}
+}
+
+func TestZipfFitRecoversExponent(t *testing.T) {
+	// Build a popularity distribution that is exactly count = 1000/rank^s.
+	for _, s := range []float64{0.7, 1.0, 1.3} {
+		var l logmine.Log
+		tm := core.Time(0)
+		for rank := 1; rank <= 50; rank++ {
+			count := int(1000.0 / math.Pow(float64(rank), s))
+			if count < 1 {
+				count = 1
+			}
+			url := "/r" + string(rune('a'+rank%26)) + string(rune('a'+rank/26))
+			for j := 0; j < count; j++ {
+				l = append(l, rec(tm, url))
+				tm++
+			}
+		}
+		r := Analyze(l, 2)
+		if r.ZipfExponent < s-0.25 || r.ZipfExponent > s+0.25 {
+			t.Errorf("s=%v: fitted %v", s, r.ZipfExponent)
+		}
+	}
+}
+
+func TestZipfFitTooFewPoints(t *testing.T) {
+	l := logmine.Log{rec(0, "/a"), rec(1, "/b")}
+	if got := Analyze(l, 2).ZipfExponent; got != 0 {
+		t.Errorf("ZipfExponent = %v for 2 URLs", got)
+	}
+}
+
+func TestHotSpotMinRefs(t *testing.T) {
+	l := logmine.Log{rec(0, "/a"), rec(1, "/a"), rec(2, "/b")}
+	r := Analyze(l, 3)
+	if len(r.HotSpots) != 0 {
+		t.Errorf("hot spots below threshold: %+v", r.HotSpots)
+	}
+	// minHotSpotRefs below 2 is clamped to 2.
+	r2 := Analyze(l, 0)
+	if len(r2.HotSpots) != 1 || r2.HotSpots[0].URL != "/a" {
+		t.Errorf("clamped threshold: %+v", r2.HotSpots)
+	}
+}

@@ -1,0 +1,186 @@
+// Package blob is a content-addressed on-disk body store: the "disk" of
+// the warehouse made real. Bodies are stored once per distinct content
+// (SHA-256 address), so the shared media components of §5.1 — the same
+// image embedded by many pages — occupy disk space once no matter how many
+// pages, versions or backups reference them. Reference counting enables
+// garbage collection when version histories are pruned.
+package blob
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"cbfww/internal/core"
+)
+
+// Ref is the content address of a stored blob (hex SHA-256).
+type Ref string
+
+// Valid reports whether the ref has the right shape.
+func (r Ref) Valid() bool {
+	if len(r) != sha256.Size*2 {
+		return false
+	}
+	_, err := hex.DecodeString(string(r))
+	return err == nil
+}
+
+// Store is a content-addressed blob store rooted at a directory. Blobs
+// live under root/ab/cdef... (two-level fan-out). Safe for concurrent
+// use.
+type Store struct {
+	root string
+
+	mu   sync.Mutex
+	refs map[Ref]int // reference counts
+	size core.Bytes  // total stored bytes (distinct contents)
+}
+
+// Open creates or reopens a store at root. Existing blobs are re-indexed
+// with a reference count of 1 each (histories re-Put what they still
+// reference, raising counts as needed).
+func Open(root string) (*Store, error) {
+	if root == "" {
+		return nil, fmt.Errorf("blob: %w: empty root", core.ErrInvalid)
+	}
+	if err := os.MkdirAll(root, 0o755); err != nil {
+		return nil, fmt.Errorf("blob: %w", err)
+	}
+	s := &Store{root: root, refs: make(map[Ref]int)}
+	err := filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() {
+			return err
+		}
+		name := filepath.Base(filepath.Dir(path)) + filepath.Base(path)
+		ref := Ref(name)
+		if ref.Valid() {
+			s.refs[ref] = 1
+			s.size += core.Bytes(info.Size())
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("blob: scan: %w", err)
+	}
+	return s, nil
+}
+
+func (s *Store) pathOf(r Ref) string {
+	return filepath.Join(s.root, string(r[:2]), string(r[2:]))
+}
+
+// Put stores content and returns its address, incrementing the reference
+// count. Identical content is written once.
+func (s *Store) Put(content []byte) (Ref, error) {
+	sum := sha256.Sum256(content)
+	ref := Ref(hex.EncodeToString(sum[:]))
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n, ok := s.refs[ref]; ok && n > 0 {
+		s.refs[ref] = n + 1
+		return ref, nil
+	}
+	path := s.pathOf(ref)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return "", fmt.Errorf("blob: %w", err)
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, content, 0o644); err != nil {
+		return "", fmt.Errorf("blob: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return "", fmt.Errorf("blob: %w", err)
+	}
+	s.refs[ref] = 1
+	s.size += core.Bytes(len(content))
+	return ref, nil
+}
+
+// Get reads a blob's content.
+func (s *Store) Get(r Ref) ([]byte, error) {
+	if !r.Valid() {
+		return nil, fmt.Errorf("blob: %w: bad ref %q", core.ErrInvalid, r)
+	}
+	s.mu.Lock()
+	known := s.refs[r] > 0
+	s.mu.Unlock()
+	if !known {
+		return nil, fmt.Errorf("blob: %q: %w", r, core.ErrNotFound)
+	}
+	b, err := os.ReadFile(s.pathOf(r))
+	if err != nil {
+		return nil, fmt.Errorf("blob: read %q: %w", r, err)
+	}
+	// Verify integrity on the way out — a warehouse serving silently
+	// corrupted bodies is worse than one that errors.
+	sum := sha256.Sum256(b)
+	if hex.EncodeToString(sum[:]) != string(r) {
+		return nil, fmt.Errorf("blob: %q: content corrupted on disk", r)
+	}
+	return b, nil
+}
+
+// Release decrements a blob's reference count; at zero the file is
+// deleted (garbage collection).
+func (s *Store) Release(r Ref) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n, ok := s.refs[r]
+	if !ok || n <= 0 {
+		return fmt.Errorf("blob: release %q: %w", r, core.ErrNotFound)
+	}
+	if n > 1 {
+		s.refs[r] = n - 1
+		return nil
+	}
+	delete(s.refs, r)
+	path := s.pathOf(r)
+	if info, err := os.Stat(path); err == nil {
+		s.size -= core.Bytes(info.Size())
+	}
+	if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("blob: gc %q: %w", r, err)
+	}
+	return nil
+}
+
+// RefCount returns the current reference count of r.
+func (s *Store) RefCount(r Ref) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.refs[r]
+}
+
+// Len returns the number of distinct blobs stored.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.refs)
+}
+
+// Size returns the total bytes of distinct stored contents — what the
+// dedup actually saves compared to naive per-reference storage.
+func (s *Store) Size() core.Bytes {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.size
+}
+
+// Refs returns all stored refs, sorted (diagnostics and tests).
+func (s *Store) Refs() []Ref {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Ref, 0, len(s.refs))
+	for r := range s.refs {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,201 @@
+package blob
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"cbfww/internal/core"
+)
+
+func newStore(t *testing.T) *Store {
+	t.Helper()
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s := newStore(t)
+	content := []byte("the festival parade passes through the city center")
+	ref, err := s.Put(content)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ref.Valid() {
+		t.Fatalf("invalid ref %q", ref)
+	}
+	got, err := s.Get(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, content) {
+		t.Errorf("Get = %q", got)
+	}
+	if s.Len() != 1 || s.Size() != core.Bytes(len(content)) {
+		t.Errorf("Len=%d Size=%v", s.Len(), s.Size())
+	}
+}
+
+func TestDedupSharedContent(t *testing.T) {
+	s := newStore(t)
+	img := bytes.Repeat([]byte("PNG"), 1000)
+	// Ten pages embed the same image.
+	var refs []Ref
+	for i := 0; i < 10; i++ {
+		r, err := s.Put(img)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs = append(refs, r)
+	}
+	for _, r := range refs[1:] {
+		if r != refs[0] {
+			t.Fatal("identical content produced different refs")
+		}
+	}
+	if s.Len() != 1 {
+		t.Errorf("Len = %d, want 1 (deduped)", s.Len())
+	}
+	if s.RefCount(refs[0]) != 10 {
+		t.Errorf("RefCount = %d", s.RefCount(refs[0]))
+	}
+	if s.Size() != core.Bytes(len(img)) {
+		t.Errorf("Size = %v, want one copy", s.Size())
+	}
+}
+
+func TestReleaseGarbageCollects(t *testing.T) {
+	s := newStore(t)
+	ref, _ := s.Put([]byte("a"))
+	s.Put([]byte("a")) // refcount 2
+	if err := s.Release(ref); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get(ref); err != nil {
+		t.Fatalf("blob gone with refs remaining: %v", err)
+	}
+	if err := s.Release(ref); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get(ref); !errors.Is(err, core.ErrNotFound) {
+		t.Errorf("Get after GC err = %v", err)
+	}
+	if s.Len() != 0 || s.Size() != 0 {
+		t.Errorf("Len=%d Size=%v after GC", s.Len(), s.Size())
+	}
+	if err := s.Release(ref); !errors.Is(err, core.ErrNotFound) {
+		t.Errorf("double release err = %v", err)
+	}
+}
+
+func TestGetErrors(t *testing.T) {
+	s := newStore(t)
+	if _, err := s.Get("zz"); !errors.Is(err, core.ErrInvalid) {
+		t.Errorf("bad ref err = %v", err)
+	}
+	missing := Ref("0000000000000000000000000000000000000000000000000000000000000000")
+	if _, err := s.Get(missing); !errors.Is(err, core.ErrNotFound) {
+		t.Errorf("missing ref err = %v", err)
+	}
+}
+
+func TestCorruptionDetected(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, _ := s.Put([]byte("pristine content"))
+	// Corrupt the file on disk.
+	path := filepath.Join(dir, string(ref[:2]), string(ref[2:]))
+	if err := os.WriteFile(path, []byte("tampered"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get(ref); err == nil {
+		t.Error("corrupted blob served")
+	}
+}
+
+func TestReopenReindexes(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir)
+	ref, _ := s.Put([]byte("survives restarts"))
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s2.Get(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "survives restarts" {
+		t.Errorf("Get after reopen = %q", got)
+	}
+	if s2.Len() != 1 || s2.RefCount(ref) != 1 {
+		t.Errorf("reopen state: Len=%d rc=%d", s2.Len(), s2.RefCount(ref))
+	}
+}
+
+func TestOpenValidation(t *testing.T) {
+	if _, err := Open(""); !errors.Is(err, core.ErrInvalid) {
+		t.Errorf("empty root err = %v", err)
+	}
+}
+
+func TestConcurrentPutGet(t *testing.T) {
+	s := newStore(t)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				content := []byte(fmt.Sprintf("doc %d", i%10)) // heavy sharing
+				ref, err := s.Put(content)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := s.Get(ref); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s.Len() != 10 {
+		t.Errorf("Len = %d, want 10 distinct", s.Len())
+	}
+	if got := s.RefCount(s.Refs()[0]); got != 40 {
+		t.Errorf("RefCount = %d, want 40", got)
+	}
+}
+
+// Property: Put/Get round-trips arbitrary bytes, and refs are stable.
+func TestPutGetProperty(t *testing.T) {
+	s := newStore(t)
+	f := func(content []byte) bool {
+		r1, err := s.Put(content)
+		if err != nil {
+			return false
+		}
+		r2, err := s.Put(content)
+		if err != nil || r1 != r2 {
+			return false
+		}
+		got, err := s.Get(r1)
+		return err == nil && bytes.Equal(got, content)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,206 @@
+// Package constraint implements the Constraint Manager of §3(7). With the
+// capacity constraint gone, two constraint families remain:
+//
+//   - Admission constraints — "criteria for what kind of objects are
+//     allowed to enter each hierarchy level": object-size limits, update-
+//     frequency limits, copyright restrictions.
+//   - Consistency constraints — freshness criteria: strong consistency
+//     synchronizes on every modification; weak consistency tolerates past
+//     data and derives a per-object polling cycle from usage frequency and
+//     the average update period.
+package constraint
+
+import (
+	"fmt"
+	"strings"
+
+	"cbfww/internal/core"
+)
+
+// Candidate describes an object being considered for admission.
+type Candidate struct {
+	URL  string
+	Size core.Bytes
+	// UpdateRate is the object's observed updates per tick (0 when
+	// unknown).
+	UpdateRate float64
+	// Copyrighted marks resources whose licence forbids warehousing.
+	Copyrighted bool
+}
+
+// AdmissionRule is one admission constraint.
+type AdmissionRule interface {
+	// Name identifies the rule in rejection errors.
+	Name() string
+	// Check returns nil to admit or an error (wrapping core.ErrConstraint)
+	// to reject.
+	Check(c Candidate) error
+}
+
+// MaxSize rejects objects larger than the limit ("the limit of object
+// size").
+func MaxSize(limit core.Bytes) AdmissionRule {
+	return ruleFunc{
+		name: fmt.Sprintf("max-size(%v)", limit),
+		fn: func(c Candidate) error {
+			if c.Size > limit {
+				return fmt.Errorf("object of %v exceeds limit %v: %w", c.Size, limit, core.ErrConstraint)
+			}
+			return nil
+		},
+	}
+}
+
+// MaxUpdateRate rejects objects that change faster than the limit ("the
+// limit of update frequency") — caching them would serve mostly stale data
+// or hammer the origin with revalidations.
+func MaxUpdateRate(limit float64) AdmissionRule {
+	return ruleFunc{
+		name: fmt.Sprintf("max-update-rate(%g)", limit),
+		fn: func(c Candidate) error {
+			if c.UpdateRate > limit {
+				return fmt.Errorf("update rate %g exceeds limit %g: %w", c.UpdateRate, limit, core.ErrConstraint)
+			}
+			return nil
+		},
+	}
+}
+
+// DenyCopyrighted rejects copyrighted resources ("limit of copyrighted
+// resources").
+func DenyCopyrighted() AdmissionRule {
+	return ruleFunc{
+		name: "deny-copyrighted",
+		fn: func(c Candidate) error {
+			if c.Copyrighted {
+				return fmt.Errorf("copyrighted resource: %w", core.ErrConstraint)
+			}
+			return nil
+		},
+	}
+}
+
+// DenyURLPrefix rejects URLs under the given prefix (operator policy,
+// e.g. internal hosts).
+func DenyURLPrefix(prefix string) AdmissionRule {
+	return ruleFunc{
+		name: fmt.Sprintf("deny-prefix(%s)", prefix),
+		fn: func(c Candidate) error {
+			if strings.HasPrefix(c.URL, prefix) {
+				return fmt.Errorf("URL under denied prefix %q: %w", prefix, core.ErrConstraint)
+			}
+			return nil
+		},
+	}
+}
+
+type ruleFunc struct {
+	name string
+	fn   func(Candidate) error
+}
+
+func (r ruleFunc) Name() string            { return r.name }
+func (r ruleFunc) Check(c Candidate) error { return r.fn(c) }
+
+// Admission is an ordered rule set.
+type Admission struct {
+	rules []AdmissionRule
+}
+
+// NewAdmission returns a rule set; zero rules admit everything.
+func NewAdmission(rules ...AdmissionRule) *Admission {
+	return &Admission{rules: rules}
+}
+
+// Check runs every rule; the first rejection wins, annotated with the
+// rule's name.
+func (a *Admission) Check(c Candidate) error {
+	for _, r := range a.rules {
+		if err := r.Check(c); err != nil {
+			return fmt.Errorf("constraint %s: %w", r.Name(), err)
+		}
+	}
+	return nil
+}
+
+// Rules returns the rule names, for Table-1-style capability output.
+func (a *Admission) Rules() []string {
+	out := make([]string, len(a.rules))
+	for i, r := range a.rules {
+		out[i] = r.Name()
+	}
+	return out
+}
+
+// Mode selects the consistency discipline.
+type Mode int
+
+const (
+	// Strong checks the origin on every access: no stale data, maximal
+	// origin traffic.
+	Strong Mode = iota
+	// Weak revalidates on a per-object polling cycle derived from usage
+	// and update behaviour: bounded staleness, bounded traffic.
+	Weak
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	if m == Strong {
+		return "strong"
+	}
+	return "weak"
+}
+
+// Consistency derives revalidation decisions.
+type Consistency struct {
+	Mode Mode
+	// MinPoll and MaxPoll clamp the weak-mode polling cycle.
+	MinPoll, MaxPoll core.Duration
+}
+
+// DefaultConsistency returns weak consistency with cycle bounds of one
+// minute to one day (in one-second ticks).
+func DefaultConsistency() Consistency {
+	return Consistency{Mode: Weak, MinPoll: 60, MaxPoll: 24 * 3600}
+}
+
+// PollInterval computes the revalidation cycle for an object with the
+// given mean update gap (ticks between content changes; 0 = never seen
+// updating) and aged reference frequency. Strong mode always returns 0
+// (check every access). Weak mode polls at half the update gap — Nyquist
+// for catching changes — shortened for hot objects (missing an update on a
+// hot object hurts more) and clamped to the configured bounds.
+func (c Consistency) PollInterval(updateGap core.Duration, agedFreq float64) core.Duration {
+	if c.Mode == Strong {
+		return 0
+	}
+	cycle := c.MaxPoll
+	if updateGap > 0 {
+		cycle = updateGap / 2
+	}
+	// Hot objects poll up to 4x more often.
+	if agedFreq > 0 {
+		div := core.Duration(1 + agedFreq)
+		if div > 4 {
+			div = 4
+		}
+		cycle /= div
+	}
+	if cycle < c.MinPoll {
+		cycle = c.MinPoll
+	}
+	if cycle > c.MaxPoll {
+		cycle = c.MaxPoll
+	}
+	return cycle
+}
+
+// NeedsCheck reports whether an object whose copy was validated at
+// lastCheck must be revalidated at now.
+func (c Consistency) NeedsCheck(lastCheck, now core.Time, updateGap core.Duration, agedFreq float64) bool {
+	if c.Mode == Strong {
+		return true
+	}
+	return now.Sub(lastCheck) >= c.PollInterval(updateGap, agedFreq)
+}

@@ -1,0 +1,119 @@
+package constraint
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"cbfww/internal/core"
+)
+
+func TestAdmissionRules(t *testing.T) {
+	a := NewAdmission(
+		MaxSize(100*core.KB),
+		MaxUpdateRate(0.01),
+		DenyCopyrighted(),
+		DenyURLPrefix("http://private.example/"),
+	)
+	ok := Candidate{URL: "http://a.example/x", Size: 10 * core.KB, UpdateRate: 0.001}
+	if err := a.Check(ok); err != nil {
+		t.Errorf("valid candidate rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		c    Candidate
+		want string
+	}{
+		{"oversize", Candidate{URL: "u", Size: 200 * core.KB}, "max-size"},
+		{"churny", Candidate{URL: "u", Size: 1, UpdateRate: 1}, "max-update-rate"},
+		{"copyright", Candidate{URL: "u", Size: 1, Copyrighted: true}, "deny-copyrighted"},
+		{"prefix", Candidate{URL: "http://private.example/secret", Size: 1}, "deny-prefix"},
+	}
+	for _, c := range cases {
+		err := a.Check(c.c)
+		if !errors.Is(err, core.ErrConstraint) {
+			t.Errorf("%s: err = %v, want ErrConstraint", c.name, err)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err %q missing rule name %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestAdmissionEmptyAdmitsAll(t *testing.T) {
+	a := NewAdmission()
+	if err := a.Check(Candidate{Size: 1 << 40, Copyrighted: true}); err != nil {
+		t.Errorf("empty rule set rejected: %v", err)
+	}
+}
+
+func TestAdmissionRuleNames(t *testing.T) {
+	a := NewAdmission(MaxSize(core.MB), DenyCopyrighted())
+	names := a.Rules()
+	if len(names) != 2 || !strings.HasPrefix(names[0], "max-size") || names[1] != "deny-copyrighted" {
+		t.Errorf("Rules = %v", names)
+	}
+}
+
+func TestStrongConsistency(t *testing.T) {
+	c := Consistency{Mode: Strong}
+	if got := c.PollInterval(1000, 5); got != 0 {
+		t.Errorf("strong PollInterval = %v", got)
+	}
+	if !c.NeedsCheck(0, 0, 1000, 5) {
+		t.Error("strong mode skipped a check")
+	}
+	if Strong.String() != "strong" || Weak.String() != "weak" {
+		t.Error("mode names")
+	}
+}
+
+func TestWeakPollInterval(t *testing.T) {
+	c := DefaultConsistency()
+	// Nyquist: half the update gap.
+	if got := c.PollInterval(2000, 0); got != 1000 {
+		t.Errorf("PollInterval(2000, 0) = %v, want 1000", got)
+	}
+	// Hot objects poll more often.
+	cold := c.PollInterval(2000, 0)
+	hot := c.PollInterval(2000, 10)
+	if hot >= cold {
+		t.Errorf("hot %v not shorter than cold %v", hot, cold)
+	}
+	// Unknown update gap defaults to MaxPoll (scaled by heat).
+	if got := c.PollInterval(0, 0); got != c.MaxPoll {
+		t.Errorf("unknown gap = %v, want MaxPoll %v", got, c.MaxPoll)
+	}
+	// Clamping.
+	if got := c.PollInterval(10, 100); got != c.MinPoll {
+		t.Errorf("fast churn = %v, want MinPoll %v", got, c.MinPoll)
+	}
+}
+
+func TestWeakNeedsCheck(t *testing.T) {
+	c := Consistency{Mode: Weak, MinPoll: 10, MaxPoll: 100}
+	// Cycle for gap 40 = 20.
+	if c.NeedsCheck(100, 110, 40, 0) {
+		t.Error("checked before cycle elapsed")
+	}
+	if !c.NeedsCheck(100, 120, 40, 0) {
+		t.Error("missed check after cycle elapsed")
+	}
+}
+
+// Property: the polling cycle is always within [MinPoll, MaxPoll] for any
+// inputs, and monotonically non-increasing in frequency.
+func TestPollIntervalBoundsProperty(t *testing.T) {
+	c := DefaultConsistency()
+	f := func(gap uint32, freq uint8) bool {
+		g := core.Duration(gap % 1e6)
+		lo := c.PollInterval(g, float64(freq))
+		hi := c.PollInterval(g, 0)
+		return lo >= c.MinPoll && lo <= c.MaxPoll && lo <= hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,180 @@
+package crawl
+
+import (
+	"strconv"
+	"strings"
+
+	"cbfww/internal/core"
+	"cbfww/internal/simweb"
+)
+
+// ParsePage reconstructs the document model from HTML: title from
+// <title>, anchors from <a href> (with their anchor texts), media
+// components from <img src> (width attribute, when numeric, is taken as
+// the component size — simweb's convention), and body text from everything
+// else. The parser is deliberately small — a tag scanner, not a browser —
+// but handles the malformed-markup cases a crawler meets (unclosed tags,
+// missing quotes, nested elements).
+func ParsePage(url, html string) simweb.Page {
+	p := simweb.Page{URL: url}
+	var body strings.Builder
+
+	i := 0
+	n := len(html)
+	for i < n {
+		lt := strings.IndexByte(html[i:], '<')
+		if lt < 0 {
+			body.WriteString(html[i:])
+			break
+		}
+		body.WriteString(html[i : i+lt])
+		i += lt
+		tag, attrs, end, ok := scanTag(html, i)
+		if !ok {
+			// A lone '<': treat the rest as text.
+			body.WriteString(html[i:])
+			break
+		}
+		switch strings.ToLower(tag) {
+		case "title":
+			text, after := textUntilClose(html, end, "title")
+			p.Title = strings.TrimSpace(text)
+			i = after
+		case "a":
+			href := attrValue(attrs, "href")
+			text, after := textUntilClose(html, end, "a")
+			text = strings.TrimSpace(text)
+			if href != "" {
+				p.Anchors = append(p.Anchors, simweb.Anchor{Text: text, Target: href})
+			}
+			body.WriteString(text) // anchor text is page text too
+			body.WriteByte(' ')
+			i = after
+		case "img":
+			src := attrValue(attrs, "src")
+			if src != "" {
+				size := core.Bytes(0)
+				if w := attrValue(attrs, "width"); w != "" {
+					if v, err := strconv.ParseInt(w, 10, 64); err == nil {
+						size = core.Bytes(v)
+					}
+				}
+				p.Components = append(p.Components, simweb.Component{URL: src, Size: size})
+			}
+			i = end
+		case "script", "style":
+			_, after := textUntilClose(html, end, tag)
+			i = after
+		default:
+			// Any other tag is a separator.
+			body.WriteByte(' ')
+			i = end
+		}
+	}
+	p.Body = strings.Join(strings.Fields(body.String()), " ")
+	return p
+}
+
+// scanTag parses the tag starting at html[i] == '<'. It returns the tag
+// name, the raw attribute text, the index just past '>', and whether a
+// complete tag was found.
+func scanTag(html string, i int) (name, attrs string, end int, ok bool) {
+	gt := strings.IndexByte(html[i:], '>')
+	if gt < 0 {
+		return "", "", 0, false
+	}
+	inner := html[i+1 : i+gt]
+	end = i + gt + 1
+	inner = strings.TrimPrefix(inner, "/")
+	inner = strings.TrimSuffix(inner, "/")
+	name, attrs, _ = strings.Cut(strings.TrimSpace(inner), " ")
+	return name, attrs, end, true
+}
+
+// textUntilClose collects text from pos until </tag> (case-insensitive),
+// returning the text and the index just past the closing tag. Nested
+// different tags inside are stripped; a missing close consumes the rest.
+func textUntilClose(html string, pos int, tag string) (string, int) {
+	lower := strings.ToLower(html)
+	closeTag := "</" + strings.ToLower(tag)
+	idx := strings.Index(lower[pos:], closeTag)
+	if idx < 0 {
+		return stripTags(html[pos:]), len(html)
+	}
+	text := stripTags(html[pos : pos+idx])
+	// Skip past the closing '>'.
+	after := pos + idx
+	if gt := strings.IndexByte(html[after:], '>'); gt >= 0 {
+		after += gt + 1
+	} else {
+		after = len(html)
+	}
+	return text, after
+}
+
+// stripTags removes <...> runs from a fragment.
+func stripTags(s string) string {
+	var b strings.Builder
+	depth := 0
+	for _, r := range s {
+		switch {
+		case r == '<':
+			depth++
+		case r == '>':
+			if depth > 0 {
+				depth--
+				b.WriteByte(' ')
+			} else {
+				b.WriteRune(r)
+			}
+		case depth == 0:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// attrValue extracts the value of name from a raw attribute string,
+// accepting double-quoted, single-quoted and bare values.
+func attrValue(attrs, name string) string {
+	lower := strings.ToLower(attrs)
+	key := name + "="
+	for start := 0; ; {
+		idx := strings.Index(lower[start:], key)
+		if idx < 0 {
+			return ""
+		}
+		idx += start
+		// Must be at a word boundary.
+		if idx > 0 && !isSpace(lower[idx-1]) {
+			start = idx + len(key)
+			continue
+		}
+		v := attrs[idx+len(key):]
+		if v == "" {
+			return ""
+		}
+		switch v[0] {
+		case '"':
+			if end := strings.IndexByte(v[1:], '"'); end >= 0 {
+				return v[1 : 1+end]
+			}
+			return v[1:]
+		case '\'':
+			if end := strings.IndexByte(v[1:], '\''); end >= 0 {
+				return v[1 : 1+end]
+			}
+			return v[1:]
+		default:
+			end := 0
+			for end < len(v) && !isSpace(v[end]) {
+				end++
+			}
+			return v[:end]
+		}
+	}
+}
+
+func isSpace(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\n' || c == '\r'
+}

@@ -1,0 +1,177 @@
+package experiments
+
+import (
+	"fmt"
+
+	"cbfww/internal/core"
+	"cbfww/internal/object"
+	"cbfww/internal/simweb"
+	"cbfww/internal/text"
+	"cbfww/internal/usage"
+)
+
+// T1Capabilities regenerates Table 1 of the paper — the comparison among
+// database systems, data-stream systems and traditional caches — extended
+// with the CBFWW column the paper argues for. The CBFWW column is not
+// static text: each capability cell is derived from what this codebase
+// actually implements (checked by the E-T1 test).
+func T1Capabilities() Table {
+	t := Table{
+		Title: "Table 1: Databases vs Data Streams vs Caches vs CBFWW",
+		Header: []string{"", "Database Systems", "Data Stream Systems",
+			"Traditional Caches", "CBFWW (this system)"},
+	}
+	t.AddRow("Objectives", "Data Management", "Online Decision Support",
+		"Efficiency", "Cache+DB+Search+Warehouse")
+	t.AddRow("Data Store", "Persistent Store", "Little or No Store",
+		"Temporary Store", "Persistent tiered store")
+	t.AddRow("Storage Capacity", "No Limit Assumed", "Limited Memory",
+		"Limited Storage", "Bound-free (tiered)")
+	t.AddRow("Data Manipulation", "Insert, Delete, Update", "Append-Only",
+		"Insert, Delete", "Fetch-through + versioning")
+	t.AddRow("Query Capability", "Select, Join, Project, Aggregate",
+		"(Approximate) Aggregate", "Not Allowed",
+		"Select + MRU/LRU/MFU/LFU + MENTION")
+	t.AddRow("Management System", "DBMS", "DSMS", "Ad hoc", "CBFWW managers (Fig. 1)")
+	t.AddNote("CBFWW column cells are verified against the implementation by TestT1CellsMatchImplementation")
+	return t
+}
+
+// T2UsageAttributes regenerates Table 2 — the usage-history attributes —
+// by running a scripted reference/modification sequence through the usage
+// tracker and printing each attribute's value, demonstrating the exact
+// semantics (k-th reference times, -infinity before k references,
+// modification-invariant firstref).
+func T2UsageAttributes() Table {
+	clock := core.NewSimClock(0)
+	tr := usage.NewTracker(clock, 7*24*3600, 0.3)
+	const id = core.ObjectID(1)
+
+	// Scripted history: references at t=10, 30, 100; modification at t=50.
+	clock.Set(10)
+	tr.Touch(id)
+	clock.Set(30)
+	tr.Touch(id)
+	clock.Set(50)
+	tr.Modify(id)
+	clock.Set(100)
+	tr.Touch(id)
+	tr.SetShared(id, 2)
+
+	snap, _ := tr.Get(id)
+	t := Table{
+		Title:  "Table 2: Attributes Representing History of Past Usage",
+		Header: []string{"attribute", "symbol", "value", "description"},
+	}
+	t.AddRow("frequency", "f_i", fmt.Sprintf("%d", snap.Count), "references recorded (t=10,30,100)")
+	t.AddRow("firstref", "t_i", snap.FirstRef.String(), "unchanged by the t=50 modification")
+	k1, _ := tr.LastKRef(id, 1)
+	k2, _ := tr.LastKRef(id, 2)
+	k4, _ := tr.LastKRef(id, 4)
+	t.AddRow("lastkref k=1", "t_i^1", k1.String(), "LRU's time-of-last-reference")
+	t.AddRow("lastkref k=2", "t_i^2", k2.String(), "LRU-2's attribute")
+	t.AddRow("lastkref k=4", "t_i^4", k4.String(), "fewer than 4 refs: -infinity")
+	t.AddRow("lastkmod k=1", "u_i^1", snap.LastMod.String(), "time of last modification")
+	t.AddRow("shared", "r", fmt.Sprintf("%d", snap.Shared), "number of containers")
+	t.AddRow("window freq", "-", fmt.Sprintf("%d", tr.WindowFrequency(id)), "exact sliding-window count")
+	t.AddRow("aged freq", "-", fmt.Sprintf("%.3f", tr.AgedFrequency(id)), "lambda-aging estimate")
+	return t
+}
+
+// F2SharedObjectPriority regenerates the Figure 2 scenario: raw object E5
+// shared by physical pages D2 (12 refs/week) and D3 (7 refs/week). The
+// naive frequency rank puts E5 first (≈20 direct fetches); the structural
+// rule assigns max(12, 7) = 12.
+func F2SharedObjectPriority() Table {
+	h := object.NewHierarchy()
+	d2, _ := h.Add(object.KindPhysical, "D2", 0, "", "")
+	d3, _ := h.Add(object.KindPhysical, "D3", 0, "", "")
+	e5, _ := h.Add(object.KindRaw, "E5", 0, "", "")
+	mustLink(h, d2.ID, e5.ID)
+	mustLink(h, d3.ID, e5.ID)
+
+	naive := map[core.ObjectID]core.Priority{d2.ID: 12, d3.ID: 7, e5.ID: 20}
+	eff := h.EffectivePriorities(naive)
+
+	t := Table{
+		Title:  "Figure 2: Priority of a Shared Raw Web Object",
+		Header: []string{"object", "direct refs/week", "naive priority", "structural priority"},
+	}
+	t.AddRow("D2 (physical page)", "12", "12", f2(float64(eff[d2.ID])))
+	t.AddRow("D3 (physical page)", "7", "7", f2(float64(eff[d3.ID])))
+	t.AddRow("E5 (shared raw object)", "~20 (via containers)", "20", f2(float64(eff[e5.ID])))
+	t.AddNote("paper: 'the reasonable priority of E5 should be based on a maximal reference frequency between D2 and D3, which is 12'")
+	t.AddNote("shared count r(E5) = %d", h.SharedCount(e5.ID))
+	return t
+}
+
+func mustLink(h *object.Hierarchy, p, c core.ObjectID) {
+	if err := h.Link(p, c); err != nil {
+		panic(err)
+	}
+}
+
+// F6LogicalContent regenerates the §5.2/§5.3 Kyoto example: the logical
+// document's title is the concatenation of anchor texts plus the terminal
+// title, and the title-weighted vectors distinguish the tourist path from
+// the business path even though both end at the same document.
+func F6LogicalContent() Table {
+	h := object.NewHierarchy()
+	b := object.NewBuilder(h)
+	pages := []*simweb.Page{
+		{URL: "http://k/travel", Title: "Kyoto tourism", Body: "sights and seasons", Size: 1},
+		{URL: "http://k/bus", Title: "Bus network", Body: "routes and fares", Size: 1},
+		{URL: "http://k/stations", Title: "Station list", Body: "stations by line", Size: 1},
+		{URL: "http://k/ntt", Title: "NTT Western Japan", Body: "corporate directory", Size: 1},
+		{URL: "http://k/office", Title: "Kyoto Office", Body: "office locations", Size: 1},
+		{URL: "http://k/location", Title: "Office location", Body: "how to find us", Size: 1},
+		{URL: "http://k/station", Title: "Access to the Shinkansen superexpress",
+			Body: "platform schedule transfer gates", Size: 1},
+	}
+	for _, p := range pages {
+		if _, err := b.AddPhysicalPage(p); err != nil {
+			panic(err)
+		}
+	}
+	// The paper's example: anchor texts "Travel in Kyoto", "List of bus
+	// stations", "Kyoto station" followed by the terminal document titled
+	// "Access to the Shinkansen superexpress".
+	tourist, err := b.AddLogicalPage([]object.PathStep{
+		{URL: "http://k/travel", AnchorText: "Travel in Kyoto"},
+		{URL: "http://k/bus", AnchorText: "List of bus stations"},
+		{URL: "http://k/stations", AnchorText: "Kyoto station"},
+		{URL: "http://k/station"},
+	})
+	if err != nil {
+		panic(err)
+	}
+	// §5.3's second reader: "NTT Western Japan", "Kyoto Office",
+	// "Location", then the same terminal document.
+	business, err := b.AddLogicalPage([]object.PathStep{
+		{URL: "http://k/ntt", AnchorText: "NTT Western Japan"},
+		{URL: "http://k/office", AnchorText: "Kyoto Office"},
+		{URL: "http://k/location", AnchorText: "Location"},
+		{URL: "http://k/station"},
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	corpus := text.NewCorpus()
+	for _, p := range pages {
+		corpus.Add(p.Title + "\n" + p.Body)
+	}
+	vt := corpus.WeightedVector(tourist.Title, tourist.Body, 3)
+	vb := corpus.WeightedVector(business.Title, business.Body, 3)
+	cross := vt.Cosine(vb)
+
+	t := Table{
+		Title:  "Figure 6 / §5.3: Logical Document Content Assembly",
+		Header: []string{"logical document", "assembled title"},
+	}
+	t.AddRow("tourist path", tourist.Title)
+	t.AddRow("business path", business.Title)
+	t.AddNote("both paths share terminal body %q", tourist.Body)
+	t.AddNote("cosine(tourist, business) = %.3f — same terminal, distinguishable perspectives (omega=3)", cross)
+	return t
+}

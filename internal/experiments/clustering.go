@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"cbfww/internal/cluster"
+	"cbfww/internal/core"
+	"cbfww/internal/text"
+	"cbfww/internal/workload"
+)
+
+// newRand returns a deterministic RNG for experiment code.
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// F7SemanticRegions regenerates Figure 7: adaptive clustering of logical
+// documents into semantic regions. Topic-labelled documents are clustered
+// by (a) the online single-pass clusterer the Semantic Region Manager
+// runs, and (b) the batch LSEARCH-style k-median, sweeping k. Purity
+// against ground-truth topics and SSQ measure quality; the paper's
+// expectation is that the assumed "near-optimum" algorithm family achieves
+// high-quality regions and that the online pass stays close.
+func F7SemanticRegions(seed int64) Table {
+	const nTopics, perTopic = 6, 30
+	rng := newRand(seed)
+	vocab := workload.NewVocabulary(nTopics, 20, 6)
+	corpus := text.NewCorpus()
+	var points []cluster.Point
+	labels := make(map[core.ObjectID]int)
+	id := core.ObjectID(1)
+	for topic := 0; topic < nTopics; topic++ {
+		for i := 0; i < perTopic; i++ {
+			doc := vocab.Sentence(rng, topic, 30, 0.1)
+			points = append(points, cluster.Point{ID: id, Vec: corpus.VectorizeNew(doc)})
+			labels[id] = topic
+			id++
+		}
+	}
+	rng.Shuffle(len(points), func(i, j int) { points[i], points[j] = points[j], points[i] })
+
+	t := Table{
+		Title:  "Figure 7: Semantic Regions by Adaptive Clustering",
+		Header: []string{"algorithm", "k/regions", "purity", "SSQ"},
+	}
+
+	// Online single-pass (production path).
+	online, err := cluster.NewOnline(0.15, 0)
+	if err != nil {
+		panic(err)
+	}
+	onlineOf := make(map[core.ObjectID]int)
+	for _, p := range points {
+		onlineOf[p.ID] = online.Assign(p)
+	}
+	regs := online.Regions()
+	ssqOnline := cluster.SSQ(points, func(p cluster.Point) text.Vector {
+		return regs[onlineOf[p.ID]].Centroid
+	})
+	t.AddRow("online single-pass", itoa(online.Len()),
+		f3(cluster.Purity(onlineOf, labels)), f2(ssqOnline))
+
+	// Batch k-median across k.
+	for _, k := range []int{3, 6, 12} {
+		res, err := cluster.KMedian(points, k, newRand(seed+int64(k)), 20, 20)
+		if err != nil {
+			panic(err)
+		}
+		batchOf := make(map[core.ObjectID]int)
+		for i, p := range points {
+			batchOf[p.ID] = res.Assign[i]
+		}
+		t.AddRow("k-median (LSEARCH-style)", itoa(k),
+			f3(cluster.Purity(batchOf, labels)), f2(res.Cost))
+	}
+	t.AddNote("%d documents over %d ground-truth topics; purity = fraction in majority-topic region", len(points), nTopics)
+	t.AddNote("expected shape: SSQ falls as k grows; purity peaks near k = true topic count; online stays close to batch")
+	return t
+}

@@ -1,0 +1,18 @@
+package experiments
+
+import (
+	"os"
+	"testing"
+)
+
+// TestPrintSelected is a debugging aid:
+//
+//	PRINT_TABLES=1 go test ./internal/experiments -run TestPrintSelected -v
+func TestPrintSelected(t *testing.T) {
+	if os.Getenv("PRINT_TABLES") == "" {
+		t.Skip("set PRINT_TABLES=1 to print")
+	}
+	t.Log("\n" + AnalyzerHotSpots(1).String())
+	t.Log("\n" + F3StorageMapping(1).String())
+	t.Log("\n" + Q1PopularityQueries(1).String())
+}

@@ -1,0 +1,86 @@
+// Package experiments implements every experiment in EXPERIMENTS.md: one
+// function per paper artifact (Table 1, Table 2, Figures 2-8, the §1
+// one-timer claim, the §4.3 queries) plus the ablations (frequency
+// estimators, topic sensor, bounded baselines, copy control, consistency).
+// Each returns a Table that cmd/cbfww-bench prints and bench_test.go
+// regenerates.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a printable experiment result.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// AddRow appends a row of already-formatted cells.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// AddNote appends a free-form note printed under the table.
+func (t *Table) AddNote(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// String renders the table with aligned columns.
+func (t Table) String() string {
+	var b strings.Builder
+	b.WriteString("== " + t.Title + " ==\n")
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			if i < len(widths) && len(c) < widths[i] {
+				b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	if total > 2 {
+		b.WriteString(strings.Repeat("-", total-2) + "\n")
+	}
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		b.WriteString("note: " + n + "\n")
+	}
+	return b.String()
+}
+
+// pct formats a ratio as a percentage cell.
+func pct(x float64) string { return fmt.Sprintf("%.1f%%", 100*x) }
+
+// f2 formats a float cell.
+func f2(x float64) string { return fmt.Sprintf("%.2f", x) }
+
+// f3 formats a float cell with more precision.
+func f3(x float64) string { return fmt.Sprintf("%.3f", x) }
+
+// itoa formats an int cell.
+func itoa(n int) string { return fmt.Sprintf("%d", n) }

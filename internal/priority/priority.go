@@ -1,0 +1,237 @@
+// Package priority implements the Priority Manager of §3(4) and §5.3.
+//
+// Conventional caches give a newly fetched page the top of the LRU stack
+// and let disuse demote it. CBFWW inverts this: because ~60% of pages are
+// never referenced again, the priority of a page is decided *when it is
+// retrieved*, from evidence available at that moment:
+//
+//   - similarity to semantic regions whose popularity is known ("if a new
+//     page has many words/phrases in common with some pages that have known
+//     priority, then the same priority will be assigned to the new page");
+//   - hot-topic heat from the Topic Sensor ("if a web page has hot topic
+//     words/phrases, the priority will be increased").
+//
+// Region popularity itself is a λ-aged reference rate, so priorities track
+// the short-lived hot spots of §4.4 without manual tuning.
+package priority
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"cbfww/internal/cluster"
+	"cbfww/internal/core"
+	"cbfww/internal/text"
+	"cbfww/internal/topic"
+)
+
+// Config tunes the admission-priority blend.
+type Config struct {
+	// SimilarityWeight scales the semantic-region evidence; TopicWeight
+	// scales hot-topic heat. Both default to 1 and 0.5 respectively.
+	SimilarityWeight float64
+	TopicWeight      float64
+	// MinSimilarity is the region similarity below which the region
+	// evidence is considered uninformative and the default applies.
+	MinSimilarity float64
+	// Default is the priority of a page with no usable evidence.
+	Default core.Priority
+	// Lambda is the per-epoch decay of region heat, as in §4.2 λ-aging.
+	Lambda float64
+	// EpochLength converts ticks to heat epochs.
+	EpochLength core.Duration
+}
+
+// DefaultConfig returns the blend used by the experiments.
+func DefaultConfig() Config {
+	return Config{
+		SimilarityWeight: 1.0,
+		TopicWeight:      0.5,
+		MinSimilarity:    0.1,
+		Default:          0.3,
+		Lambda:           0.3,
+		EpochLength:      3600, // one hour at one tick per second
+	}
+}
+
+// Explanation records how an admission priority was derived, for
+// experiment output and the REPL's EXPLAIN.
+type Explanation struct {
+	// Region is the nearest semantic region (-1 when none usable).
+	Region int
+	// Similarity to that region's centroid.
+	Similarity float64
+	// RegionHeat is the region's aged popularity in [0, 1].
+	RegionHeat float64
+	// TopicHeat is the hot-topic score of the document.
+	TopicHeat float64
+	// Result is the final clamped priority.
+	Result core.Priority
+}
+
+// String renders the explanation for humans.
+func (e Explanation) String() string {
+	if e.Region < 0 {
+		return fmt.Sprintf("no region evidence; topic=%.2f -> p=%.2f", e.TopicHeat, float64(e.Result))
+	}
+	return fmt.Sprintf("region %d (sim=%.2f, heat=%.2f) topic=%.2f -> p=%.2f",
+		e.Region, e.Similarity, e.RegionHeat, e.TopicHeat, float64(e.Result))
+}
+
+// Manager computes admission priorities and maintains region heat. Safe
+// for concurrent use.
+type Manager struct {
+	cfg     Config
+	clock   core.Clock
+	regions *cluster.Online
+	topics  *topic.Manager
+
+	mu    sync.Mutex
+	heat  map[int]*heatEntry // region index -> aged reference rate
+	epoch int64
+}
+
+type heatEntry struct {
+	value float64
+	epoch int64
+}
+
+// NewManager wires the manager to its evidence sources. Both may be nil
+// when the corresponding evidence is disabled (tests, ablations).
+func NewManager(cfg Config, clock core.Clock, regions *cluster.Online, topics *topic.Manager) (*Manager, error) {
+	if cfg.Lambda <= 0 || cfg.Lambda > 1 {
+		return nil, fmt.Errorf("priority: %w: lambda %v outside (0,1]", core.ErrInvalid, cfg.Lambda)
+	}
+	if cfg.EpochLength <= 0 {
+		return nil, fmt.Errorf("priority: %w: epoch length %v", core.ErrInvalid, cfg.EpochLength)
+	}
+	if clock == nil {
+		return nil, fmt.Errorf("priority: %w: nil clock", core.ErrInvalid)
+	}
+	return &Manager{
+		cfg:     cfg,
+		clock:   clock,
+		regions: regions,
+		topics:  topics,
+		heat:    make(map[int]*heatEntry),
+	}, nil
+}
+
+// epochOf converts a time to a heat epoch.
+func (m *Manager) epochOf(t core.Time) int64 {
+	return int64(t) / int64(m.cfg.EpochLength)
+}
+
+// settle ages a heat entry to the given epoch.
+func (m *Manager) settle(e *heatEntry, epoch int64) {
+	if gap := epoch - e.epoch; gap > 0 {
+		e.value *= math.Pow(1-m.cfg.Lambda, float64(gap))
+		e.epoch = epoch
+	}
+}
+
+// RecordAccess notes a reference that was served by a member of the given
+// region, reinforcing the region's heat.
+func (m *Manager) RecordAccess(region int) {
+	if region < 0 {
+		return
+	}
+	epoch := m.epochOf(m.clock.Now())
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e := m.heat[region]
+	if e == nil {
+		e = &heatEntry{epoch: epoch}
+		m.heat[region] = e
+	}
+	m.settle(e, epoch)
+	e.value += m.cfg.Lambda
+}
+
+// RegionHeat returns the region's aged *per-member* popularity mapped to
+// [0, 1). The raw aged value approximates accesses per epoch to the whole
+// region; dividing by member count gives the typical member's rate m, and
+// m/(1+m) puts it on the same saturating scale as a page's own
+// aged-frequency heat. That alignment is what lets an admission priority
+// inherited from a region be compared directly against measured page
+// priorities: a new page gets the priority of a *typical* similar page,
+// never more than the region's genuinely hot members (Fig. 8's intent
+// without its failure mode).
+func (m *Manager) RegionHeat(region int) float64 {
+	epoch := m.epochOf(m.clock.Now())
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.regionHeatLocked(region, epoch)
+}
+
+func (m *Manager) regionHeatLocked(region int, epoch int64) float64 {
+	e, ok := m.heat[region]
+	if !ok {
+		return 0
+	}
+	m.settle(e, epoch)
+	size := 1
+	if m.regions != nil {
+		if s := m.regions.SizeOf(region); s > 1 {
+			size = s
+		}
+	}
+	perMember := e.value / float64(size)
+	return perMember / (1 + perMember)
+}
+
+// DecayAll ages every region to the current epoch. Called on the
+// warehouse's maintenance cadence.
+func (m *Manager) DecayAll() {
+	epoch := m.epochOf(m.clock.Now())
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, e := range m.heat {
+		m.settle(e, epoch)
+	}
+}
+
+// AdmissionPriority derives the priority of a newly retrieved document
+// from its feature vector:
+//
+//	p = simWeight · sim(doc, nearest region) · heat(region)
+//	  + topicWeight · topicHeat(doc)
+//
+// clamped to [0, 1], falling back to cfg.Default when neither evidence
+// source is informative.
+func (m *Manager) AdmissionPriority(vec text.Vector) (core.Priority, Explanation) {
+	exp := Explanation{Region: -1}
+	var score float64
+	informative := false
+
+	if m.regions != nil && m.cfg.SimilarityWeight > 0 {
+		if idx, sim, ok := m.regions.Nearest(vec); ok && sim >= m.cfg.MinSimilarity {
+			epoch := m.epochOf(m.clock.Now())
+			m.mu.Lock()
+			heat := m.regionHeatLocked(idx, epoch)
+			m.mu.Unlock()
+			exp.Region = idx
+			exp.Similarity = sim
+			exp.RegionHeat = heat
+			score += m.cfg.SimilarityWeight * sim * heat
+			informative = true
+		}
+	}
+	if m.topics != nil {
+		th := m.topics.Heat(vec)
+		exp.TopicHeat = th
+		// Evidence only counts as informative when it can actually move
+		// the score; a zero weight must fall through to the default.
+		if th > 0 && m.cfg.TopicWeight > 0 {
+			score += m.cfg.TopicWeight * th
+			informative = true
+		}
+	}
+	if !informative {
+		exp.Result = m.cfg.Default
+		return exp.Result, exp
+	}
+	exp.Result = core.Priority(score).Clamp(core.PriorityMin, core.PriorityMax)
+	return exp.Result, exp
+}

@@ -1,0 +1,207 @@
+package priority
+
+import (
+	"sync"
+	"testing"
+
+	"cbfww/internal/cluster"
+	"cbfww/internal/core"
+	"cbfww/internal/text"
+	"cbfww/internal/topic"
+)
+
+func newFixture(t *testing.T) (*Manager, *cluster.Online, *topic.Manager, *text.Corpus, *core.SimClock) {
+	t.Helper()
+	clock := core.NewSimClock(0)
+	corpus := text.NewCorpus()
+	regions, err := cluster.NewOnline(0.15, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topics := topic.NewManager(corpus.Dict())
+	cfg := DefaultConfig()
+	cfg.EpochLength = 100
+	m, err := NewManager(cfg, clock, regions, topics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, regions, topics, corpus, clock
+}
+
+func TestNewManagerValidation(t *testing.T) {
+	clock := core.NewSimClock(0)
+	bad := []Config{
+		{Lambda: 0, EpochLength: 1},
+		{Lambda: 1.5, EpochLength: 1},
+		{Lambda: 0.5, EpochLength: 0},
+	}
+	for i, cfg := range bad {
+		if _, err := NewManager(cfg, clock, nil, nil); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+	if _, err := NewManager(DefaultConfig(), nil, nil, nil); err == nil {
+		t.Error("nil clock accepted")
+	}
+}
+
+func TestDefaultWithoutEvidence(t *testing.T) {
+	m, _, _, corpus, _ := newFixture(t)
+	p, exp := m.AdmissionPriority(corpus.Vectorize("anything at all"))
+	if p != m.cfg.Default {
+		t.Errorf("priority = %v, want default %v", p, m.cfg.Default)
+	}
+	if exp.Region != -1 {
+		t.Errorf("explanation region = %d", exp.Region)
+	}
+	if exp.String() == "" {
+		t.Error("empty explanation string")
+	}
+}
+
+// The §5.3 scenario: a new page similar to a hot region inherits high
+// priority; a page similar to a cold region gets low priority.
+func TestSimilarityInheritsRegionPriority(t *testing.T) {
+	m, regions, _, corpus, _ := newFixture(t)
+	// Two regions: kyoto-travel (hot) and knitting (cold).
+	hotVec := corpus.VectorizeNew("kyoto station travel shinkansen temple garden")
+	coldVec := corpus.VectorizeNew("knitting yarn needle pattern sweater wool")
+	hotIdx := regions.Assign(cluster.Point{ID: 1, Vec: hotVec})
+	coldIdx := regions.Assign(cluster.Point{ID: 2, Vec: coldVec})
+
+	// Traffic hits the hot region repeatedly.
+	for i := 0; i < 20; i++ {
+		m.RecordAccess(hotIdx)
+	}
+	m.RecordAccess(coldIdx)
+
+	pHot, expHot := m.AdmissionPriority(corpus.Vectorize("kyoto temple travel guide"))
+	pCold, expCold := m.AdmissionPriority(corpus.Vectorize("knitting wool sweater"))
+	if expHot.Region != hotIdx || expCold.Region != coldIdx {
+		t.Fatalf("regions: hot=%+v cold=%+v", expHot, expCold)
+	}
+	if pHot <= pCold {
+		t.Errorf("hot-region page priority %v <= cold-region %v", pHot, pCold)
+	}
+	if pHot <= m.cfg.Default {
+		t.Errorf("hot page %v not above default %v", pHot, m.cfg.Default)
+	}
+}
+
+func TestTopicBoostRaisesPriority(t *testing.T) {
+	m, _, topics, corpus, _ := newFixture(t)
+	base, _ := m.AdmissionPriority(corpus.Vectorize("gion festival parade"))
+	topics.BoostTerm("gion festival", 5)
+	boosted, exp := m.AdmissionPriority(corpus.Vectorize("gion festival parade"))
+	if boosted <= base {
+		t.Errorf("topic boost did not raise priority: %v -> %v", base, boosted)
+	}
+	if exp.TopicHeat <= 0 {
+		t.Errorf("explanation heat = %v", exp.TopicHeat)
+	}
+}
+
+func TestRegionHeatAges(t *testing.T) {
+	m, regions, _, corpus, clock := newFixture(t)
+	idx := regions.Assign(cluster.Point{ID: 1, Vec: corpus.VectorizeNew("kyoto travel")})
+	for i := 0; i < 10; i++ {
+		m.RecordAccess(idx)
+	}
+	h0 := m.RegionHeat(idx)
+	if h0 <= 0.5 || h0 >= 1 {
+		t.Fatalf("hot region heat = %v, want in (0.5, 1)", h0)
+	}
+	// Many epochs later the heat has decayed (hot spots die fast).
+	clock.Advance(100 * 50)
+	h1 := m.RegionHeat(idx)
+	if h1 >= h0 {
+		t.Errorf("heat did not decay: %v -> %v", h0, h1)
+	}
+	m.DecayAll()
+	h2 := m.RegionHeat(idx)
+	if h2 < 0 || h2 > h1+1e-12 {
+		t.Errorf("heat after DecayAll out of range: %v (was %v)", h2, h1)
+	}
+}
+
+func TestRecordAccessIgnoresNegativeRegion(t *testing.T) {
+	m, _, _, _, _ := newFixture(t)
+	m.RecordAccess(-1) // must not panic or create entries
+	if len(m.heat) != 0 {
+		t.Error("negative region recorded")
+	}
+}
+
+func TestPriorityClamped(t *testing.T) {
+	m, regions, topics, corpus, _ := newFixture(t)
+	vec := corpus.VectorizeNew("kyoto station travel")
+	idx := regions.Assign(cluster.Point{ID: 1, Vec: vec})
+	for i := 0; i < 100; i++ {
+		m.RecordAccess(idx)
+	}
+	topics.BoostTerm("kyoto station travel", 100)
+	p, _ := m.AdmissionPriority(corpus.Vectorize("kyoto station travel"))
+	if p > core.PriorityMax || p < core.PriorityMin {
+		t.Errorf("priority %v outside [0,1]", p)
+	}
+}
+
+func TestNilEvidenceSources(t *testing.T) {
+	clock := core.NewSimClock(0)
+	cfg := DefaultConfig()
+	m, err := NewManager(cfg, clock, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, exp := m.AdmissionPriority(text.Vector{0: 1})
+	if p != cfg.Default || exp.Region != -1 {
+		t.Errorf("nil sources: p=%v exp=%+v", p, exp)
+	}
+}
+
+func TestManagerConcurrent(t *testing.T) {
+	m, regions, _, corpus, _ := newFixture(t)
+	idx := regions.Assign(cluster.Point{ID: 1, Vec: corpus.VectorizeNew("kyoto travel")})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				m.RecordAccess(idx)
+				m.RegionHeat(idx)
+				m.AdmissionPriority(corpus.Vectorize("kyoto"))
+				m.DecayAll()
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Regression: evidence with zero weight must not count as informative —
+// the default priority applies (this is what makes the "newest = top"
+// baseline in E-F8 expressible as a Config).
+func TestZeroWeightsFallThroughToDefault(t *testing.T) {
+	clock := core.NewSimClock(0)
+	corpus := text.NewCorpus()
+	regions, _ := cluster.NewOnline(0.15, 0)
+	topics := topic.NewManager(corpus.Dict())
+	cfg := DefaultConfig()
+	cfg.SimilarityWeight = 0
+	cfg.TopicWeight = 0
+	cfg.Default = 0.77
+	m, err := NewManager(cfg, clock, regions, topics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both evidence sources would fire if weighted.
+	vec := corpus.VectorizeNew("kyoto festival parade")
+	regions.Assign(cluster.Point{ID: 1, Vec: vec})
+	m.RecordAccess(0)
+	topics.BoostTerm("kyoto festival", 5)
+
+	p, exp := m.AdmissionPriority(corpus.Vectorize("kyoto festival"))
+	if p != 0.77 {
+		t.Errorf("priority = %v, want default 0.77 (exp %+v)", p, exp)
+	}
+}

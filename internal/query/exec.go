@@ -1,0 +1,478 @@
+package query
+
+import (
+	"fmt"
+	"sort"
+
+	"cbfww/internal/core"
+	"cbfww/internal/object"
+	"cbfww/internal/text"
+	"cbfww/internal/usage"
+)
+
+// Source is the executor's view of the warehouse: object collections plus
+// the usage metadata the modifiers order by.
+type Source interface {
+	// Rows returns all objects of the given kind.
+	Rows(kind object.Kind) []*object.Object
+	// UsageOf returns the Table 2 snapshot of an object; ok is false for
+	// never-referenced objects (they sort as least recently/frequently
+	// used).
+	UsageOf(id core.ObjectID) (usage.Snapshot, bool)
+	// FrequencyOf returns the aged reference frequency used by MFU/LFU.
+	FrequencyOf(id core.ObjectID) float64
+	// ChildrenOf returns the contained objects (the logical page's
+	// physicals, the region's logicals), in structural order.
+	ChildrenOf(id core.ObjectID) []core.ObjectID
+}
+
+// Run executes a parsed query against the source.
+func Run(q *Query, src Source) ([]Row, error) {
+	ex := &executor{src: src}
+	objs, err := ex.evalFrom(q, nil)
+	if err != nil {
+		return nil, err
+	}
+	return ex.project(q, objs)
+}
+
+// RunString parses and executes in one step.
+func RunString(s string, src Source) ([]Row, error) {
+	q, err := Parse(s)
+	if err != nil {
+		return nil, err
+	}
+	return Run(q, src)
+}
+
+type executor struct {
+	src Source
+}
+
+// env binds aliases to the row objects of enclosing queries.
+type env struct {
+	parent *env
+	alias  string
+	obj    *object.Object
+}
+
+func (e *env) lookup(alias string) (*object.Object, bool) {
+	for cur := e; cur != nil; cur = cur.parent {
+		if cur.alias == alias {
+			return cur.obj, true
+		}
+	}
+	return nil, false
+}
+
+// evalFrom returns the objects of q's class that satisfy its WHERE clause,
+// ordered by the modifier and truncated to the limit. outer is the
+// enclosing binding environment for correlated sub-queries.
+func (ex *executor) evalFrom(q *Query, outer *env) ([]*object.Object, error) {
+	rows := ex.src.Rows(q.Class)
+	var kept []*object.Object
+	for _, o := range rows {
+		if q.Where == nil {
+			kept = append(kept, o)
+			continue
+		}
+		v, err := ex.eval(q.Where, &env{parent: outer, alias: q.Alias, obj: o})
+		if err != nil {
+			return nil, err
+		}
+		if v.Kind != ValBool {
+			return nil, fmt.Errorf("query: %w: WHERE clause is not boolean", core.ErrInvalid)
+		}
+		if v.Bool {
+			kept = append(kept, o)
+		}
+	}
+	ex.order(q.Modifier, kept)
+	if q.Modifier != ModNone && q.Limit > 0 && q.Limit < len(kept) {
+		kept = kept[:q.Limit]
+	}
+	return kept, nil
+}
+
+// order sorts objects per the usage modifier; ties break by ID so results
+// are deterministic. ModNone keeps Rows order.
+func (ex *executor) order(m Modifier, objs []*object.Object) {
+	if m == ModNone {
+		return
+	}
+	key := func(o *object.Object) (recency core.Time, freq float64) {
+		if s, ok := ex.src.UsageOf(o.ID); ok {
+			recency = s.LastRef
+		} else {
+			recency = core.TimeNever
+		}
+		return recency, ex.src.FrequencyOf(o.ID)
+	}
+	sort.SliceStable(objs, func(i, j int) bool {
+		ri, fi := key(objs[i])
+		rj, fj := key(objs[j])
+		switch m {
+		case ModMRU:
+			if ri != rj {
+				return ri > rj
+			}
+		case ModLRU:
+			if ri != rj {
+				return ri < rj
+			}
+		case ModMFU:
+			if fi != fj {
+				return fi > fj
+			}
+		case ModLFU:
+			if fi != fj {
+				return fi < fj
+			}
+		}
+		return objs[i].ID < objs[j].ID
+	})
+}
+
+// project builds result rows from the SELECT field list (or the canonical
+// columns for SELECT *).
+func (ex *executor) project(q *Query, objs []*object.Object) ([]Row, error) {
+	out := make([]Row, 0, len(objs))
+	for _, o := range objs {
+		row := Row{ID: o.ID}
+		if len(q.Fields) == 0 {
+			row.Values = []Value{
+				{Kind: ValID, ID: o.ID},
+				{Kind: ValStr, Str: o.Key},
+			}
+		} else {
+			for _, f := range q.Fields {
+				if f.Alias != q.Alias {
+					return nil, fmt.Errorf("query: %w: unknown alias %q in SELECT", core.ErrInvalid, f.Alias)
+				}
+				v, err := ex.fieldValue(o, f.Field)
+				if err != nil {
+					return nil, err
+				}
+				row.Values = append(row.Values, v)
+			}
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// fieldValue resolves one attribute of an object.
+func (ex *executor) fieldValue(o *object.Object, field string) (Value, error) {
+	switch field {
+	case "oid":
+		return Value{Kind: ValID, ID: o.ID}, nil
+	case "title":
+		return Value{Kind: ValStr, Str: o.Title}, nil
+	case "body":
+		return Value{Kind: ValStr, Str: o.Body}, nil
+	case "size":
+		return Value{Kind: ValNum, Num: int64(o.Size)}, nil
+	case "url":
+		if o.Kind == object.KindRaw || o.Kind == object.KindPhysical {
+			return Value{Kind: ValStr, Str: o.Key}, nil
+		}
+		return Value{}, fmt.Errorf("query: %w: %s has no url", core.ErrInvalid, o.Kind)
+	case "path":
+		if o.Kind == object.KindLogical {
+			return Value{Kind: ValStr, Str: o.Key}, nil
+		}
+		return Value{}, fmt.Errorf("query: %w: %s has no path", core.ErrInvalid, o.Kind)
+	case "name":
+		if o.Kind == object.KindRegion {
+			return Value{Kind: ValStr, Str: o.Key}, nil
+		}
+		return Value{}, fmt.Errorf("query: %w: %s has no name", core.ErrInvalid, o.Kind)
+	case "key":
+		return Value{Kind: ValStr, Str: o.Key}, nil
+	case "freq":
+		if s, ok := ex.src.UsageOf(o.ID); ok {
+			return Value{Kind: ValNum, Num: int64(s.Count)}, nil
+		}
+		return Value{Kind: ValNum, Num: 0}, nil
+	case "lastref":
+		if s, ok := ex.src.UsageOf(o.ID); ok {
+			return Value{Kind: ValNum, Num: int64(s.LastRef)}, nil
+		}
+		return Value{Kind: ValNum, Num: int64(core.TimeNever)}, nil
+	case "firstref":
+		if s, ok := ex.src.UsageOf(o.ID); ok {
+			return Value{Kind: ValNum, Num: int64(s.FirstRef)}, nil
+		}
+		return Value{Kind: ValNum, Num: int64(core.TimeNever)}, nil
+	case "shared":
+		if s, ok := ex.src.UsageOf(o.ID); ok {
+			return Value{Kind: ValNum, Num: int64(s.Shared)}, nil
+		}
+		return Value{Kind: ValNum, Num: 0}, nil
+	case "physicals":
+		if o.Kind != object.KindLogical {
+			return Value{}, fmt.Errorf("query: %w: %s has no physicals", core.ErrInvalid, o.Kind)
+		}
+		return ex.childSet(o), nil
+	case "logicals":
+		if o.Kind != object.KindRegion {
+			return Value{}, fmt.Errorf("query: %w: %s has no logicals", core.ErrInvalid, o.Kind)
+		}
+		return ex.childSet(o), nil
+	case "components":
+		if o.Kind != object.KindPhysical {
+			return Value{}, fmt.Errorf("query: %w: %s has no components", core.ErrInvalid, o.Kind)
+		}
+		return ex.childSet(o), nil
+	default:
+		return Value{}, fmt.Errorf("query: %w: unknown field %q", core.ErrInvalid, field)
+	}
+}
+
+func (ex *executor) childSet(o *object.Object) Value {
+	ids := ex.src.ChildrenOf(o.ID)
+	set := make(map[core.ObjectID]bool, len(ids))
+	for _, id := range ids {
+		set[id] = true
+	}
+	return Value{Kind: ValIDSet, Set: set}
+}
+
+// eval evaluates a WHERE expression under the binding environment.
+func (ex *executor) eval(e Expr, en *env) (Value, error) {
+	switch n := e.(type) {
+	case *LitExpr:
+		if n.IsNum {
+			return Value{Kind: ValNum, Num: n.Num}, nil
+		}
+		return Value{Kind: ValStr, Str: n.Str}, nil
+
+	case *FieldExpr:
+		o, ok := en.lookup(n.Ref.Alias)
+		if !ok {
+			return Value{}, fmt.Errorf("query: %w: unknown alias %q", core.ErrInvalid, n.Ref.Alias)
+		}
+		return ex.fieldValue(o, n.Ref.Field)
+
+	case *NotExpr:
+		v, err := ex.eval(n.X, en)
+		if err != nil {
+			return Value{}, err
+		}
+		if v.Kind != ValBool {
+			return Value{}, fmt.Errorf("query: %w: NOT of non-boolean", core.ErrInvalid)
+		}
+		return Value{Kind: ValBool, Bool: !v.Bool}, nil
+
+	case *BinExpr:
+		return ex.evalBin(n, en)
+
+	case *MentionExpr:
+		o, ok := en.lookup(n.Field.Alias)
+		if !ok {
+			return Value{}, fmt.Errorf("query: %w: unknown alias %q", core.ErrInvalid, n.Field.Alias)
+		}
+		fv, err := ex.fieldValue(o, n.Field.Field)
+		if err != nil {
+			return Value{}, err
+		}
+		if fv.Kind != ValStr {
+			return Value{}, fmt.Errorf("query: %w: MENTION on non-text field %q", core.ErrInvalid, n.Field.Field)
+		}
+		return Value{Kind: ValBool, Bool: mentionMatch(fv.Str, n.Phrase)}, nil
+
+	case *InExpr:
+		x, err := ex.eval(n.X, en)
+		if err != nil {
+			return Value{}, err
+		}
+		set, err := ex.evalSet(n.Set, en)
+		if err != nil {
+			return Value{}, err
+		}
+		if x.Kind != ValID {
+			return Value{}, fmt.Errorf("query: %w: IN requires an oid on the left", core.ErrInvalid)
+		}
+		return Value{Kind: ValBool, Bool: set[x.ID]}, nil
+
+	case *ExistsExpr:
+		objs, err := ex.evalFrom(n.Sub, en)
+		if err != nil {
+			return Value{}, err
+		}
+		return Value{Kind: ValBool, Bool: len(objs) > 0}, nil
+
+	case *CallExpr:
+		return ex.evalCall(n, en)
+
+	default:
+		return Value{}, fmt.Errorf("query: %w: unhandled expression %T", core.ErrInvalid, e)
+	}
+}
+
+// evalSet evaluates the right side of IN into an ID set.
+func (ex *executor) evalSet(e Expr, en *env) (map[core.ObjectID]bool, error) {
+	switch n := e.(type) {
+	case *SubqueryExpr:
+		objs, err := ex.evalFrom(n.Sub, en)
+		if err != nil {
+			return nil, err
+		}
+		set := make(map[core.ObjectID]bool, len(objs))
+		// The sub-query contributes its rows' IDs; the conventional form
+		// "SELECT p.oid FROM ..." therefore behaves as expected whatever
+		// the projection list says.
+		for _, o := range objs {
+			set[o.ID] = true
+		}
+		return set, nil
+	case *FieldExpr:
+		o, ok := en.lookup(n.Ref.Alias)
+		if !ok {
+			return nil, fmt.Errorf("query: %w: unknown alias %q", core.ErrInvalid, n.Ref.Alias)
+		}
+		v, err := ex.fieldValue(o, n.Ref.Field)
+		if err != nil {
+			return nil, err
+		}
+		if v.Kind != ValIDSet {
+			return nil, fmt.Errorf("query: %w: field %q is not a set", core.ErrInvalid, n.Ref.Field)
+		}
+		return v.Set, nil
+	default:
+		return nil, fmt.Errorf("query: %w: IN requires a sub-query or set field", core.ErrInvalid)
+	}
+}
+
+// evalCall implements the path functions end_at and start_at.
+func (ex *executor) evalCall(c *CallExpr, en *env) (Value, error) {
+	switch c.Name {
+	case "end_at", "start_at":
+		if len(c.Args) != 1 {
+			return Value{}, fmt.Errorf("query: %w: %s takes one argument", core.ErrInvalid, c.Name)
+		}
+		f, ok := c.Args[0].(*FieldExpr)
+		if !ok || f.Ref.Field != "oid" {
+			return Value{}, fmt.Errorf("query: %w: %s requires an oid argument", core.ErrInvalid, c.Name)
+		}
+		o, ok := en.lookup(f.Ref.Alias)
+		if !ok {
+			return Value{}, fmt.Errorf("query: %w: unknown alias %q", core.ErrInvalid, f.Ref.Alias)
+		}
+		if o.Kind != object.KindLogical {
+			return Value{}, fmt.Errorf("query: %w: %s applies to logical pages", core.ErrInvalid, c.Name)
+		}
+		kids := ex.src.ChildrenOf(o.ID)
+		if len(kids) == 0 {
+			return Value{Kind: ValID, ID: core.InvalidID}, nil
+		}
+		if c.Name == "start_at" {
+			return Value{Kind: ValID, ID: kids[0]}, nil
+		}
+		return Value{Kind: ValID, ID: kids[len(kids)-1]}, nil
+	default:
+		return Value{}, fmt.Errorf("query: %w: unknown function %q", core.ErrInvalid, c.Name)
+	}
+}
+
+// evalBin handles comparisons and logical connectives.
+func (ex *executor) evalBin(n *BinExpr, en *env) (Value, error) {
+	if n.Op == "AND" || n.Op == "OR" {
+		l, err := ex.eval(n.L, en)
+		if err != nil {
+			return Value{}, err
+		}
+		if l.Kind != ValBool {
+			return Value{}, fmt.Errorf("query: %w: %s of non-boolean", core.ErrInvalid, n.Op)
+		}
+		// Short circuit.
+		if n.Op == "AND" && !l.Bool {
+			return Value{Kind: ValBool, Bool: false}, nil
+		}
+		if n.Op == "OR" && l.Bool {
+			return Value{Kind: ValBool, Bool: true}, nil
+		}
+		r, err := ex.eval(n.R, en)
+		if err != nil {
+			return Value{}, err
+		}
+		if r.Kind != ValBool {
+			return Value{}, fmt.Errorf("query: %w: %s of non-boolean", core.ErrInvalid, n.Op)
+		}
+		return Value{Kind: ValBool, Bool: r.Bool}, nil
+	}
+
+	l, err := ex.eval(n.L, en)
+	if err != nil {
+		return Value{}, err
+	}
+	r, err := ex.eval(n.R, en)
+	if err != nil {
+		return Value{}, err
+	}
+	return compare(n.Op, l, r)
+}
+
+func compare(op string, l, r Value) (Value, error) {
+	boolVal := func(b bool) (Value, error) { return Value{Kind: ValBool, Bool: b}, nil }
+	switch {
+	case l.Kind == ValNum && r.Kind == ValNum:
+		switch op {
+		case "=":
+			return boolVal(l.Num == r.Num)
+		case "!=":
+			return boolVal(l.Num != r.Num)
+		case "<":
+			return boolVal(l.Num < r.Num)
+		case "<=":
+			return boolVal(l.Num <= r.Num)
+		case ">":
+			return boolVal(l.Num > r.Num)
+		case ">=":
+			return boolVal(l.Num >= r.Num)
+		}
+	case l.Kind == ValStr && r.Kind == ValStr:
+		switch op {
+		case "=":
+			return boolVal(l.Str == r.Str)
+		case "!=":
+			return boolVal(l.Str != r.Str)
+		case "<":
+			return boolVal(l.Str < r.Str)
+		case "<=":
+			return boolVal(l.Str <= r.Str)
+		case ">":
+			return boolVal(l.Str > r.Str)
+		case ">=":
+			return boolVal(l.Str >= r.Str)
+		}
+	case l.Kind == ValID && r.Kind == ValID:
+		switch op {
+		case "=":
+			return boolVal(l.ID == r.ID)
+		case "!=":
+			return boolVal(l.ID != r.ID)
+		}
+	}
+	return Value{}, fmt.Errorf("query: %w: cannot compare %v %s %v", core.ErrInvalid, l.Kind, op, r.Kind)
+}
+
+// mentionMatch reports whether every canonical term of phrase occurs in
+// the canonical term set of content — the MENTION semantics shared with
+// text.InvertedIndex.Mention.
+func mentionMatch(content, phrase string) bool {
+	want := text.Terms(phrase)
+	if len(want) == 0 {
+		return false
+	}
+	have := make(map[string]bool)
+	for _, t := range text.Terms(content) {
+		have[t] = true
+	}
+	for _, t := range want {
+		if !have[t] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,168 @@
+// Package query implements the popularity-aware query language of §4.3: an
+// OQL-like dialect whose SELECT clause accepts the usage modifiers MRU,
+// LRU, MFU and LFU ("used the same way as DISTINCT keyword in SQL
+// syntax"), and whose WHERE clause supports MENTION (full-text
+// containment), IN over sub-queries and object-set fields, EXISTS with
+// correlated sub-queries, and the end_at()/start_at() path functions.
+//
+// All three example queries from the paper parse and run:
+//
+//	SELECT MRU p.oid, p.title FROM Physical_Page p
+//	WHERE p.title MENTION 'data warehouse'
+//
+//	SELECT MFU 10 l.oid, l.path FROM Logical_Page l
+//	WHERE EXISTS (SELECT * FROM Physical_Page p
+//	              WHERE p.oid IN l.physicals AND p.size > 200,000)
+//
+//	SELECT MFU l.path FROM Logical_Page l
+//	WHERE end_at(l.oid) IN (SELECT p.oid FROM Physical_Page p
+//	                        WHERE p.url = 'http://www-db.cs.wisc.edu/cidr/')
+package query
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+
+	"cbfww/internal/core"
+)
+
+// tokenKind classifies lexer output.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokComma
+	tokDot
+	tokLParen
+	tokRParen
+	tokStar
+	tokOp // = != < <= > >=
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of query"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+// lexer produces tokens from the query text.
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+// lex tokenizes the whole input up front (queries are short).
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		l.toks = append(l.toks, t)
+		if t.kind == tokEOF {
+			return l.toks, nil
+		}
+	}
+}
+
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) && unicode.IsSpace(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, pos: l.pos}, nil
+	}
+	start := l.pos
+	c := l.src[l.pos]
+	switch {
+	case c == ',':
+		l.pos++
+		return token{tokComma, ",", start}, nil
+	case c == '.':
+		l.pos++
+		return token{tokDot, ".", start}, nil
+	case c == '(':
+		l.pos++
+		return token{tokLParen, "(", start}, nil
+	case c == ')':
+		l.pos++
+		return token{tokRParen, ")", start}, nil
+	case c == '*':
+		l.pos++
+		return token{tokStar, "*", start}, nil
+	case c == ';':
+		// Trailing semicolons are permitted and ignored.
+		l.pos++
+		return l.next()
+	case c == '=', c == '<', c == '>', c == '!':
+		op := string(c)
+		l.pos++
+		if l.pos < len(l.src) && l.src[l.pos] == '=' {
+			op += "="
+			l.pos++
+		}
+		if op == "!" {
+			return token{}, fmt.Errorf("query: %w: lone '!' at %d", core.ErrInvalid, start)
+		}
+		return token{tokOp, op, start}, nil
+	case c == '\'' || c == '"':
+		quote := c
+		l.pos++
+		var b strings.Builder
+		for l.pos < len(l.src) && l.src[l.pos] != quote {
+			b.WriteByte(l.src[l.pos])
+			l.pos++
+		}
+		if l.pos >= len(l.src) {
+			return token{}, fmt.Errorf("query: %w: unterminated string at %d", core.ErrInvalid, start)
+		}
+		l.pos++ // closing quote
+		return token{tokString, b.String(), start}, nil
+	case c >= '0' && c <= '9':
+		var b strings.Builder
+		for l.pos < len(l.src) {
+			ch := l.src[l.pos]
+			if ch >= '0' && ch <= '9' {
+				b.WriteByte(ch)
+				l.pos++
+				continue
+			}
+			// The paper writes sizes with thousands separators: 200,000.
+			// A comma is part of the number only when a digit follows.
+			if ch == ',' && l.pos+1 < len(l.src) && l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9' {
+				l.pos++
+				continue
+			}
+			break
+		}
+		return token{tokNumber, b.String(), start}, nil
+	case isIdentStart(c):
+		for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+			l.pos++
+		}
+		return token{tokIdent, l.src[start:l.pos], start}, nil
+	default:
+		return token{}, fmt.Errorf("query: %w: unexpected character %q at %d", core.ErrInvalid, c, start)
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9')
+}

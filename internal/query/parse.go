@@ -1,0 +1,356 @@
+package query
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"cbfww/internal/core"
+)
+
+// Parse parses one SELECT statement.
+func Parse(src string) (*Query, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(tokEOF) {
+		return nil, p.errf("unexpected %s after query", p.peek())
+	}
+	return q, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) advance() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) at(k tokenKind) bool { return p.peek().kind == k }
+
+// atKeyword reports whether the next token is the given keyword
+// (case-insensitive).
+func (p *parser) atKeyword(kw string) bool {
+	t := p.peek()
+	return t.kind == tokIdent && strings.EqualFold(t.text, kw)
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.atKeyword(kw) {
+		return p.errf("expected %s, found %s", kw, p.peek())
+	}
+	p.advance()
+	return nil
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("query: %w: %s (at offset %d)",
+		core.ErrInvalid, fmt.Sprintf(format, args...), p.peek().pos)
+}
+
+func (p *parser) parseQuery() (*Query, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	q := &Query{}
+
+	// Optional usage modifier, optional count, optional comma (the paper
+	// writes both "SELECT MFU 10 l.oid" and "SELECT MFU, l.path").
+	if m := parseModifier(p.peek()); m != ModNone {
+		p.advance()
+		q.Modifier = m
+		q.Limit = 1
+		if p.at(tokNumber) {
+			n, err := strconv.Atoi(p.advance().text)
+			if err != nil || n < 1 {
+				return nil, p.errf("bad modifier count")
+			}
+			q.Limit = n
+		}
+		if p.at(tokComma) {
+			p.advance()
+		}
+	}
+
+	// Projection: * or field list.
+	if p.at(tokStar) {
+		p.advance()
+	} else {
+		for {
+			f, err := p.parseFieldRef()
+			if err != nil {
+				return nil, err
+			}
+			q.Fields = append(q.Fields, f)
+			if !p.at(tokComma) {
+				break
+			}
+			p.advance()
+		}
+	}
+
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	if !p.at(tokIdent) {
+		return nil, p.errf("expected class name, found %s", p.peek())
+	}
+	className := p.advance().text
+	kind, ok := KindForClass(className)
+	if !ok {
+		return nil, p.errf("unknown class %q", className)
+	}
+	q.Class = kind
+	if !p.at(tokIdent) || isKeyword(p.peek().text) {
+		return nil, p.errf("expected alias after class, found %s", p.peek())
+	}
+	q.Alias = p.advance().text
+
+	if p.atKeyword("WHERE") {
+		p.advance()
+		w, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		q.Where = w
+	}
+	return q, nil
+}
+
+func parseModifier(t token) Modifier {
+	if t.kind != tokIdent {
+		return ModNone
+	}
+	switch strings.ToUpper(t.text) {
+	case "MRU":
+		return ModMRU
+	case "LRU":
+		return ModLRU
+	case "MFU":
+		return ModMFU
+	case "LFU":
+		return ModLFU
+	default:
+		return ModNone
+	}
+}
+
+var keywords = map[string]bool{
+	"select": true, "from": true, "where": true, "and": true, "or": true,
+	"not": true, "in": true, "exists": true, "mention": true,
+	"mru": true, "lru": true, "mfu": true, "lfu": true,
+}
+
+func isKeyword(s string) bool { return keywords[strings.ToLower(s)] }
+
+func (p *parser) parseFieldRef() (FieldRef, error) {
+	if !p.at(tokIdent) {
+		return FieldRef{}, p.errf("expected field reference, found %s", p.peek())
+	}
+	alias := p.advance().text
+	if !p.at(tokDot) {
+		return FieldRef{}, p.errf("expected '.' after %q", alias)
+	}
+	p.advance()
+	if !p.at(tokIdent) {
+		return FieldRef{}, p.errf("expected field name after '%s.'", alias)
+	}
+	field := p.advance().text
+	return FieldRef{Alias: alias, Field: strings.ToLower(field)}, nil
+}
+
+// parseOr handles OR (lowest precedence).
+func (p *parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.atKeyword("OR") {
+		p.advance()
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{Op: "OR", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.atKeyword("AND") {
+		p.advance()
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{Op: "AND", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if p.atKeyword("NOT") {
+		p.advance()
+		x, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &NotExpr{X: x}, nil
+	}
+	return p.parsePredicate()
+}
+
+// parsePredicate handles EXISTS, comparisons, MENTION and IN.
+func (p *parser) parsePredicate() (Expr, error) {
+	if p.atKeyword("EXISTS") {
+		p.advance()
+		if !p.at(tokLParen) {
+			return nil, p.errf("expected '(' after EXISTS")
+		}
+		p.advance()
+		sub, err := p.parseQuery()
+		if err != nil {
+			return nil, err
+		}
+		if !p.at(tokRParen) {
+			return nil, p.errf("expected ')' closing EXISTS, found %s", p.peek())
+		}
+		p.advance()
+		return &ExistsExpr{Sub: sub}, nil
+	}
+	if p.at(tokLParen) {
+		// Parenthesized boolean expression.
+		p.advance()
+		x, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if !p.at(tokRParen) {
+			return nil, p.errf("expected ')', found %s", p.peek())
+		}
+		p.advance()
+		return x, nil
+	}
+
+	left, err := p.parseOperand()
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case p.atKeyword("MENTION"):
+		p.advance()
+		f, ok := left.(*FieldExpr)
+		if !ok {
+			return nil, p.errf("MENTION requires a field on the left")
+		}
+		if !p.at(tokString) {
+			return nil, p.errf("MENTION requires a quoted phrase")
+		}
+		phrase := p.advance().text
+		return &MentionExpr{Field: f.Ref, Phrase: phrase}, nil
+	case p.atKeyword("IN"):
+		p.advance()
+		set, err := p.parseSetOperand()
+		if err != nil {
+			return nil, err
+		}
+		return &InExpr{X: left, Set: set}, nil
+	case p.at(tokOp):
+		op := p.advance().text
+		right, err := p.parseOperand()
+		if err != nil {
+			return nil, err
+		}
+		return &BinExpr{Op: op, L: left, R: right}, nil
+	default:
+		return nil, p.errf("expected comparison, MENTION or IN, found %s", p.peek())
+	}
+}
+
+// parseOperand parses a field reference, function call or literal.
+func (p *parser) parseOperand() (Expr, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokString:
+		p.advance()
+		return &LitExpr{Str: t.text}, nil
+	case tokNumber:
+		p.advance()
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, p.errf("bad number %q", t.text)
+		}
+		return &LitExpr{Num: n, IsNum: true}, nil
+	case tokIdent:
+		// Function call: name(args).
+		if p.pos+1 < len(p.toks) && p.toks[p.pos+1].kind == tokLParen {
+			name := strings.ToLower(p.advance().text)
+			p.advance() // (
+			var args []Expr
+			if !p.at(tokRParen) {
+				for {
+					a, err := p.parseOperand()
+					if err != nil {
+						return nil, err
+					}
+					args = append(args, a)
+					if !p.at(tokComma) {
+						break
+					}
+					p.advance()
+				}
+			}
+			if !p.at(tokRParen) {
+				return nil, p.errf("expected ')' closing %s(", name)
+			}
+			p.advance()
+			return &CallExpr{Name: name, Args: args}, nil
+		}
+		f, err := p.parseFieldRef()
+		if err != nil {
+			return nil, err
+		}
+		return &FieldExpr{Ref: f}, nil
+	default:
+		return nil, p.errf("expected operand, found %s", t)
+	}
+}
+
+// parseSetOperand parses the right side of IN: a sub-query in parentheses
+// or a set-valued field.
+func (p *parser) parseSetOperand() (Expr, error) {
+	if p.at(tokLParen) {
+		p.advance()
+		sub, err := p.parseQuery()
+		if err != nil {
+			return nil, err
+		}
+		if !p.at(tokRParen) {
+			return nil, p.errf("expected ')' closing sub-query, found %s", p.peek())
+		}
+		p.advance()
+		return &SubqueryExpr{Sub: sub}, nil
+	}
+	f, err := p.parseFieldRef()
+	if err != nil {
+		return nil, err
+	}
+	return &FieldExpr{Ref: f}, nil
+}

@@ -1,0 +1,140 @@
+package storage
+
+import (
+	"fmt"
+
+	"cbfww/internal/core"
+)
+
+// RecoveryReport summarizes a Recover run after tier failures.
+type RecoveryReport struct {
+	// Restored counts copies recreated from surviving replicas.
+	Restored int
+	// Stale counts restorations whose best surviving replica was older
+	// than the object's current version (tertiary backups lag).
+	Stale int
+	// Lost counts objects with no surviving full copy anywhere.
+	Lost int
+}
+
+// DropTier simulates the failure of one tier: every copy there vanishes.
+// Dropping Tertiary is allowed (a tape library can burn down too).
+func (m *Manager) DropTier(t Tier) error {
+	if t < Memory || t >= numTiers {
+		return fmt.Errorf("storage: drop: %w: tier %d", core.ErrInvalid, int(t))
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, o := range m.objects {
+		if o.copies[t].present {
+			o.copies[t] = copyState{}
+		}
+	}
+	m.used[t] = 0
+	return nil
+}
+
+// Recover rebuilds the placement from surviving copies: each object is
+// restored to the tiers its priority earns, sourcing content from its best
+// surviving replica. Objects with no surviving full copy are dropped from
+// the manager entirely (and counted Lost) — the warehouse must refetch
+// them from the origin.
+func (m *Manager) Recover() RecoveryReport {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var rep RecoveryReport
+
+	for id, o := range m.objects {
+		bestVersion := -1
+		for t := Memory; t < numTiers; t++ {
+			c := o.copies[t]
+			if c.present && !c.summaryOnly && c.version > bestVersion {
+				bestVersion = c.version
+			}
+		}
+		if bestVersion < 0 {
+			// No full copy survived anywhere.
+			for t := Memory; t < numTiers; t++ {
+				m.used[t] -= o.footprint(t, m.cfg.SummaryRatio)
+			}
+			delete(m.objects, id)
+			rep.Lost++
+			continue
+		}
+		if bestVersion < o.version {
+			rep.Stale++
+			// The stale replica becomes the authoritative content: the
+			// newer version is gone. Surviving summaries of the lost newer
+			// content are refreshed from the restored body.
+			o.version = bestVersion
+			for t := Memory; t < numTiers; t++ {
+				if c := &o.copies[t]; c.present && c.version > bestVersion {
+					c.version = bestVersion
+				}
+			}
+		}
+		// Ensure the tertiary anchor exists so placement invariants hold.
+		if !o.copies[Tertiary].present {
+			o.copies[Tertiary] = copyState{present: true, version: bestVersion}
+			rep.Restored++
+		}
+	}
+	// Recompute used[Tertiary] from scratch (objects may have been lost).
+	var tert core.Bytes
+	for _, o := range m.objects {
+		if o.copies[Tertiary].present {
+			tert += o.size
+		}
+	}
+	m.used[Tertiary] = tert
+
+	// Re-place: promotions here are the restorations of fast copies.
+	before := m.stats.Migrations
+	m.placeLocked()
+	rep.Restored += m.stats.Migrations - before
+	return rep
+}
+
+// CheckInvariants verifies the copy-control and capacity invariants; it
+// returns nil when all hold. Tests and property checks call this after
+// every mutation sequence.
+func (m *Manager) CheckInvariants() error {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	var mem, disk core.Bytes
+	for id, o := range m.objects {
+		cm, cd, ct := o.copies[Memory], o.copies[Disk], o.copies[Tertiary]
+		if cm.present && !cd.present {
+			return fmt.Errorf("storage: %v in memory without disk copy", id)
+		}
+		if cm.present && !cm.summaryOnly {
+			if cd.summaryOnly {
+				return fmt.Errorf("storage: %v full in memory over summary on disk", id)
+			}
+			if cm.version != cd.version {
+				return fmt.Errorf("storage: %v memory v%d != disk v%d (exact-copy rule)", id, cm.version, cd.version)
+			}
+		}
+		if cm.present && cm.version > o.version || cd.present && cd.version > o.version || ct.present && ct.version > o.version {
+			return fmt.Errorf("storage: %v has copy newer than current version", id)
+		}
+		if !cm.present && !cd.present && !ct.present {
+			return fmt.Errorf("storage: %v resident nowhere", id)
+		}
+		mem += o.footprint(Memory, m.cfg.SummaryRatio)
+		disk += o.footprint(Disk, m.cfg.SummaryRatio)
+	}
+	if mem != m.used[Memory] {
+		return fmt.Errorf("storage: memory accounting %v != recount %v", m.used[Memory], mem)
+	}
+	if disk != m.used[Disk] {
+		return fmt.Errorf("storage: disk accounting %v != recount %v", m.used[Disk], disk)
+	}
+	if m.used[Memory] > m.cfg.MemCapacity {
+		return fmt.Errorf("storage: memory over capacity: %v > %v", m.used[Memory], m.cfg.MemCapacity)
+	}
+	if m.used[Disk] > m.cfg.DiskCapacity {
+		return fmt.Errorf("storage: disk over capacity: %v > %v", m.used[Disk], m.cfg.DiskCapacity)
+	}
+	return nil
+}

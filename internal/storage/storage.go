@@ -1,0 +1,515 @@
+// Package storage implements the Storage Manager of §4.4 and Figure 3: the
+// mapping of the object hierarchy onto a storage hierarchy of main memory,
+// disk and tertiary storage.
+//
+// The warehouse is capacity bound-free in aggregate — the tertiary level
+// never refuses data — but the fast levels are finite, so placement is the
+// whole game: objects are ranked by priority and water-filled top-down
+// (highest priorities into memory until its capacity target, next into
+// disk, the rest to tertiary).
+//
+// The manager also implements the paper's copy-control rules:
+//
+//   - data in main memory have exact copies on disk;
+//   - data on disk have backup copies in tertiary storage "which may not
+//     be exact copies due to the periodical back-up process";
+//   - downgrading a priority just invalidates the fast copy; upgrading
+//     copies data upward.
+//
+// and the "levels of details" rule of §4.1: an object too large for the
+// tier its priority deserves keeps a small summary (B′) at that tier while
+// the full body stays one level down.
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"cbfww/internal/core"
+)
+
+// Tier is one level of the storage hierarchy.
+type Tier int
+
+// The three levels of Figure 3. Smaller is faster.
+const (
+	Memory Tier = iota
+	Disk
+	Tertiary
+	numTiers
+)
+
+// String names the tier.
+func (t Tier) String() string {
+	switch t {
+	case Memory:
+		return "memory"
+	case Disk:
+		return "disk"
+	case Tertiary:
+		return "tertiary"
+	default:
+		return fmt.Sprintf("tier(%d)", int(t))
+	}
+}
+
+// Config sizes the hierarchy. Capacities are *targets* for the finite
+// tiers: placement fills them in priority order. Tertiary is unbounded.
+type Config struct {
+	MemCapacity  core.Bytes
+	DiskCapacity core.Bytes
+	// Latencies per access, in ticks.
+	MemLatency, DiskLatency, TertiaryLatency core.Duration
+	// SummaryRatio is the size of a levels-of-detail summary relative to
+	// the full object (e.g. 0.05). Zero disables summaries.
+	SummaryRatio float64
+	// SummaryThreshold: objects larger than this fraction of the memory
+	// capacity are "large documents" (§4.3 problem (3)) and are stored in
+	// memory as summaries only. Zero defaults to 0.25.
+	SummaryThreshold float64
+}
+
+// DefaultConfig models the 2003-era ratios the paper argues from: memory
+// is thousands of times faster than a web fetch, disk tens of times.
+func DefaultConfig() Config {
+	return Config{
+		MemCapacity:     64 * core.MB,
+		DiskCapacity:    2 * core.GB,
+		MemLatency:      0,
+		DiskLatency:     10,
+		TertiaryLatency: 100,
+		SummaryRatio:    0.05,
+	}
+}
+
+// copyState describes one tier's copy of an object.
+type copyState struct {
+	present bool
+	// version of the content this copy holds.
+	version int
+	// summaryOnly marks a levels-of-detail abstract rather than the body.
+	summaryOnly bool
+}
+
+// object is the manager's record of one stored object.
+type object struct {
+	id       core.ObjectID
+	size     core.Bytes
+	version  int // current (latest known) content version
+	priority core.Priority
+	copies   [numTiers]copyState
+	// tertiaryPos is the object's position on the linear tertiary medium
+	// (§4.4 locality of reference); meaningful only while a tertiary copy
+	// exists.
+	tertiaryPos int
+}
+
+// summarySize returns the levels-of-detail footprint of the object.
+func (o *object) summarySize(ratio float64) core.Bytes {
+	s := core.Bytes(float64(o.size) * ratio)
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// footprint returns the bytes the object occupies at tier t.
+func (o *object) footprint(t Tier, ratio float64) core.Bytes {
+	c := o.copies[t]
+	if !c.present {
+		return 0
+	}
+	if c.summaryOnly {
+		return o.summarySize(ratio)
+	}
+	return o.size
+}
+
+// AccessResult reports how an access was served.
+type AccessResult struct {
+	// Tier that served the full object.
+	Tier Tier
+	// Latency of serving the full object.
+	Latency core.Duration
+	// PreviewTier/PreviewLatency are set when a faster tier held a
+	// summary: the user sees an abstract at PreviewLatency while the body
+	// arrives at Latency (§4.3's "fast preview even [when] the original
+	// document is currently not available").
+	PreviewTier    Tier
+	PreviewLatency core.Duration
+	HasPreview     bool
+	// Stale marks a copy older than the object's current version.
+	Stale bool
+}
+
+// Stats counts manager activity.
+type Stats struct {
+	Accesses   int
+	Migrations int
+	Backups    int
+	// CostTotal accumulates access latency, the E-F3 metric.
+	CostTotal core.Duration
+}
+
+// Manager is the storage manager. Safe for concurrent use.
+type Manager struct {
+	mu      sync.RWMutex
+	cfg     Config
+	objects map[core.ObjectID]*object
+	used    [numTiers]core.Bytes
+	stats   Stats
+}
+
+// NewManager returns an empty manager. Capacities must be positive and
+// latencies non-decreasing down the hierarchy.
+func NewManager(cfg Config) (*Manager, error) {
+	if cfg.MemCapacity <= 0 || cfg.DiskCapacity <= 0 {
+		return nil, fmt.Errorf("storage: %w: capacities must be positive", core.ErrInvalid)
+	}
+	if cfg.MemLatency > cfg.DiskLatency || cfg.DiskLatency > cfg.TertiaryLatency {
+		return nil, fmt.Errorf("storage: %w: latencies must grow down the hierarchy", core.ErrInvalid)
+	}
+	if cfg.SummaryRatio < 0 || cfg.SummaryRatio >= 1 {
+		return nil, fmt.Errorf("storage: %w: summary ratio %v outside [0,1)", core.ErrInvalid, cfg.SummaryRatio)
+	}
+	if cfg.SummaryThreshold == 0 {
+		cfg.SummaryThreshold = 0.25
+	}
+	return &Manager{cfg: cfg, objects: make(map[core.ObjectID]*object)}, nil
+}
+
+// latency returns the access latency of tier t.
+func (m *Manager) latency(t Tier) core.Duration {
+	switch t {
+	case Memory:
+		return m.cfg.MemLatency
+	case Disk:
+		return m.cfg.DiskLatency
+	default:
+		return m.cfg.TertiaryLatency
+	}
+}
+
+// Admit stores a new object with the given size, content version and
+// priority, placing it according to the current population. Admitting an
+// existing ID is an error; use Update for content changes and SetPriority
+// for reprioritization.
+func (m *Manager) Admit(id core.ObjectID, size core.Bytes, version int, prio core.Priority) error {
+	if size <= 0 {
+		return fmt.Errorf("storage: admit %v: %w: size %v", id, core.ErrInvalid, size)
+	}
+	if version < 1 {
+		version = 1
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, dup := m.objects[id]; dup {
+		return fmt.Errorf("storage: admit %v: %w", id, core.ErrExists)
+	}
+	o := &object{id: id, size: size, version: version, priority: prio}
+	// Everything lands in tertiary first (the unbounded level), then the
+	// placement pass promotes it as far as its priority earns.
+	o.copies[Tertiary] = copyState{present: true, version: version}
+	m.objects[id] = o
+	m.used[Tertiary] += size
+	m.placeLocked()
+	return nil
+}
+
+// Admission is one entry of a bulk admission.
+type Admission struct {
+	ID       core.ObjectID
+	Size     core.Bytes
+	Version  int
+	Priority core.Priority
+}
+
+// AdmitAll admits a batch with a single placement pass — O(n log n) total
+// instead of per object, for trace replays and experiment setup.
+func (m *Manager) AdmitAll(batch []Admission) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, a := range batch {
+		if a.Size <= 0 {
+			return fmt.Errorf("storage: admit %v: %w: size %v", a.ID, core.ErrInvalid, a.Size)
+		}
+		if _, dup := m.objects[a.ID]; dup {
+			return fmt.Errorf("storage: admit %v: %w", a.ID, core.ErrExists)
+		}
+		v := a.Version
+		if v < 1 {
+			v = 1
+		}
+		o := &object{id: a.ID, size: a.Size, version: v, priority: a.Priority}
+		o.copies[Tertiary] = copyState{present: true, version: v}
+		m.objects[a.ID] = o
+		m.used[Tertiary] += a.Size
+	}
+	m.placeLocked()
+	return nil
+}
+
+// Remove deletes the object from all tiers (admission-constraint
+// enforcement path). Removing an unknown ID is an error.
+func (m *Manager) Remove(id core.ObjectID) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	o, ok := m.objects[id]
+	if !ok {
+		return fmt.Errorf("storage: remove %v: %w", id, core.ErrNotFound)
+	}
+	for t := Memory; t < numTiers; t++ {
+		m.used[t] -= o.footprint(t, m.cfg.SummaryRatio)
+	}
+	delete(m.objects, id)
+	return nil
+}
+
+// Access serves the object, preferring the fastest tier with a full copy,
+// and reports the cost. Accessing an unknown ID fails.
+func (m *Manager) Access(id core.ObjectID) (AccessResult, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	o, ok := m.objects[id]
+	if !ok {
+		return AccessResult{}, fmt.Errorf("storage: access %v: %w", id, core.ErrNotFound)
+	}
+	var res AccessResult
+	served := false
+	for t := Memory; t < numTiers; t++ {
+		c := o.copies[t]
+		if !c.present {
+			continue
+		}
+		if c.summaryOnly {
+			if !res.HasPreview {
+				res.HasPreview = true
+				res.PreviewTier = t
+				res.PreviewLatency = m.latency(t)
+			}
+			continue
+		}
+		res.Tier = t
+		res.Latency = m.latency(t)
+		res.Stale = c.version < o.version
+		served = true
+		break
+	}
+	if !served {
+		return AccessResult{}, fmt.Errorf("storage: access %v: no full copy resident: %w", id, core.ErrNotFound)
+	}
+	m.stats.Accesses++
+	m.stats.CostTotal += res.Latency
+	return res, nil
+}
+
+// Contains reports whether id is stored at all, and at which fastest tier.
+func (m *Manager) Contains(id core.ObjectID) (Tier, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	o, ok := m.objects[id]
+	if !ok {
+		return 0, false
+	}
+	for t := Memory; t < numTiers; t++ {
+		if o.copies[t].present {
+			return t, true
+		}
+	}
+	return 0, false
+}
+
+// SetPriority updates one object's priority and replaces it in the
+// hierarchy.
+func (m *Manager) SetPriority(id core.ObjectID, prio core.Priority) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	o, ok := m.objects[id]
+	if !ok {
+		return fmt.Errorf("storage: set priority %v: %w", id, core.ErrNotFound)
+	}
+	o.priority = prio
+	m.placeLocked()
+	return nil
+}
+
+// ApplyPriorities bulk-updates priorities (ids absent from the map keep
+// their current priority) and re-places everything — the self-organizing
+// "vacuum cleaner" sweep.
+func (m *Manager) ApplyPriorities(prios map[core.ObjectID]core.Priority) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for id, p := range prios {
+		if o, ok := m.objects[id]; ok {
+			o.priority = p
+		}
+	}
+	m.placeLocked()
+}
+
+// Update records a new content version: the fast copies (memory, disk) are
+// rewritten in place; the tertiary copy goes stale until the next Backup.
+// An object resident only in tertiary is updated there directly.
+func (m *Manager) Update(id core.ObjectID, newVersion int) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	o, ok := m.objects[id]
+	if !ok {
+		return fmt.Errorf("storage: update %v: %w", id, core.ErrNotFound)
+	}
+	if newVersion <= o.version {
+		return fmt.Errorf("storage: update %v: %w: version %d <= current %d", id, core.ErrInvalid, newVersion, o.version)
+	}
+	o.version = newVersion
+	fastCopy := false
+	for t := Memory; t < Tertiary; t++ {
+		if o.copies[t].present {
+			o.copies[t].version = newVersion
+			fastCopy = true
+		}
+	}
+	if !fastCopy {
+		o.copies[Tertiary].version = newVersion
+	}
+	return nil
+}
+
+// Backup refreshes every stale or missing tertiary copy from the current
+// content — the periodic process the paper's copy-control rule assumes.
+func (m *Manager) Backup() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, o := range m.objects {
+		if !o.copies[Tertiary].present {
+			o.copies[Tertiary] = copyState{present: true, version: o.version}
+			m.used[Tertiary] += o.size
+		} else if o.copies[Tertiary].version < o.version {
+			o.copies[Tertiary].version = o.version
+		}
+	}
+	m.stats.Backups++
+}
+
+// placeLocked recomputes the whole placement: objects sorted by priority
+// (descending; ties by ID for determinism) water-fill memory then disk;
+// everyone keeps/earns copies per the copy-control rules. Requires m.mu.
+func (m *Manager) placeLocked() {
+	ids := make([]core.ObjectID, 0, len(m.objects))
+	for id := range m.objects {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		a, b := m.objects[ids[i]], m.objects[ids[j]]
+		if a.priority != b.priority {
+			return a.priority > b.priority
+		}
+		return a.id < b.id
+	})
+
+	var memUsed, diskUsed core.Bytes
+	for _, id := range ids {
+		o := m.objects[id]
+		wantMem := false
+		memAsSummary := false
+		// Memory placement: a large document (§4.3 problem (3)) keeps only
+		// its summary in memory; a normal one gets a full copy if it fits.
+		// Small objects that simply don't fit go to disk — summaries are a
+		// levels-of-detail device for big documents, not a universal
+		// fallback.
+		big := float64(o.size) > m.cfg.SummaryThreshold*float64(m.cfg.MemCapacity)
+		switch {
+		case big && m.cfg.SummaryRatio > 0 &&
+			memUsed+o.summarySize(m.cfg.SummaryRatio) <= m.cfg.MemCapacity:
+			wantMem, memAsSummary = true, true
+		case !big && memUsed+o.size <= m.cfg.MemCapacity:
+			wantMem = true
+		}
+		// Disk fills by the same priority order until capacity. The disk
+		// copy carries the full body even when memory holds a summary.
+		wantDisk := diskUsed+o.size <= m.cfg.DiskCapacity
+		if wantMem && !wantDisk {
+			// Cannot satisfy the exact-copy invariant: demote from memory.
+			wantMem, memAsSummary = false, false
+		}
+
+		m.applyPlacement(o, Memory, wantMem, memAsSummary)
+		m.applyPlacement(o, Disk, wantDisk, false)
+		if wantMem {
+			memUsed += o.footprint(Memory, m.cfg.SummaryRatio)
+		}
+		if wantDisk {
+			diskUsed += o.size
+		}
+	}
+	m.used[Memory] = memUsed
+	m.used[Disk] = diskUsed
+}
+
+// applyPlacement transitions one object's copy at tier t to the desired
+// state, counting migrations and maintaining version semantics: a copy
+// created by promotion carries the current version (upgrade copies data);
+// an invalidated copy simply disappears (downgrade is free).
+func (m *Manager) applyPlacement(o *object, t Tier, want, summaryOnly bool) {
+	c := &o.copies[t]
+	switch {
+	case want && !c.present:
+		*c = copyState{present: true, version: o.version, summaryOnly: summaryOnly}
+		m.stats.Migrations++
+	case want && c.present && c.summaryOnly != summaryOnly:
+		c.summaryOnly = summaryOnly
+		c.version = o.version
+		m.stats.Migrations++
+	case !want && c.present:
+		*c = copyState{}
+		m.stats.Migrations++
+	}
+}
+
+// Used returns the bytes resident at tier t.
+func (m *Manager) Used(t Tier) core.Bytes {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.used[t]
+}
+
+// Len returns the number of objects known to the manager.
+func (m *Manager) Len() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.objects)
+}
+
+// ResidentIDs returns the IDs with a copy (full or summary) at tier t, in
+// ascending order — e.g. the membership of the memory tier's detailed
+// index.
+func (m *Manager) ResidentIDs(t Tier) []core.ObjectID {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	var out []core.ObjectID
+	for id, o := range m.objects {
+		if o.copies[t].present {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Stats returns a copy of the activity counters.
+func (m *Manager) Stats() Stats {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.stats
+}
+
+// Priority returns the object's current priority.
+func (m *Manager) Priority(id core.ObjectID) (core.Priority, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	o, ok := m.objects[id]
+	if !ok {
+		return 0, false
+	}
+	return o.priority, true
+}

@@ -1,0 +1,228 @@
+package text
+
+import (
+	"math"
+	"sort"
+	"sync"
+
+	"cbfww/internal/core"
+)
+
+// Posting is one entry in an inverted-index posting list: a document that
+// contains the term, with its term frequency.
+type Posting struct {
+	Doc core.ObjectID
+	TF  int
+}
+
+// InvertedIndex maps terms to posting lists over warehouse objects. It
+// backs the query engine's MENTION operator and the per-level "hierarchy of
+// indices" of §4.1. The index supports removal so objects evicted from a
+// tier's detailed index can be dropped. Safe for concurrent use.
+type InvertedIndex struct {
+	mu       sync.RWMutex
+	dict     *Dictionary
+	postings map[TermID][]Posting
+	docLen   map[core.ObjectID]int // total term count per doc
+}
+
+// NewInvertedIndex returns an empty index sharing the given dictionary; a
+// nil dictionary gets a fresh private one. Sharing the corpus dictionary
+// keeps TermIDs consistent between vectors and postings.
+func NewInvertedIndex(dict *Dictionary) *InvertedIndex {
+	if dict == nil {
+		dict = NewDictionary()
+	}
+	return &InvertedIndex{
+		dict:     dict,
+		postings: make(map[TermID][]Posting),
+		docLen:   make(map[core.ObjectID]int),
+	}
+}
+
+// Index adds a document's content under id, replacing any previous content
+// for the same id.
+func (ix *InvertedIndex) Index(id core.ObjectID, content string) {
+	counts := TermCounts(content)
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if _, ok := ix.docLen[id]; ok {
+		ix.removeLocked(id)
+	}
+	total := 0
+	for term, n := range counts {
+		tid := ix.dict.ID(term)
+		ix.postings[tid] = append(ix.postings[tid], Posting{Doc: id, TF: n})
+		total += n
+	}
+	ix.docLen[id] = total
+}
+
+// Remove deletes all postings for id. Removing an unknown id is a no-op.
+func (ix *InvertedIndex) Remove(id core.ObjectID) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	ix.removeLocked(id)
+}
+
+func (ix *InvertedIndex) removeLocked(id core.ObjectID) {
+	if _, ok := ix.docLen[id]; !ok {
+		return
+	}
+	delete(ix.docLen, id)
+	for tid, list := range ix.postings {
+		out := list[:0]
+		for _, p := range list {
+			if p.Doc != id {
+				out = append(out, p)
+			}
+		}
+		if len(out) == 0 {
+			delete(ix.postings, tid)
+		} else {
+			ix.postings[tid] = out
+		}
+	}
+}
+
+// Contains reports whether id is indexed.
+func (ix *InvertedIndex) Contains(id core.ObjectID) bool {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	_, ok := ix.docLen[id]
+	return ok
+}
+
+// NumDocs returns the number of indexed documents.
+func (ix *InvertedIndex) NumDocs() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.docLen)
+}
+
+// Lookup returns the documents containing the given (raw, unstemmed) term,
+// in ascending ObjectID order.
+func (ix *InvertedIndex) Lookup(term string) []core.ObjectID {
+	terms := Terms(term)
+	if len(terms) == 0 {
+		return nil
+	}
+	return ix.lookupCanonical(terms[0])
+}
+
+func (ix *InvertedIndex) lookupCanonical(term string) []core.ObjectID {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	tid, ok := ix.dict.Lookup(term)
+	if !ok {
+		return nil
+	}
+	list := ix.postings[tid]
+	out := make([]core.ObjectID, len(list))
+	for i, p := range list {
+		out[i] = p.Doc
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Mention returns the documents that contain *every* term of the phrase —
+// the semantics of the paper's MENTION operator (conjunctive containment
+// after canonical preprocessing). Result is in ascending ObjectID order.
+func (ix *InvertedIndex) Mention(phrase string) []core.ObjectID {
+	terms := Terms(phrase)
+	if len(terms) == 0 {
+		return nil
+	}
+	result := ix.lookupCanonical(terms[0])
+	for _, t := range terms[1:] {
+		if len(result) == 0 {
+			return nil
+		}
+		result = intersectSorted(result, ix.lookupCanonical(t))
+	}
+	return result
+}
+
+// Score ranks indexed documents by TF-IDF-weighted match against the query
+// string and returns up to n (id, score) pairs in descending score order.
+type Score struct {
+	Doc   core.ObjectID
+	Value float64
+}
+
+// Search performs ranked retrieval: documents are scored by the sum over
+// query terms of tf·idf, normalized by document length.
+func (ix *InvertedIndex) Search(query string, n int) []Score {
+	terms := Terms(query)
+	if len(terms) == 0 {
+		return nil
+	}
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	numDocs := len(ix.docLen)
+	scores := make(map[core.ObjectID]float64)
+	for _, t := range terms {
+		tid, ok := ix.dict.Lookup(t)
+		if !ok {
+			continue
+		}
+		list := ix.postings[tid]
+		if len(list) == 0 {
+			continue
+		}
+		idf := idfFor(numDocs, len(list))
+		for _, p := range list {
+			scores[p.Doc] += float64(p.TF) * idf
+		}
+	}
+	out := make([]Score, 0, len(scores))
+	for id, s := range scores {
+		if l := ix.docLen[id]; l > 0 {
+			s /= float64(l)
+		}
+		out = append(out, Score{Doc: id, Value: s})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Value != out[j].Value {
+			return out[i].Value > out[j].Value
+		}
+		return out[i].Doc < out[j].Doc
+	})
+	if n >= 0 && n < len(out) {
+		out = out[:n]
+	}
+	return out
+}
+
+// idfFor is ln((1+N)/(1+df)) floored at 0 so extremely common terms don't
+// get negative weight.
+func idfFor(numDocs, df int) float64 {
+	if df == 0 {
+		return 0
+	}
+	x := float64(1+numDocs) / float64(1+df)
+	if x <= 1 {
+		return 0
+	}
+	return math.Log(x)
+}
+
+// intersectSorted intersects two ascending ObjectID slices.
+func intersectSorted(a, b []core.ObjectID) []core.ObjectID {
+	out := a[:0]
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}

@@ -1,0 +1,147 @@
+package text
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"cbfww/internal/core"
+)
+
+func TestIndexLookup(t *testing.T) {
+	ix := NewInvertedIndex(nil)
+	ix.Index(1, "data warehouse design")
+	ix.Index(2, "data stream systems")
+	ix.Index(3, "kyoto travel guide")
+
+	if got := ix.Lookup("data"); !reflect.DeepEqual(got, []core.ObjectID{1, 2}) {
+		t.Errorf("Lookup(data) = %v", got)
+	}
+	if got := ix.Lookup("warehouses"); !reflect.DeepEqual(got, []core.ObjectID{1}) {
+		t.Errorf("Lookup(warehouses) = %v (stemming should match)", got)
+	}
+	if got := ix.Lookup("missing"); got != nil {
+		t.Errorf("Lookup(missing) = %v", got)
+	}
+	if got := ix.Lookup("the"); got != nil {
+		t.Errorf("Lookup(stopword) = %v", got)
+	}
+	if ix.NumDocs() != 3 {
+		t.Errorf("NumDocs = %d", ix.NumDocs())
+	}
+}
+
+func TestIndexMentionConjunctive(t *testing.T) {
+	ix := NewInvertedIndex(nil)
+	ix.Index(1, "data warehouse design")
+	ix.Index(2, "data stream systems")
+	ix.Index(3, "warehouse of data and streams")
+
+	got := ix.Mention("data warehouse")
+	want := []core.ObjectID{1, 3}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Mention = %v, want %v", got, want)
+	}
+	if got := ix.Mention("data warehouse kyoto"); len(got) != 0 {
+		t.Errorf("Mention with absent term = %v", got)
+	}
+	if got := ix.Mention(""); got != nil {
+		t.Errorf("Mention(empty) = %v", got)
+	}
+}
+
+func TestIndexReplaceAndRemove(t *testing.T) {
+	ix := NewInvertedIndex(nil)
+	ix.Index(1, "old content about kyoto")
+	ix.Index(1, "new content about osaka")
+	if got := ix.Lookup("kyoto"); len(got) != 0 {
+		t.Errorf("stale posting after reindex: %v", got)
+	}
+	if got := ix.Lookup("osaka"); !reflect.DeepEqual(got, []core.ObjectID{1}) {
+		t.Errorf("Lookup(osaka) = %v", got)
+	}
+	ix.Remove(1)
+	if ix.Contains(1) {
+		t.Error("Contains after Remove")
+	}
+	if got := ix.Lookup("osaka"); len(got) != 0 {
+		t.Errorf("posting after Remove: %v", got)
+	}
+	ix.Remove(42) // removing unknown id is a no-op
+}
+
+func TestIndexSearchRanking(t *testing.T) {
+	ix := NewInvertedIndex(nil)
+	ix.Index(1, "kyoto kyoto kyoto station")
+	ix.Index(2, "kyoto hotel cheap")
+	ix.Index(3, "osaka castle guide")
+	ix.Index(4, "nara deer park")
+
+	got := ix.Search("kyoto station", 10)
+	if len(got) != 2 {
+		t.Fatalf("Search returned %d docs: %v", len(got), got)
+	}
+	if got[0].Doc != 1 {
+		t.Errorf("top doc = %v, want 1 (more query-term mass)", got[0].Doc)
+	}
+	if got[0].Value <= got[1].Value {
+		t.Errorf("scores not descending: %v", got)
+	}
+	if got := ix.Search("zzz", 10); len(got) != 0 {
+		t.Errorf("Search(unknown) = %v", got)
+	}
+	if got := ix.Search("kyoto", 1); len(got) != 1 {
+		t.Errorf("Search limit ignored: %v", got)
+	}
+}
+
+func TestIndexSharedDictionary(t *testing.T) {
+	c := NewCorpus()
+	ix := NewInvertedIndex(c.Dict())
+	c.Add("kyoto station")
+	ix.Index(1, "kyoto station")
+	// Both should agree on the TermID for "kyoto".
+	id1, ok1 := c.Dict().Lookup("kyoto")
+	if !ok1 {
+		t.Fatal("corpus missing kyoto")
+	}
+	if got := ix.Lookup("kyoto"); len(got) != 1 {
+		t.Fatalf("index lookup failed: %v", got)
+	}
+	_ = id1
+}
+
+func TestIndexConcurrent(t *testing.T) {
+	ix := NewInvertedIndex(nil)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				id := core.ObjectID(g*50 + i + 1)
+				ix.Index(id, fmt.Sprintf("doc %d kyoto data", id))
+				ix.Lookup("kyoto")
+				ix.Search("data", 5)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if ix.NumDocs() != 200 {
+		t.Errorf("NumDocs = %d, want 200", ix.NumDocs())
+	}
+}
+
+func TestIntersectSorted(t *testing.T) {
+	a := []core.ObjectID{1, 3, 5, 7}
+	b := []core.ObjectID{3, 4, 5, 8}
+	got := intersectSorted(append([]core.ObjectID(nil), a...), b)
+	want := []core.ObjectID{3, 5}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("intersectSorted = %v, want %v", got, want)
+	}
+	if got := intersectSorted(nil, b); len(got) != 0 {
+		t.Errorf("intersect with nil = %v", got)
+	}
+}

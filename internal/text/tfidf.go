@@ -1,0 +1,139 @@
+package text
+
+import (
+	"math"
+	"sync"
+)
+
+// Corpus accumulates document-frequency statistics and produces TF-IDF
+// vectors in the vector space model (§5.1 of the paper). It is an *online*
+// corpus: documents are added one at a time as the warehouse admits them,
+// and IDF weights reflect everything seen so far. Corpus is safe for
+// concurrent use.
+type Corpus struct {
+	mu      sync.RWMutex
+	dict    *Dictionary
+	docFreq map[TermID]int // number of docs containing the term
+	numDocs int
+}
+
+// NewCorpus returns an empty corpus with its own dictionary.
+func NewCorpus() *Corpus {
+	return &Corpus{
+		dict:    NewDictionary(),
+		docFreq: make(map[TermID]int),
+	}
+}
+
+// Dict exposes the corpus dictionary for rendering vectors. Callers must
+// not mutate it concurrently with Add; lookups during reads are fine
+// because the dictionary only grows under the corpus lock.
+func (c *Corpus) Dict() *Dictionary { return c.dict }
+
+// NumDocs returns the number of documents added so far.
+func (c *Corpus) NumDocs() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.numDocs
+}
+
+// NumTerms returns the number of distinct terms seen so far.
+func (c *Corpus) NumTerms() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.dict.Len()
+}
+
+// Add registers a document given as raw text, updating document
+// frequencies, and returns its raw term-frequency vector.
+func (c *Corpus) Add(content string) Vector {
+	counts := TermCounts(content)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.numDocs++
+	v := NewVector(len(counts))
+	for term, n := range counts {
+		id := c.dict.ID(term)
+		c.docFreq[id]++
+		v[id] = float64(n)
+	}
+	return v
+}
+
+// idfLocked returns the smoothed inverse document frequency of id. Must be
+// called with at least a read lock held.
+func (c *Corpus) idfLocked(id TermID) float64 {
+	df := c.docFreq[id]
+	// Smoothed IDF: ln((1+N)/(1+df)) + 1. Always positive, defined even for
+	// unseen terms, standard in online settings.
+	return math.Log(float64(1+c.numDocs)/float64(1+df)) + 1
+}
+
+// IDF returns the smoothed inverse document frequency of term; unseen terms
+// get the maximum IDF for the current corpus size.
+func (c *Corpus) IDF(term string) float64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	id, ok := c.dict.Lookup(term)
+	if !ok {
+		return math.Log(float64(1+c.numDocs)) + 1
+	}
+	return c.idfLocked(id)
+}
+
+// TFIDF converts a raw term-frequency vector (as returned by Add or built
+// by the caller) into a unit-normalized TF-IDF vector. TF is
+// log-dampened: 1 + ln(tf).
+func (c *Corpus) TFIDF(tf Vector) Vector {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := NewVector(len(tf))
+	for id, f := range tf {
+		if f <= 0 {
+			continue
+		}
+		out[id] = (1 + math.Log(f)) * c.idfLocked(id)
+	}
+	return out.Normalize()
+}
+
+// VectorizeNew adds content to the corpus and returns its TF-IDF vector in
+// one step — the common admission path.
+func (c *Corpus) VectorizeNew(content string) Vector {
+	return c.TFIDF(c.Add(content))
+}
+
+// Vectorize returns the TF-IDF vector of content against the current corpus
+// statistics without adding it (used for queries). Terms the corpus has
+// never seen are still included, with maximal IDF, so that two queries
+// about the same unseen topic remain similar to each other.
+func (c *Corpus) Vectorize(content string) Vector {
+	counts := TermCounts(content)
+	c.mu.Lock() // dict.ID may grow the dictionary
+	defer c.mu.Unlock()
+	v := NewVector(len(counts))
+	for term, n := range counts {
+		id := c.dict.ID(term)
+		v[id] = (1 + math.Log(float64(n))) * c.idfLocked(id)
+	}
+	return v.Normalize()
+}
+
+// WeightedVector builds the comprehensive feature vector of a logical
+// document per §5.3 of the paper:
+//
+//	v = ω·v_title + v_body
+//
+// where ω > 1 stresses title terms (anchor texts along the path plus the
+// terminal document's title) over body terms. The result is unit-normalized.
+func (c *Corpus) WeightedVector(title, body string, omega float64) Vector {
+	if omega < 1 {
+		omega = 1
+	}
+	vt := c.Vectorize(title)
+	vb := c.Vectorize(body)
+	out := NewVector(len(vt) + len(vb))
+	out.AddScaled(vt, omega)
+	out.AddScaled(vb, 1)
+	return out.Normalize()
+}

@@ -1,0 +1,122 @@
+// Package text is the information-retrieval substrate of CBFWW: tokenizer,
+// stop-word filtering, Porter stemming, term dictionaries, sparse TF-IDF
+// vectors with cosine similarity, and an inverted index with postings.
+//
+// Section 5 of the paper evaluates document content "on the basis of
+// techniques in information retrieval (IR), such as vector space model (VSM)
+// and TF-IDF scoring scheme"; this package provides exactly those techniques
+// for the Semantic Region Manager, the Topic Manager and the query engine's
+// MENTION operator.
+package text
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Tokenize splits s into lower-cased word tokens. A token is a maximal run
+// of letters or digits; everything else separates tokens. Markup tags
+// (<...>) are stripped first so raw HTML bodies can be fed directly.
+func Tokenize(s string) []string {
+	s = StripTags(s)
+	tokens := make([]string, 0, len(s)/6)
+	var b strings.Builder
+	flush := func() {
+		if b.Len() > 0 {
+			tokens = append(tokens, b.String())
+			b.Reset()
+		}
+	}
+	for _, r := range s {
+		switch {
+		case unicode.IsLetter(r):
+			b.WriteRune(unicode.ToLower(r))
+		case unicode.IsDigit(r):
+			b.WriteRune(r)
+		default:
+			flush()
+		}
+	}
+	flush()
+	return tokens
+}
+
+// StripTags removes <...> runs from s. It is a tokenizer aid, not an HTML
+// parser: unterminated tags swallow the rest of the string, matching what a
+// browser-oblivious indexer should do with malformed markup.
+func StripTags(s string) string {
+	if !strings.ContainsRune(s, '<') {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s))
+	depth := 0
+	for _, r := range s {
+		switch {
+		case r == '<':
+			depth++
+		case r == '>':
+			if depth > 0 {
+				depth--
+				// Tags act as token separators.
+				b.WriteByte(' ')
+			} else {
+				b.WriteRune(r)
+			}
+		case depth == 0:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// defaultStopWords is the stop list applied by Terms. It is the classic
+// short English list; web-navigation terms (click, home, next) are included
+// because anchor texts are dominated by them and they carry no topical
+// signal for semantic regions.
+var defaultStopWords = map[string]bool{
+	"a": true, "an": true, "and": true, "are": true, "as": true, "at": true,
+	"be": true, "but": true, "by": true, "for": true, "from": true,
+	"has": true, "have": true, "he": true, "her": true, "his": true,
+	"if": true, "in": true, "is": true, "it": true, "its": true,
+	"not": true, "of": true, "on": true, "or": true, "s": true,
+	"she": true, "t": true, "that": true, "the": true, "their": true,
+	"them": true, "there": true, "they": true, "this": true, "to": true,
+	"was": true, "were": true, "which": true, "while": true, "will": true,
+	"with": true, "you": true, "your": true,
+	// Web-navigation chrome.
+	"click": true, "here": true, "home": true, "next": true, "prev": true,
+	"page": true, "www": true, "http": true, "https": true, "html": true,
+}
+
+// IsStopWord reports whether the (already lower-cased) token is on the
+// default stop list.
+func IsStopWord(tok string) bool { return defaultStopWords[tok] }
+
+// Terms tokenizes s and returns the stemmed, stop-word-free term sequence —
+// the canonical preprocessing pipeline used everywhere in CBFWW.
+func Terms(s string) []string {
+	toks := Tokenize(s)
+	out := toks[:0]
+	for _, t := range toks {
+		if IsStopWord(t) {
+			continue
+		}
+		t = Stem(t)
+		if t == "" || IsStopWord(t) {
+			continue
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+// TermCounts returns the multiplicity of each term in the canonical term
+// sequence of s.
+func TermCounts(s string) map[string]int {
+	counts := make(map[string]int)
+	for _, t := range Terms(s) {
+		counts[t]++
+	}
+	return counts
+}

@@ -1,0 +1,210 @@
+package text
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// TermID is a dense integer assigned to a term by a Dictionary. Sparse
+// vectors are keyed by TermID rather than string to keep them small and
+// comparisons fast.
+type TermID int32
+
+// Dictionary maps terms to dense TermIDs and back. It only grows; terms are
+// never removed, matching the warehouse's "store everything" stance.
+// Dictionary is not safe for concurrent mutation; wrap it if shared.
+type Dictionary struct {
+	ids   map[string]TermID
+	terms []string
+}
+
+// NewDictionary returns an empty dictionary.
+func NewDictionary() *Dictionary {
+	return &Dictionary{ids: make(map[string]TermID)}
+}
+
+// ID returns the TermID for term, assigning a fresh one if unseen.
+func (d *Dictionary) ID(term string) TermID {
+	if id, ok := d.ids[term]; ok {
+		return id
+	}
+	id := TermID(len(d.terms))
+	d.ids[term] = id
+	d.terms = append(d.terms, term)
+	return id
+}
+
+// Lookup returns the TermID for term without assigning, and whether it
+// exists.
+func (d *Dictionary) Lookup(term string) (TermID, bool) {
+	id, ok := d.ids[term]
+	return id, ok
+}
+
+// Term returns the term for id; it panics on an ID this dictionary never
+// issued, since that is always a programming error.
+func (d *Dictionary) Term(id TermID) string {
+	if id < 0 || int(id) >= len(d.terms) {
+		panic(fmt.Sprintf("text: Term(%d) out of range [0,%d)", id, len(d.terms)))
+	}
+	return d.terms[id]
+}
+
+// Len returns the number of distinct terms seen.
+func (d *Dictionary) Len() int { return len(d.terms) }
+
+// Vector is a sparse term-weight vector in the vector space model. The zero
+// value is the empty vector and is ready to use with the package functions;
+// use make or NewVector before writing entries directly.
+type Vector map[TermID]float64
+
+// NewVector returns an empty vector with room for n entries.
+func NewVector(n int) Vector { return make(Vector, n) }
+
+// Clone returns an independent copy of v.
+func (v Vector) Clone() Vector {
+	out := make(Vector, len(v))
+	for k, x := range v {
+		out[k] = x
+	}
+	return out
+}
+
+// Norm returns the Euclidean (L2) norm of v.
+func (v Vector) Norm() float64 {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+// Dot returns the inner product of v and u.
+func (v Vector) Dot(u Vector) float64 {
+	// Iterate the smaller map.
+	if len(u) < len(v) {
+		v, u = u, v
+	}
+	var s float64
+	for k, x := range v {
+		if y, ok := u[k]; ok {
+			s += x * y
+		}
+	}
+	return s
+}
+
+// Cosine returns the cosine similarity of v and u in [0,1] for non-negative
+// vectors. The cosine of anything with a zero vector is 0.
+func (v Vector) Cosine(u Vector) float64 {
+	nv, nu := v.Norm(), u.Norm()
+	if nv == 0 || nu == 0 {
+		return 0
+	}
+	c := v.Dot(u) / (nv * nu)
+	// Guard against floating-point drift outside [-1, 1].
+	return math.Max(-1, math.Min(1, c))
+}
+
+// Distance returns the Euclidean distance between v and u.
+func (v Vector) Distance(u Vector) float64 {
+	var s float64
+	for k, x := range v {
+		d := x - u[k]
+		s += d * d
+	}
+	for k, y := range u {
+		if _, ok := v[k]; !ok {
+			s += y * y
+		}
+	}
+	return math.Sqrt(s)
+}
+
+// AddScaled adds a*u into v in place and returns v.
+func (v Vector) AddScaled(u Vector, a float64) Vector {
+	for k, y := range u {
+		v[k] += a * y
+	}
+	return v
+}
+
+// Scale multiplies every entry of v by a in place and returns v.
+func (v Vector) Scale(a float64) Vector {
+	for k := range v {
+		v[k] *= a
+	}
+	return v
+}
+
+// Normalize scales v to unit L2 norm in place and returns v. The zero
+// vector is returned unchanged.
+func (v Vector) Normalize() Vector {
+	n := v.Norm()
+	if n == 0 {
+		return v
+	}
+	return v.Scale(1 / n)
+}
+
+// Prune removes entries with |weight| < eps, returning v. Pruning keeps
+// centroid vectors compact as they absorb many documents.
+func (v Vector) Prune(eps float64) Vector {
+	for k, x := range v {
+		if math.Abs(x) < eps {
+			delete(v, k)
+		}
+	}
+	return v
+}
+
+// Top returns the n highest-weighted term IDs in descending weight order
+// (ties broken by TermID for determinism).
+func (v Vector) Top(n int) []TermID {
+	ids := make([]TermID, 0, len(v))
+	for k := range v {
+		ids = append(ids, k)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		wi, wj := v[ids[i]], v[ids[j]]
+		if wi != wj {
+			return wi > wj
+		}
+		return ids[i] < ids[j]
+	})
+	if n < len(ids) {
+		ids = ids[:n]
+	}
+	return ids
+}
+
+// String renders the vector's top terms for debugging, resolving IDs
+// through the dictionary: "{kyoto:0.82 station:0.41 ...}".
+func (v Vector) String(d *Dictionary, n int) string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, id := range v.Top(n) {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s:%.2f", d.Term(id), v[id])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Mean returns the centroid (arithmetic mean) of the given vectors. The
+// mean of no vectors is the empty vector.
+func Mean(vectors []Vector) Vector {
+	out := NewVector(0)
+	if len(vectors) == 0 {
+		return out
+	}
+	inv := 1 / float64(len(vectors))
+	for _, v := range vectors {
+		out.AddScaled(v, inv)
+	}
+	return out
+}

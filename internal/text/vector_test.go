@@ -1,0 +1,201 @@
+package text
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDictionaryRoundTrip(t *testing.T) {
+	d := NewDictionary()
+	a := d.ID("kyoto")
+	b := d.ID("station")
+	if a == b {
+		t.Fatal("distinct terms share an ID")
+	}
+	if d.ID("kyoto") != a {
+		t.Error("ID not stable")
+	}
+	if d.Term(a) != "kyoto" || d.Term(b) != "station" {
+		t.Error("Term round-trip failed")
+	}
+	if d.Len() != 2 {
+		t.Errorf("Len = %d, want 2", d.Len())
+	}
+	if _, ok := d.Lookup("missing"); ok {
+		t.Error("Lookup(missing) found something")
+	}
+	if d.Len() != 2 {
+		t.Error("Lookup must not assign")
+	}
+}
+
+func TestDictionaryTermPanics(t *testing.T) {
+	d := NewDictionary()
+	defer func() {
+		if recover() == nil {
+			t.Error("Term(99) did not panic")
+		}
+	}()
+	d.Term(99)
+}
+
+func vec(pairs ...float64) Vector {
+	v := NewVector(len(pairs) / 2)
+	for i := 0; i+1 < len(pairs); i += 2 {
+		v[TermID(pairs[i])] = pairs[i+1]
+	}
+	return v
+}
+
+func TestVectorDotAndNorm(t *testing.T) {
+	a := vec(0, 1, 1, 2)
+	b := vec(1, 3, 2, 4)
+	if got := a.Dot(b); got != 6 {
+		t.Errorf("Dot = %v, want 6", got)
+	}
+	if got := b.Dot(a); got != 6 {
+		t.Errorf("Dot not symmetric: %v", got)
+	}
+	if got := a.Norm(); math.Abs(got-math.Sqrt(5)) > 1e-12 {
+		t.Errorf("Norm = %v", got)
+	}
+}
+
+func TestVectorCosine(t *testing.T) {
+	a := vec(0, 1)
+	if got := a.Cosine(a); math.Abs(got-1) > 1e-12 {
+		t.Errorf("self cosine = %v, want 1", got)
+	}
+	b := vec(1, 1)
+	if got := a.Cosine(b); got != 0 {
+		t.Errorf("orthogonal cosine = %v, want 0", got)
+	}
+	if got := a.Cosine(NewVector(0)); got != 0 {
+		t.Errorf("cosine with zero vector = %v, want 0", got)
+	}
+}
+
+func TestVectorDistance(t *testing.T) {
+	a := vec(0, 3)
+	b := vec(1, 4)
+	if got := a.Distance(b); math.Abs(got-5) > 1e-12 {
+		t.Errorf("Distance = %v, want 5", got)
+	}
+	if got := a.Distance(a); got != 0 {
+		t.Errorf("self distance = %v", got)
+	}
+	if d1, d2 := a.Distance(b), b.Distance(a); math.Abs(d1-d2) > 1e-12 {
+		t.Errorf("distance not symmetric: %v vs %v", d1, d2)
+	}
+}
+
+func TestVectorMutators(t *testing.T) {
+	v := vec(0, 1, 1, 2)
+	v.AddScaled(vec(1, 1, 2, 3), 2)
+	if v[0] != 1 || v[1] != 4 || v[2] != 6 {
+		t.Errorf("AddScaled = %v", v)
+	}
+	v.Scale(0.5)
+	if v[1] != 2 {
+		t.Errorf("Scale = %v", v)
+	}
+	v.Normalize()
+	if math.Abs(v.Norm()-1) > 1e-12 {
+		t.Errorf("Normalize: norm = %v", v.Norm())
+	}
+	z := NewVector(0)
+	z.Normalize() // must not panic or NaN
+	if z.Norm() != 0 {
+		t.Error("zero vector normalize changed norm")
+	}
+}
+
+func TestVectorPrune(t *testing.T) {
+	v := vec(0, 0.001, 1, 0.5, 2, -0.0001)
+	v.Prune(0.01)
+	if len(v) != 1 || v[1] != 0.5 {
+		t.Errorf("Prune = %v", v)
+	}
+}
+
+func TestVectorTopDeterministic(t *testing.T) {
+	v := vec(5, 1, 3, 2, 7, 2, 1, 0.5)
+	got := v.Top(3)
+	// weight 2 tie between 3 and 7 broken by TermID.
+	want := []TermID{3, 7, 5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Top = %v, want %v", got, want)
+		}
+	}
+	if n := len(v.Top(100)); n != 4 {
+		t.Errorf("Top(100) len = %d, want 4", n)
+	}
+}
+
+func TestVectorClone(t *testing.T) {
+	v := vec(0, 1)
+	c := v.Clone()
+	c[0] = 99
+	if v[0] != 1 {
+		t.Error("Clone aliases original")
+	}
+}
+
+func TestMean(t *testing.T) {
+	m := Mean([]Vector{vec(0, 2), vec(0, 4, 1, 2)})
+	if m[0] != 3 || m[1] != 1 {
+		t.Errorf("Mean = %v", m)
+	}
+	if got := Mean(nil); len(got) != 0 {
+		t.Errorf("Mean(nil) = %v", got)
+	}
+}
+
+func TestVectorString(t *testing.T) {
+	d := NewDictionary()
+	v := NewVector(2)
+	v[d.ID("kyoto")] = 0.8
+	v[d.ID("station")] = 0.4
+	got := v.String(d, 2)
+	if got != "{kyoto:0.80 station:0.40}" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+// Property: cosine similarity is always within [-1, 1] and symmetric.
+func TestCosineProperty(t *testing.T) {
+	f := func(xs, ys []uint8) bool {
+		a, b := NewVector(len(xs)), NewVector(len(ys))
+		for i, x := range xs {
+			a[TermID(i%17)] += float64(x)
+		}
+		for i, y := range ys {
+			b[TermID(i%17)] += float64(y)
+		}
+		c1, c2 := a.Cosine(b), b.Cosine(a)
+		return c1 >= -1 && c1 <= 1 && math.Abs(c1-c2) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: triangle inequality for Euclidean distance.
+func TestDistanceTriangleProperty(t *testing.T) {
+	f := func(xs, ys, zs []uint8) bool {
+		mk := func(s []uint8) Vector {
+			v := NewVector(len(s))
+			for i, x := range s {
+				v[TermID(i%11)] += float64(x)
+			}
+			return v
+		}
+		a, b, c := mk(xs), mk(ys), mk(zs)
+		return a.Distance(c) <= a.Distance(b)+b.Distance(c)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

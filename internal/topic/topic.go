@@ -1,0 +1,199 @@
+// Package topic implements the Topic Manager and Topic Sensor of §3.
+//
+// The Topic Manager maintains "words and phrases with weights showing the
+// importance", learned from the content of objects weighted by their
+// priorities, plus co-occurrence relationships between terms. The Topic
+// Sensor polls news feeds for bursting terms — "popular topics which have
+// concentration of usage for rather short period" — and feeds those bursts
+// back into the manager so that admission-time priorities and prefetching
+// can anticipate the coming request wave.
+package topic
+
+import (
+	"sort"
+	"sync"
+
+	"cbfww/internal/core"
+	"cbfww/internal/text"
+)
+
+// WeightedTerm is a term with an importance weight.
+type WeightedTerm struct {
+	Term   string
+	Weight float64
+}
+
+// Manager holds the evolving term-importance model. Safe for concurrent
+// use.
+type Manager struct {
+	mu   sync.RWMutex
+	dict *text.Dictionary
+	// weights is the importance of each term, accumulated from prioritized
+	// content and sensor bursts, decayed over time.
+	weights text.Vector
+	// cooc counts weighted co-occurrence between term pairs; kept sparse
+	// and pruned. Key is the lower TermID; value maps the higher TermID to
+	// accumulated weight.
+	cooc map[text.TermID]map[text.TermID]float64
+}
+
+// NewManager returns an empty manager sharing the given dictionary (so
+// TermIDs agree with the corpus); nil gets a private dictionary.
+func NewManager(dict *text.Dictionary) *Manager {
+	if dict == nil {
+		dict = text.NewDictionary()
+	}
+	return &Manager{
+		dict:    dict,
+		weights: text.NewVector(0),
+		cooc:    make(map[text.TermID]map[text.TermID]float64),
+	}
+}
+
+// Learn folds a document vector into the term-importance model, weighted
+// by the document's priority ("By analyzing contents with priorities we
+// can get words and phrases with weights showing the importance").
+// Co-occurrence between the document's top terms is also recorded.
+func (m *Manager) Learn(vec text.Vector, priority core.Priority) {
+	if priority < 0 {
+		priority = 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.weights.AddScaled(vec, float64(priority))
+	top := vec.Top(8)
+	for i := 0; i < len(top); i++ {
+		for j := i + 1; j < len(top); j++ {
+			a, b := top[i], top[j]
+			if a > b {
+				a, b = b, a
+			}
+			if m.cooc[a] == nil {
+				m.cooc[a] = make(map[text.TermID]float64)
+			}
+			m.cooc[a][b] += float64(priority) * vec[top[i]] * vec[top[j]]
+		}
+	}
+}
+
+// BoostTerm raises a single term's weight directly — the path the Topic
+// Sensor uses for burst terms.
+func (m *Manager) BoostTerm(term string, w float64) {
+	terms := text.Terms(term)
+	if len(terms) == 0 || w <= 0 {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, t := range terms {
+		m.weights[m.dict.ID(t)] += w
+	}
+}
+
+// Heat scores how hot a document vector is under the current topic
+// weights: the dot product with the (unit-normalized) weight vector, in
+// [0, 1] for unit document vectors. A zero model scores everything 0.
+func (m *Manager) Heat(vec text.Vector) float64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	n := m.weights.Norm()
+	if n == 0 {
+		return 0
+	}
+	return vec.Dot(m.weights) / n
+}
+
+// Decay multiplies all weights by factor in (0,1], dropping negligible
+// entries. Hot topics have short lifetimes (§4.4); the warehouse calls
+// Decay on a fixed cadence.
+func (m *Manager) Decay(factor float64) {
+	if factor <= 0 || factor > 1 {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.weights.Scale(factor).Prune(1e-9)
+	for a, row := range m.cooc {
+		for b := range row {
+			row[b] *= factor
+			if row[b] < 1e-9 {
+				delete(row, b)
+			}
+		}
+		if len(row) == 0 {
+			delete(m.cooc, a)
+		}
+	}
+}
+
+// HotTerms returns the n most important terms.
+func (m *Manager) HotTerms(n int) []WeightedTerm {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	ids := m.weights.Top(n)
+	out := make([]WeightedTerm, len(ids))
+	for i, id := range ids {
+		out[i] = WeightedTerm{Term: m.dict.Term(id), Weight: m.weights[id]}
+	}
+	return out
+}
+
+// Related returns up to n terms that co-occur most strongly with term
+// ("Relationships between topics can also be computed using coexistence
+// relationship").
+func (m *Manager) Related(term string, n int) []WeightedTerm {
+	terms := text.Terms(term)
+	if len(terms) == 0 {
+		return nil
+	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	id, ok := m.dict.Lookup(terms[0])
+	if !ok {
+		return nil
+	}
+	acc := make(map[text.TermID]float64)
+	for b, w := range m.cooc[id] {
+		acc[b] += w
+	}
+	for a, row := range m.cooc {
+		if w, ok := row[id]; ok {
+			acc[a] += w
+		}
+	}
+	out := make([]WeightedTerm, 0, len(acc))
+	for tid, w := range acc {
+		out = append(out, WeightedTerm{Term: m.dict.Term(tid), Weight: w})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Weight != out[j].Weight {
+			return out[i].Weight > out[j].Weight
+		}
+		return out[i].Term < out[j].Term
+	})
+	if n < len(out) {
+		out = out[:n]
+	}
+	return out
+}
+
+// ExpandQuery appends the strongest related term of each query term —
+// §3(1): "A query given by a user is modified by the contents of Topic
+// Manager". The original query text always survives unchanged at the
+// front.
+func (m *Manager) ExpandQuery(query string, perTerm int) string {
+	out := query
+	seen := map[string]bool{}
+	for _, t := range text.Terms(query) {
+		seen[t] = true
+	}
+	for _, t := range text.Terms(query) {
+		for _, rel := range m.Related(t, perTerm) {
+			if !seen[rel.Term] {
+				seen[rel.Term] = true
+				out += " " + rel.Term
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,87 @@
+package version
+
+import (
+	"bytes"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func populated(t *testing.T) *Store {
+	t.Helper()
+	s := NewStore(4)
+	s.Capture("http://a/x", snap(1, 10, "first body"))
+	s.Capture("http://a/x", snap(2, 20, "second body longer"))
+	s.Capture("http://b/y", snap(1, 15, "other"))
+	return s
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	s := populated(t)
+	var buf bytes.Buffer
+	if err := s.SaveTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s2 := NewStore(0)
+	if err := s2.LoadFrom(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s2.URLs(), s.URLs()) {
+		t.Errorf("URLs = %v, want %v", s2.URLs(), s.URLs())
+	}
+	for _, url := range s.URLs() {
+		if !reflect.DeepEqual(s2.History(url), s.History(url)) {
+			t.Errorf("history mismatch for %s", url)
+		}
+	}
+	if s2.Bytes() != s.Bytes() {
+		t.Errorf("Bytes = %v, want %v", s2.Bytes(), s.Bytes())
+	}
+	// MaxDepth restored: a 5th capture on x must evict.
+	s2.Capture("http://a/x", snap(3, 30, "3"))
+	s2.Capture("http://a/x", snap(4, 40, "4"))
+	s2.Capture("http://a/x", snap(5, 50, "5"))
+	if d := s2.Depth("http://a/x"); d != 4 {
+		t.Errorf("depth after reload = %d, want maxDepth 4", d)
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	s := NewStore(0)
+	if err := s.LoadFrom(strings.NewReader("not a gob stream")); err == nil {
+		t.Error("garbage accepted")
+	}
+	// Wrong magic.
+	other := NewStore(0)
+	var buf bytes.Buffer
+	if err := other.SaveTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the magic bytes in place.
+	b := buf.Bytes()
+	if i := bytes.Index(b, []byte("cbfww-versions")); i >= 0 {
+		copy(b[i:], []byte("xxxxx-versions"))
+	}
+	if err := s.LoadFrom(bytes.NewReader(b)); err == nil {
+		t.Error("wrong magic accepted")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	s := populated(t)
+	path := filepath.Join(t.TempDir(), "versions.gob")
+	if err := s.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	s2 := NewStore(0)
+	if err := s2.LoadFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if s2.Depth("http://a/x") != 2 {
+		t.Errorf("depth = %d", s2.Depth("http://a/x"))
+	}
+	if err := s2.LoadFile(filepath.Join(t.TempDir(), "missing.gob")); err == nil {
+		t.Error("missing file loaded")
+	}
+}

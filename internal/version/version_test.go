@@ -1,0 +1,178 @@
+package version
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"cbfww/internal/core"
+)
+
+func snap(v int, t core.Time, body string) Snapshot {
+	return Snapshot{Version: v, Time: t, Title: "T", Body: body, Size: core.Bytes(len(body))}
+}
+
+func TestCaptureAndLatest(t *testing.T) {
+	s := NewStore(0)
+	if _, ok := s.Latest("u"); ok {
+		t.Error("Latest on empty store")
+	}
+	s.Capture("u", snap(1, 10, "one"))
+	s.Capture("u", snap(2, 20, "two!"))
+	got, ok := s.Latest("u")
+	if !ok || got.Version != 2 || got.Body != "two!" {
+		t.Errorf("Latest = %+v, %v", got, ok)
+	}
+	if s.Depth("u") != 2 {
+		t.Errorf("Depth = %d", s.Depth("u"))
+	}
+	if s.Bytes() != 7 {
+		t.Errorf("Bytes = %v", s.Bytes())
+	}
+}
+
+func TestCaptureValidation(t *testing.T) {
+	s := NewStore(0)
+	if err := s.Capture("", snap(1, 0, "x")); !errors.Is(err, core.ErrInvalid) {
+		t.Errorf("empty URL err = %v", err)
+	}
+	if err := s.Capture("u", snap(0, 0, "x")); !errors.Is(err, core.ErrInvalid) {
+		t.Errorf("zero version err = %v", err)
+	}
+}
+
+func TestAsOf(t *testing.T) {
+	s := NewStore(0)
+	s.Capture("u", snap(1, 10, "a"))
+	s.Capture("u", snap(2, 20, "b"))
+	s.Capture("u", snap(3, 30, "c"))
+	cases := []struct {
+		t    core.Time
+		want int
+		ok   bool
+	}{
+		{5, 0, false},
+		{10, 1, true},
+		{15, 1, true},
+		{20, 2, true},
+		{29, 2, true},
+		{1000, 3, true},
+	}
+	for _, c := range cases {
+		got, ok := s.AsOf("u", c.t)
+		if ok != c.ok || (ok && got.Version != c.want) {
+			t.Errorf("AsOf(%v) = v%d, %v; want v%d, %v", c.t, got.Version, ok, c.want, c.ok)
+		}
+	}
+	if _, ok := s.AsOf("missing", 100); ok {
+		t.Error("AsOf(missing URL)")
+	}
+}
+
+func TestOutOfOrderCapture(t *testing.T) {
+	s := NewStore(0)
+	s.Capture("u", snap(2, 20, "b"))
+	s.Capture("u", snap(1, 10, "a"))
+	h := s.History("u")
+	if len(h) != 2 || h[0].Version != 1 || h[1].Version != 2 {
+		t.Errorf("History = %+v", h)
+	}
+}
+
+func TestSameVersionRecaptureReplaces(t *testing.T) {
+	s := NewStore(0)
+	s.Capture("u", snap(1, 10, "old"))
+	s.Capture("u", snap(1, 10, "newer!!"))
+	if s.Depth("u") != 1 {
+		t.Errorf("Depth = %d", s.Depth("u"))
+	}
+	got, _ := s.Latest("u")
+	if got.Body != "newer!!" {
+		t.Errorf("Body = %q", got.Body)
+	}
+	if s.Bytes() != 7 {
+		t.Errorf("Bytes = %v after replace", s.Bytes())
+	}
+}
+
+func TestMaxDepthEviction(t *testing.T) {
+	s := NewStore(2)
+	s.Capture("u", snap(1, 10, "a"))
+	s.Capture("u", snap(2, 20, "bb"))
+	s.Capture("u", snap(3, 30, "ccc"))
+	if s.Depth("u") != 2 {
+		t.Fatalf("Depth = %d", s.Depth("u"))
+	}
+	if _, ok := s.AsOf("u", 15); ok {
+		t.Error("evicted snapshot still visible")
+	}
+	if s.Bytes() != 5 {
+		t.Errorf("Bytes = %v, want 5 (bb+ccc)", s.Bytes())
+	}
+	// Negative depth behaves as unlimited.
+	s2 := NewStore(-5)
+	for i := 1; i <= 10; i++ {
+		s2.Capture("u", snap(i, core.Time(i), "x"))
+	}
+	if s2.Depth("u") != 10 {
+		t.Errorf("unlimited store depth = %d", s2.Depth("u"))
+	}
+}
+
+func TestURLs(t *testing.T) {
+	s := NewStore(0)
+	s.Capture("b", snap(1, 1, "x"))
+	s.Capture("a", snap(1, 1, "y"))
+	got := s.URLs()
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Errorf("URLs = %v", got)
+	}
+}
+
+// Property: AsOf never returns a snapshot newer than the query time, and
+// histories stay time-sorted.
+func TestAsOfProperty(t *testing.T) {
+	f := func(times []uint16, q uint16) bool {
+		s := NewStore(0)
+		for i, tt := range times {
+			s.Capture("u", snap(i+1, core.Time(tt), "x"))
+		}
+		got, ok := s.AsOf("u", core.Time(q))
+		if ok && got.Time > core.Time(q) {
+			return false
+		}
+		h := s.History("u")
+		for i := 1; i < len(h); i++ {
+			if h[i].Time < h[i-1].Time {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStoreConcurrent(t *testing.T) {
+	s := NewStore(8)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			url := fmt.Sprintf("u%d", g%2)
+			for i := 1; i <= 100; i++ {
+				s.Capture(url, snap(i, core.Time(i), "body"))
+				s.Latest(url)
+				s.AsOf(url, core.Time(i/2))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if d := s.Depth("u0"); d != 8 {
+		t.Errorf("Depth = %d, want maxDepth 8", d)
+	}
+}

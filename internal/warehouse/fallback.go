@@ -1,0 +1,108 @@
+package warehouse
+
+import (
+	"sort"
+
+	"cbfww/internal/text"
+)
+
+// §3(1)'s feedback loop: "Partial results obtained from CBFWW are given to
+// the user. If not satisfied, the query is modified further by the result
+// and transmitted to Web Requester to get additional contents from web."
+//
+// SearchWithFallback implements that loop for free-text retrieval: when
+// the warehouse's own contents yield fewer than n results, the query is
+// expanded through the Topic Manager, the outgoing links of the best
+// current results are scored by their anchor texts against the expanded
+// query, the most promising unfetched targets are pulled in through the
+// Web Requester, and the search re-runs over the enlarged warehouse.
+
+// FallbackResult reports a fallback search.
+type FallbackResult struct {
+	Scores []text.Score
+	// Expanded is the topic-modified query actually used for link scoring.
+	Expanded string
+	// Fetched lists the URLs pulled from the web during the loop.
+	Fetched []string
+	// Rounds is how many expand-fetch-research iterations ran.
+	Rounds int
+}
+
+// SearchWithFallback searches the warehouse, fetching up to maxFetch
+// additional pages from the web when fewer than n results are found.
+func (w *Warehouse) SearchWithFallback(query string, n, maxFetch int) (FallbackResult, error) {
+	res := FallbackResult{Expanded: w.ExpandQuery(query)}
+	res.Scores = w.index.Search(query, n)
+	if len(res.Scores) >= n || maxFetch <= 0 {
+		return res, nil
+	}
+	qvec := w.corpus.Vectorize(res.Expanded)
+
+	for len(res.Scores) < n && len(res.Fetched) < maxFetch {
+		res.Rounds++
+		candidates := w.linkCandidates(qvec, maxFetch-len(res.Fetched))
+		if len(candidates) == 0 {
+			break
+		}
+		fetchedAny := false
+		for _, url := range candidates {
+			if err := w.Prefetch(url); err != nil {
+				continue // dead link: skip, keep looping
+			}
+			res.Fetched = append(res.Fetched, url)
+			fetchedAny = true
+		}
+		if !fetchedAny {
+			break
+		}
+		res.Scores = w.index.Search(query, n)
+	}
+	return res, nil
+}
+
+// linkCandidates ranks unfetched link targets across all resident pages by
+// the similarity of their anchor texts to the query vector, returning the
+// top max targets. Anchor texts are the navigation guides §5.1 describes —
+// the only evidence about a page the warehouse has not fetched.
+func (w *Warehouse) linkCandidates(qvec text.Vector, max int) []string {
+	type cand struct {
+		url   string
+		score float64
+	}
+	w.mu.Lock()
+	var cands []cand
+	seen := make(map[string]bool)
+	for _, st := range w.pages {
+		for target, anchorText := range st.anchors {
+			if seen[target] {
+				continue
+			}
+			if _, resident := w.pages[target]; resident {
+				continue
+			}
+			seen[target] = true
+			if anchorText == "" {
+				continue
+			}
+			avec := w.corpus.Vectorize(anchorText)
+			if s := qvec.Cosine(avec); s > 0 {
+				cands = append(cands, cand{url: target, score: s})
+			}
+		}
+	}
+	w.mu.Unlock()
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].score != cands[j].score {
+			return cands[i].score > cands[j].score
+		}
+		return cands[i].url < cands[j].url
+	})
+	if max < len(cands) {
+		cands = cands[:max]
+	}
+	out := make([]string, len(cands))
+	for i, c := range cands {
+		out[i] = c.url
+	}
+	return out
+}

@@ -1,0 +1,321 @@
+package warehouse
+
+import (
+	"errors"
+	"fmt"
+
+	"cbfww/internal/constraint"
+	"cbfww/internal/core"
+	"cbfww/internal/logmine"
+	"cbfww/internal/object"
+	"cbfww/internal/priority"
+	"cbfww/internal/simweb"
+	"cbfww/internal/storage"
+	"cbfww/internal/version"
+)
+
+// GetResult reports how a request was served.
+type GetResult struct {
+	// Page is the content served (possibly a stale cached copy under weak
+	// consistency).
+	Page simweb.Page
+	// Hit reports whether the warehouse served it without an origin fetch.
+	Hit bool
+	// Source names where the body came from: "memory", "disk", "tertiary"
+	// or "origin".
+	Source string
+	// Latency is the user-visible cost in ticks.
+	Latency core.Duration
+	// Priority is the page's current admission priority.
+	Priority core.Priority
+	// Explanation shows how the priority was derived (fresh admissions
+	// only).
+	Explanation priority.Explanation
+	// Stale marks content known to lag the origin (weak consistency).
+	Stale bool
+}
+
+// Get serves url for user: the warehouse's fetch-through path. An empty
+// user is allowed (anonymous access skips profile updates).
+func (w *Warehouse) Get(user, url string) (GetResult, error) {
+	return w.get(user, url, false)
+}
+
+// Prefetch pulls url into the warehouse without a user request (Topic
+// Sensor-driven anticipation). It never counts as a request in Stats.
+func (w *Warehouse) Prefetch(url string) error {
+	_, err := w.get("", url, true)
+	return err
+}
+
+func (w *Warehouse) get(user, url string, prefetch bool) (GetResult, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	now := w.clock.Now()
+
+	st := w.pages[url]
+	if st != nil {
+		// Resident: consistency check first.
+		fresh := true
+		if w.cfg.Consistency.NeedsCheck(st.lastCheck, now, core.Duration(st.updateGap), w.tracker.AgedFrequency(st.physID)) {
+			ver, mod, err := w.web.Head(url)
+			if err == nil {
+				if !prefetch {
+					w.stats.Revalidations++
+				}
+				st.lastCheck = now
+				if ver != st.version {
+					fresh = false
+					_ = mod
+				}
+			}
+			// A dead origin serves the cached copy (that is the point of
+			// a warehouse).
+		}
+		if fresh {
+			return w.serveResident(user, url, st, prefetch)
+		}
+		// Content changed: refetch and re-admit the new version.
+		if !prefetch {
+			w.stats.Refetches++
+		}
+		return w.refetch(user, url, st, prefetch)
+	}
+	// First sight of this URL: fetch and admit.
+	return w.admitNew(user, url, prefetch)
+}
+
+// serveResident serves a warehouse-resident page.
+func (w *Warehouse) serveResident(user, url string, st *pageState, prefetch bool) (GetResult, error) {
+	res, err := w.store.Access(st.container)
+	if err != nil {
+		// The body was lost (tier failures without recovery); fall back to
+		// the origin path.
+		return w.refetch(user, url, st, prefetch)
+	}
+	snap, ok := w.history.Latest(url)
+	if !ok {
+		return GetResult{}, fmt.Errorf("warehouse: %w: resident page %q has no stored content", core.ErrNotFound, url)
+	}
+	snap, err = w.history.Materialize(snap)
+	if err != nil {
+		// The body blob is unreadable (disk corruption): refetch.
+		return w.refetch(user, url, st, prefetch)
+	}
+	page := simweb.Page{
+		URL:     url,
+		Title:   snap.Title,
+		Body:    snap.Body,
+		Size:    snap.Size,
+		Version: snap.Version,
+		LastMod: snap.Time,
+	}
+	out := GetResult{
+		Page:    page,
+		Hit:     true,
+		Source:  res.Tier.String(),
+		Latency: res.Latency,
+		Stale:   res.Stale,
+	}
+	out.Priority, _ = w.store.Priority(st.container)
+	w.afterServe(user, url, st, out, prefetch)
+	return out, nil
+}
+
+// refetch replaces a resident page's content with the origin's current
+// version.
+func (w *Warehouse) refetch(user, url string, st *pageState, prefetch bool) (GetResult, error) {
+	fr, err := w.web.Fetch(url)
+	if err != nil {
+		return GetResult{}, fmt.Errorf("warehouse: refetch %q: %w", url, err)
+	}
+	if !prefetch {
+		w.stats.OriginFetches++
+	}
+	p := fr.Page
+	// Update-gap EMA from observed modification times.
+	if st.lastMod != core.TimeNever && p.LastMod.After(st.lastMod) {
+		gap := float64(p.LastMod.Sub(st.lastMod))
+		if st.updateGap == 0 {
+			st.updateGap = gap
+		} else {
+			st.updateGap = 0.7*st.updateGap + 0.3*gap
+		}
+	}
+	st.lastMod = p.LastMod
+	st.lastCheck = w.clock.Now()
+	oldVersion := st.version
+	st.version = p.Version
+	st.vec = w.corpus.WeightedVector(p.Title, p.Body, w.cfg.Omega)
+	st.anchors = anchorMap(p.Anchors)
+
+	// Content changed: re-index, capture version, refresh storage copy.
+	w.index.Index(st.physID, p.Title+"\n"+p.Body)
+	if err := w.history.Capture(url, version.Snapshot{
+		Version: p.Version, Time: w.clock.Now(),
+		Title: p.Title, Body: p.Body, Size: p.Size,
+	}); err != nil {
+		return GetResult{}, err
+	}
+	if p.Version > oldVersion {
+		if err := w.store.Update(st.container, p.Version); err != nil && !errors.Is(err, core.ErrInvalid) {
+			return GetResult{}, err
+		}
+		w.tracker.Modify(st.physID)
+	}
+	out := GetResult{
+		Page:    p,
+		Hit:     false,
+		Source:  "origin",
+		Latency: fr.Latency,
+	}
+	out.Priority, _ = w.store.Priority(st.container)
+	w.afterServe(user, url, st, out, prefetch)
+	w.appendLog(user, url, out, true)
+	return out, nil
+}
+
+// admitNew runs the full admission path for a first-seen URL.
+func (w *Warehouse) admitNew(user, url string, prefetch bool) (GetResult, error) {
+	fr, err := w.web.Fetch(url)
+	if err != nil {
+		return GetResult{}, fmt.Errorf("warehouse: fetch %q: %w", url, err)
+	}
+	if !prefetch {
+		w.stats.OriginFetches++
+	}
+	p := fr.Page
+
+	out := GetResult{Page: p, Hit: false, Source: "origin", Latency: fr.Latency}
+
+	// Constraint Manager: may refuse warehousing; the user still gets the
+	// page (pass-through), the warehouse just won't keep it.
+	cand := constraint.Candidate{URL: url, Size: p.TotalSize()}
+	if err := w.cfg.Admission.Check(cand); err != nil {
+		w.stats.Rejected++
+		if !prefetch {
+			w.countRequest(out)
+		}
+		w.appendLog(user, url, out, false)
+		return out, nil
+	}
+
+	// Content model: §5.3 weighted vector, admission priority, region.
+	vec := w.corpus.WeightedVector(p.Title, p.Body, w.cfg.Omega)
+	prio, exp := w.prios.AdmissionPriority(vec)
+	out.Priority, out.Explanation = prio, exp
+
+	// Object hierarchy: physical page + raw objects.
+	phys, err := w.builder.AddPhysicalPage(&p)
+	if err != nil {
+		return GetResult{}, err
+	}
+	container, _ := w.objects.ByKey(object.KindRaw, url)
+
+	st := &pageState{
+		physID:            phys.ID,
+		container:         container.ID,
+		version:           p.Version,
+		vec:               vec,
+		region:            w.regions.Assign(clusterPoint(phys.ID, vec)),
+		lastCheck:         w.clock.Now(),
+		lastMod:           p.LastMod,
+		admissionPriority: prio,
+		anchors:           anchorMap(p.Anchors),
+	}
+	w.pages[url] = st
+
+	// Storage: container + components enter with the page's priority.
+	if err := w.store.Admit(container.ID, sizeOrOne(p.Size), p.Version, prio); err != nil && !errors.Is(err, core.ErrExists) {
+		return GetResult{}, err
+	}
+	for _, c := range p.Components {
+		comp, ok := w.objects.ByKey(object.KindRaw, c.URL)
+		if !ok {
+			continue
+		}
+		if err := w.store.Admit(comp.ID, sizeOrOne(c.Size), 1, prio); err != nil && !errors.Is(err, core.ErrExists) {
+			return GetResult{}, err
+		}
+	}
+
+	// Indexes, versions, topic model.
+	w.index.Index(phys.ID, p.Title+"\n"+p.Body)
+	if err := w.history.Capture(url, version.Snapshot{
+		Version: p.Version, Time: w.clock.Now(),
+		Title: p.Title, Body: p.Body, Size: p.Size,
+	}); err != nil {
+		return GetResult{}, err
+	}
+	w.topics.Learn(vec, prio)
+
+	w.afterServe(user, url, st, out, prefetch)
+	w.appendLog(user, url, out, false)
+	if prefetch {
+		w.stats.Prefetches++
+	}
+	return out, nil
+}
+
+// afterServe updates usage, region heat and the user profile, and counts
+// the request.
+func (w *Warehouse) afterServe(user, url string, st *pageState, out GetResult, prefetch bool) {
+	if prefetch {
+		return
+	}
+	w.tracker.Touch(st.physID)
+	w.tracker.Touch(st.container)
+	w.tracker.SetShared(st.container, w.objects.SharedCount(st.container))
+	w.prios.RecordAccess(st.region)
+	if user != "" {
+		w.social.ObserveVisit(user, st.physID, st.vec)
+	}
+	w.countRequest(out)
+	if out.Hit {
+		w.appendLog(user, url, out, false)
+	}
+}
+
+func (w *Warehouse) countRequest(out GetResult) {
+	w.stats.Requests++
+	w.stats.LatencyTotal += out.Latency
+	if out.Hit {
+		w.stats.Hits++
+		if out.Source == storage.Memory.String() {
+			w.stats.MemoryHits++
+		}
+	}
+}
+
+// appendLog records the access in the warehouse's operational log
+// ("Operational data (logs) are also stored for priority management and
+// performance improvement").
+func (w *Warehouse) appendLog(user, url string, out GetResult, modified bool) {
+	w.log = append(w.log, logmine.Record{
+		Time:     w.clock.Now(),
+		User:     user,
+		URL:      url,
+		Status:   200,
+		Bytes:    out.Page.Size,
+		Modified: modified,
+	})
+}
+
+func sizeOrOne(b core.Bytes) core.Bytes {
+	if b <= 0 {
+		return 1
+	}
+	return b
+}
+
+// anchorMap indexes a page's outgoing anchors by target URL. When several
+// anchors share a target, the first wins (the primary link).
+func anchorMap(anchors []simweb.Anchor) map[string]string {
+	m := make(map[string]string, len(anchors))
+	for _, a := range anchors {
+		if _, dup := m[a.Target]; !dup {
+			m[a.Target] = a.Text
+		}
+	}
+	return m
+}

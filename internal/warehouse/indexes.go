@@ -1,0 +1,90 @@
+package warehouse
+
+import (
+	"cbfww/internal/core"
+	"cbfww/internal/storage"
+	"cbfww/internal/text"
+)
+
+// §4.1's hierarchy of indices: "Detailed index is given to important
+// documents. Some important indexes are stored in the main memory." The
+// warehouse keeps the full inverted index (conceptually disk-resident)
+// plus a hot index holding only the pages whose bodies currently live in
+// the memory tier. Ranked retrieval probes the hot index first and only
+// falls back to the full index — at disk cost — when the memory index
+// cannot satisfy the request.
+
+// TieredSearchResult reports how a search was served.
+type TieredSearchResult struct {
+	Scores []text.Score
+	// Tier that served the result set.
+	Tier storage.Tier
+	// Latency is the simulated index-access cost.
+	Latency core.Duration
+}
+
+// syncHotIndexLocked re-derives the hot index membership from the memory
+// tier's current residents. Requires w.mu.
+func (w *Warehouse) syncHotIndexLocked() {
+	resident := make(map[core.ObjectID]bool)
+	for _, id := range w.store.ResidentIDs(storage.Memory) {
+		resident[id] = true
+	}
+	for url, st := range w.pages {
+		hot := resident[st.container]
+		if hot == st.inHotIndex {
+			continue
+		}
+		if hot {
+			if snap, ok := w.history.Latest(url); ok {
+				if m, err := w.history.Materialize(snap); err == nil {
+					snap = m
+				}
+				w.hotIndex.Index(st.physID, snap.Title+"\n"+snap.Body)
+				st.inHotIndex = true
+			}
+		} else {
+			w.hotIndex.Remove(st.physID)
+			st.inHotIndex = false
+		}
+	}
+}
+
+// SearchTiered performs ranked retrieval through the index hierarchy: the
+// memory-resident detailed index first, the full index (disk) only when
+// the hot index returns fewer than n results. The returned latency uses
+// the storage configuration's tier costs.
+func (w *Warehouse) SearchTiered(query string, n int) TieredSearchResult {
+	w.mu.Lock()
+	w.syncHotIndexLocked()
+	w.mu.Unlock()
+
+	if hits := w.hotIndex.Search(query, n); len(hits) >= n {
+		w.mu.Lock()
+		w.stats.IndexMemoryProbes++
+		w.mu.Unlock()
+		return TieredSearchResult{
+			Scores:  hits,
+			Tier:    storage.Memory,
+			Latency: w.cfg.Storage.MemLatency,
+		}
+	}
+	w.mu.Lock()
+	w.stats.IndexDiskProbes++
+	w.mu.Unlock()
+	return TieredSearchResult{
+		Scores:  w.index.Search(query, n),
+		Tier:    storage.Disk,
+		Latency: w.cfg.Storage.DiskLatency,
+	}
+}
+
+// HotIndexSize returns how many pages the memory-resident detailed index
+// currently covers.
+func (w *Warehouse) HotIndexSize() int {
+	w.mu.Lock()
+	w.syncHotIndexLocked()
+	n := w.hotIndex.NumDocs()
+	w.mu.Unlock()
+	return n
+}

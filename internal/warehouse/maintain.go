@@ -1,0 +1,218 @@
+package warehouse
+
+import (
+	"fmt"
+	"sort"
+
+	"cbfww/internal/cluster"
+	"cbfww/internal/core"
+	"cbfww/internal/logmine"
+	"cbfww/internal/object"
+	"cbfww/internal/text"
+	"cbfww/internal/topic"
+)
+
+func clusterPoint(id core.ObjectID, vec text.Vector) cluster.Point {
+	return cluster.Point{ID: id, Vec: vec}
+}
+
+// MineReport summarizes one MinePaths run.
+type MineReport struct {
+	Sessions     int
+	Paths        int
+	LogicalPages int
+	Regions      int
+}
+
+// MinePaths runs the Logical Page Manager's discovery pass: sessionize the
+// operational log, mine frequently traversed paths, promote them to
+// logical page objects with §5.3 content assembly, cluster the logical
+// documents into semantic regions, and hand the path set to the
+// Recommendation Manager.
+func (w *Warehouse) MinePaths() (MineReport, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+
+	sessions := logmine.Sessionize(w.log, w.cfg.SessionTimeout)
+	paths := logmine.MaximalOnly(logmine.MinePaths(sessions, w.cfg.Miner))
+	rep := MineReport{Sessions: len(sessions), Paths: len(paths)}
+
+	for _, path := range paths {
+		steps, ok := w.pathSteps(path)
+		if !ok {
+			continue
+		}
+		logical, err := w.builder.AddLogicalPage(steps)
+		if err != nil {
+			return rep, fmt.Errorf("warehouse: mine: %w", err)
+		}
+		if _, seen := w.logicalSupport[logical.ID]; !seen {
+			rep.LogicalPages++
+		}
+		w.logicalSupport[logical.ID] = path.Support
+
+		// §5.3: cluster the logical document's weighted vector into a
+		// semantic region, then reflect the region in the hierarchy.
+		vec := w.corpus.WeightedVector(logical.Title, logical.Body, w.cfg.Omega)
+		idx := w.regions.Assign(clusterPoint(logical.ID, vec))
+		name := fmt.Sprintf("region-%03d", idx)
+		if _, err := w.builder.AddRegion(name, []core.ObjectID{logical.ID}); err != nil {
+			return rep, fmt.Errorf("warehouse: mine: %w", err)
+		}
+		regionObj, _ := w.objects.ByKey(object.KindRegion, name)
+		w.regionObjOf[idx] = regionObj.ID
+		// Index the logical document so MENTION queries reach it.
+		w.index.Index(logical.ID, logical.Title+"\n"+logical.Body)
+	}
+	rep.Regions = w.regions.Len()
+	w.social.SetPaths(paths)
+	return rep, nil
+}
+
+// pathSteps converts a mined URL path into builder steps, attaching the
+// anchor texts the warehouse recorded at admission. Paths touching pages
+// the warehouse never admitted are skipped.
+func (w *Warehouse) pathSteps(p logmine.Path) ([]object.PathStep, bool) {
+	steps := make([]object.PathStep, len(p.URLs))
+	for i, url := range p.URLs {
+		st, ok := w.pages[url]
+		if !ok {
+			return nil, false
+		}
+		steps[i] = object.PathStep{URL: url}
+		if i+1 < len(p.URLs) {
+			steps[i].AnchorText = st.anchors[p.URLs[i+1]]
+		}
+	}
+	return steps, true
+}
+
+// MaintainReport summarizes one maintenance sweep.
+type MaintainReport struct {
+	Bursts     []topic.Burst
+	Prefetched int
+	Migrations int
+}
+
+// Maintain runs the warehouse's periodic self-organization: poll the Topic
+// Sensor and boost bursting terms, prefetch event pages announced by the
+// news feeds, decay the topic and region-heat models, recompute all object
+// priorities through the structural rule, re-place storage and refresh
+// backups.
+func (w *Warehouse) Maintain() (MaintainReport, error) {
+	var rep MaintainReport
+
+	// Sensor poll + topic boost (locks inside the components, not w.mu).
+	rep.Bursts = w.sensor.FeedInto(w.topics, w.cfg.TopicGain)
+
+	// Article-driven prefetch: the sensor's purpose is the "realization of
+	// prefetching operations" — event pages enter the warehouse before the
+	// request wave.
+	now := w.clock.Now()
+	w.mu.Lock()
+	var urls []string
+	for _, f := range w.feeds {
+		for _, a := range f.Since(w.lastPrefetchPoll, now) {
+			if a.URL != "" {
+				if _, resident := w.pages[a.URL]; !resident {
+					urls = append(urls, a.URL)
+				}
+			}
+		}
+	}
+	w.lastPrefetchPoll = now
+	w.mu.Unlock()
+	for _, u := range urls {
+		if err := w.Prefetch(u); err == nil {
+			rep.Prefetched++
+		}
+	}
+
+	w.topics.Decay(w.cfg.TopicDecayFactor)
+	w.prios.DecayAll()
+
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	before := w.store.Stats().Migrations
+	w.applyPrioritiesLocked()
+	w.store.Backup()
+	w.clusterTertiaryLocked()
+	rep.Migrations = w.store.Stats().Migrations - before
+	return rep, nil
+}
+
+// clusterTertiaryLocked lays the tertiary medium out by semantic region
+// (§4.4 locality of reference): pages of the same region — the ones an
+// analysis of a past hot spot retrieves together — sit adjacently on tape.
+// Requires w.mu.
+func (w *Warehouse) clusterTertiaryLocked() {
+	byRegion := make(map[int][]core.ObjectID)
+	regions := make([]int, 0, 8)
+	for _, st := range w.pages {
+		if _, seen := byRegion[st.region]; !seen {
+			regions = append(regions, st.region)
+		}
+		byRegion[st.region] = append(byRegion[st.region], st.container)
+	}
+	sort.Ints(regions)
+	var order []core.ObjectID
+	for _, r := range regions {
+		ids := byRegion[r]
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		order = append(order, ids...)
+	}
+	// Unknown IDs cannot occur (containers always exist); an error here
+	// would mean internal inconsistency, so surface it loudly in tests.
+	if err := w.store.LayoutTertiary(order); err != nil {
+		panic(err)
+	}
+}
+
+// applyPrioritiesLocked recomputes every object's priority and re-places
+// storage. Base priorities:
+//
+//   - physical pages: max(admission priority, aged-frequency heat) — the
+//     admission estimate until real usage outruns it;
+//   - logical pages: mined support, saturating;
+//   - semantic regions: the Priority Manager's aged region heat.
+//
+// The structural rule (max over containers, Fig. 2) then flows these down
+// to the raw objects the Storage Manager actually places.
+func (w *Warehouse) applyPrioritiesLocked() {
+	base := make(map[core.ObjectID]core.Priority, w.objects.Len(object.Kind(-1)))
+	for _, st := range w.pages {
+		f := w.tracker.AgedFrequency(st.physID)
+		heat := core.Priority(f / (1 + f))
+		// The admission estimate fades with each sweep: once real usage
+		// exists it should carry the priority ("priority of an object will
+		// be dynamically modified", §4.3 problem (4)).
+		st.admissionPriority *= core.Priority(w.cfg.AdmissionDecay)
+		p := st.admissionPriority
+		if heat > p {
+			p = heat
+		}
+		base[st.physID] = p
+	}
+	for id, support := range w.logicalSupport {
+		base[id] = core.Priority(float64(support) / (float64(support) + 5))
+	}
+	for idx, objID := range w.regionObjOf {
+		base[objID] = core.Priority(w.prios.RegionHeat(idx))
+	}
+	eff := w.objects.EffectivePriorities(base)
+
+	raws := make(map[core.ObjectID]core.Priority)
+	w.objects.ForEach(object.KindRaw, func(o *object.Object) {
+		if p, ok := eff[o.ID]; ok {
+			raws[o.ID] = p
+		}
+	})
+	w.store.ApplyPriorities(raws)
+}
+
+// AccessLog returns a copy of the operational log.
+func (w *Warehouse) AccessLog() logmine.Log {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return append(logmine.Log(nil), w.log...)
+}

@@ -1,0 +1,113 @@
+package warehouse
+
+import (
+	"cbfww/internal/analyzer"
+	"cbfww/internal/core"
+	"cbfww/internal/object"
+	"cbfww/internal/query"
+	"cbfww/internal/recommend"
+	"cbfww/internal/text"
+	"cbfww/internal/usage"
+)
+
+// querySource adapts the warehouse to the query executor. It is a separate
+// type so the warehouse's public surface stays small.
+type querySource struct{ w *Warehouse }
+
+// Rows implements query.Source.
+func (s querySource) Rows(kind object.Kind) []*object.Object {
+	var out []*object.Object
+	s.w.objects.ForEach(kind, func(o *object.Object) { out = append(out, o) })
+	return out
+}
+
+// UsageOf implements query.Source.
+func (s querySource) UsageOf(id core.ObjectID) (usage.Snapshot, bool) {
+	return s.w.tracker.Get(id)
+}
+
+// FrequencyOf implements query.Source.
+func (s querySource) FrequencyOf(id core.ObjectID) float64 {
+	return s.w.tracker.AgedFrequency(id)
+}
+
+// ChildrenOf implements query.Source.
+func (s querySource) ChildrenOf(id core.ObjectID) []core.ObjectID {
+	return s.w.objects.Children(id)
+}
+
+// Query parses and executes a popularity-aware query (§4.3). The query
+// text is first run through the Topic Manager's expansion only for MENTION
+// phrases at the caller's choice — Query executes exactly what was given;
+// use ExpandQuery to pre-expand.
+func (w *Warehouse) Query(q string) ([]query.Row, error) {
+	return query.RunString(q, querySource{w: w})
+}
+
+// ExpandQuery rewrites free-text search terms through the Topic Manager
+// (§3(1): "A query given by a user is modified by the contents of Topic
+// Manager").
+func (w *Warehouse) ExpandQuery(text string) string {
+	return w.topics.ExpandQuery(text, 2)
+}
+
+// Search runs ranked full-text retrieval over the warehouse's contents —
+// the Search-Engine face of the system.
+func (w *Warehouse) Search(queryText string, n int) []text.Score {
+	return w.index.Search(queryText, n)
+}
+
+// Recommend returns content suggestions for the user over everything the
+// warehouse holds.
+func (w *Warehouse) Recommend(user string, n int) []recommend.Suggestion {
+	w.mu.Lock()
+	candidates := make(map[core.ObjectID]text.Vector, len(w.pages))
+	for _, st := range w.pages {
+		candidates[st.physID] = st.vec
+	}
+	w.mu.Unlock()
+	return w.social.Recommend(user, candidates, n)
+}
+
+// NextHops returns social-navigation suggestions for a user standing on
+// url.
+func (w *Warehouse) NextHops(url string, n int) []recommend.PathSuggestion {
+	return w.social.NextHops(url, n)
+}
+
+// Analyze runs the Data Analyzer over the warehouse's operational log.
+func (w *Warehouse) Analyze() analyzer.Report {
+	return analyzer.Analyze(w.AccessLog(), 3)
+}
+
+// ResidentPages returns the number of admitted physical pages.
+func (w *Warehouse) ResidentPages() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.pages)
+}
+
+// PageInfo describes one admitted page for tooling.
+type PageInfo struct {
+	URL      string
+	Version  int
+	Region   int
+	Priority core.Priority
+	Tier     string
+}
+
+// Pages lists admitted pages (unspecified order).
+func (w *Warehouse) Pages() []PageInfo {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make([]PageInfo, 0, len(w.pages))
+	for url, st := range w.pages {
+		info := PageInfo{URL: url, Version: st.version, Region: st.region}
+		info.Priority, _ = w.store.Priority(st.container)
+		if tier, ok := w.store.Contains(st.container); ok {
+			info.Tier = tier.String()
+		}
+		out = append(out, info)
+	}
+	return out
+}

@@ -1,0 +1,75 @@
+package warehouse
+
+import (
+	"fmt"
+	"sort"
+
+	"cbfww/internal/core"
+	"cbfww/internal/query"
+)
+
+// §3(5): "Views of relevant contents are maintained for each user so that
+// recommendation is possible." A view is a named, stored popularity-aware
+// query owned by a user; evaluating it always reflects the warehouse's
+// current contents and usage metadata — a materialized-view-on-demand over
+// the cache, which is exactly the non-transparency the paper wants.
+
+// ViewInfo describes a stored view.
+type ViewInfo struct {
+	User, Name, Query string
+}
+
+// SaveView stores (or replaces) a named view for the user. The query is
+// parsed eagerly so a broken view is rejected at definition time.
+func (w *Warehouse) SaveView(user, name, queryText string) error {
+	if user == "" || name == "" {
+		return fmt.Errorf("warehouse: %w: view needs user and name", core.ErrInvalid)
+	}
+	if _, err := query.Parse(queryText); err != nil {
+		return fmt.Errorf("warehouse: view %q: %w", name, err)
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.views == nil {
+		w.views = make(map[string]map[string]string)
+	}
+	if w.views[user] == nil {
+		w.views[user] = make(map[string]string)
+	}
+	w.views[user][name] = queryText
+	return nil
+}
+
+// View evaluates a stored view against the current warehouse state.
+func (w *Warehouse) View(user, name string) ([]query.Row, error) {
+	w.mu.Lock()
+	queryText, ok := w.views[user][name]
+	w.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("warehouse: view %s/%s: %w", user, name, core.ErrNotFound)
+	}
+	return w.Query(queryText)
+}
+
+// DropView removes a stored view.
+func (w *Warehouse) DropView(user, name string) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, ok := w.views[user][name]; !ok {
+		return fmt.Errorf("warehouse: view %s/%s: %w", user, name, core.ErrNotFound)
+	}
+	delete(w.views[user], name)
+	return nil
+}
+
+// Views lists a user's stored views, sorted by name.
+func (w *Warehouse) Views(user string) []ViewInfo {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make([]ViewInfo, 0, len(w.views[user]))
+	for name, q := range w.views[user] {
+		out = append(out, ViewInfo{User: user, Name: name, Query: q})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

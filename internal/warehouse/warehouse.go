@@ -1,0 +1,312 @@
+// Package warehouse is the core of the reproduction: the Capacity
+// Bound-free Web Warehouse itself. It wires every manager from Figure 1
+// around one fetch-through path:
+//
+//	user request ── resident? ──► Storage Manager (tiered access)
+//	      │ miss                      ▲ placement by priority
+//	      ▼                           │
+//	Web Requester ─► Constraint Mgr ─► Priority Mgr (admission-time priority
+//	      │                           from semantic regions + hot topics)
+//	      ▼                           │
+//	   indexes, version store, usage log, semantic regions, topic model
+//
+// plus the non-transparent surfaces the paper promises: popularity-aware
+// queries (§4.3), recommendations and social navigation (§3(5)),
+// version history (§3(6)) and usage analysis.
+package warehouse
+
+import (
+	"fmt"
+	"sync"
+
+	"cbfww/internal/blob"
+	"cbfww/internal/cluster"
+	"cbfww/internal/constraint"
+	"cbfww/internal/core"
+	"cbfww/internal/logmine"
+	"cbfww/internal/object"
+	"cbfww/internal/priority"
+	"cbfww/internal/recommend"
+	"cbfww/internal/schema"
+	"cbfww/internal/simweb"
+	"cbfww/internal/storage"
+	"cbfww/internal/text"
+	"cbfww/internal/topic"
+	"cbfww/internal/usage"
+	"cbfww/internal/version"
+)
+
+// Config assembles the warehouse's tunables.
+type Config struct {
+	// Storage sizes the tier hierarchy.
+	Storage storage.Config
+	// Admission rules gate what enters the warehouse; nil admits all.
+	Admission *constraint.Admission
+	// Consistency picks strong or weak freshness.
+	Consistency constraint.Consistency
+	// Priority tunes admission-time priority.
+	Priority priority.Config
+	// RegionMinSim is the cosine threshold for semantic-region membership;
+	// RegionMax caps the region count (0 = unbounded).
+	RegionMinSim float64
+	RegionMax    int
+	// Omega is the title-over-body weight of §5.3 (ω > 1).
+	Omega float64
+	// WindowSize and Lambda configure the usage tracker's estimators;
+	// AgingEpoch is the λ-aging epoch length in ticks.
+	WindowSize core.Duration
+	Lambda     float64
+	AgingEpoch core.Duration
+	// SessionTimeout separates navigation sessions for path mining.
+	SessionTimeout core.Duration
+	// Miner bounds logical-document discovery.
+	Miner logmine.MinerConfig
+	// VersionDepth bounds stored versions per URL (0 = unlimited).
+	VersionDepth int
+	// BlobDir, when non-empty, stores version bodies content-addressed on
+	// disk (internal/blob): shared and repeated content is stored once,
+	// and pruned versions are garbage-collected.
+	BlobDir string
+	// ProfileBlend tunes recommendation profiles.
+	ProfileBlend float64
+	// SensorDecay tunes topic-burst baselines.
+	SensorDecay float64
+	// TopicGain scales how strongly news bursts boost the topic model.
+	TopicGain float64
+	// TopicDecayFactor is applied to the topic model at every Maintain.
+	TopicDecayFactor float64
+	// AdmissionDecay is applied to each page's admission-time priority
+	// estimate at every Maintain: the estimate is evidence about an
+	// object nobody has re-referenced yet, and it must fade on a disuse
+	// timescale so measured usage takes over (§4.3 problem (4)).
+	AdmissionDecay float64
+}
+
+// ApplySchema merges a parsed storage-schema definition (§4.4's schema
+// definition language, internal/schema) into the configuration: storage
+// geometry, admission rules and consistency discipline.
+func (c *Config) ApplySchema(s schema.Schema) {
+	s.Apply(&c.Storage, &c.Admission, &c.Consistency)
+}
+
+// DefaultConfig returns the configuration the experiments run with.
+func DefaultConfig() Config {
+	return Config{
+		Storage:          storage.DefaultConfig(),
+		Admission:        constraint.NewAdmission(),
+		Consistency:      constraint.DefaultConsistency(),
+		Priority:         priority.DefaultConfig(),
+		RegionMinSim:     0.15,
+		RegionMax:        256,
+		Omega:            3,
+		WindowSize:       7 * 24 * 3600, // the paper's "last week" window
+		Lambda:           0.3,
+		AgingEpoch:       3600,
+		SessionTimeout:   1800,
+		Miner:            logmine.DefaultMinerConfig(),
+		VersionDepth:     16,
+		ProfileBlend:     0.2,
+		SensorDecay:      0.9,
+		TopicGain:        1.0,
+		TopicDecayFactor: 0.98,
+		AdmissionDecay:   0.8,
+	}
+}
+
+// Origin is the warehouse's view of the web — the Web Requester's
+// downstream. *simweb.Web implements it natively (in-process simulation);
+// crawl.Requester implements it over real HTTP sockets.
+type Origin interface {
+	// Fetch retrieves the current content of url with its origin cost.
+	Fetch(url string) (simweb.FetchResult, error)
+	// Head returns version and last-modified without a body transfer —
+	// the weak-consistency revalidation probe.
+	Head(url string) (version int, lastMod core.Time, err error)
+}
+
+// Stats counts warehouse activity.
+type Stats struct {
+	Requests      int
+	Hits          int // served from the warehouse (any tier)
+	MemoryHits    int
+	OriginFetches int
+	Revalidations int
+	Refetches     int // revalidations that found new content
+	Prefetches    int
+	Rejected      int // admission-constraint rejections
+	// IndexMemoryProbes / IndexDiskProbes count tiered index accesses
+	// (§4.1's index hierarchy).
+	IndexMemoryProbes int
+	IndexDiskProbes   int
+	// LatencyTotal accumulates user-visible latency (tier or origin).
+	LatencyTotal core.Duration
+}
+
+// HitRatio returns warehouse hits over requests.
+func (s Stats) HitRatio() float64 {
+	if s.Requests == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Requests)
+}
+
+// MeanLatency returns average user-visible latency per request.
+func (s Stats) MeanLatency() float64 {
+	if s.Requests == 0 {
+		return 0
+	}
+	return float64(s.LatencyTotal) / float64(s.Requests)
+}
+
+// pageState is warehouse-local bookkeeping per admitted physical page.
+type pageState struct {
+	physID    core.ObjectID
+	container core.ObjectID
+	version   int
+	vec       text.Vector
+	region    int
+	lastCheck core.Time
+	// updateGap is an EMA of observed ticks between content changes.
+	updateGap         float64
+	lastMod           core.Time
+	admissionPriority core.Priority
+	// anchors maps link target URL -> anchor text, recorded at admission
+	// so logical-document titles can be assembled without re-consulting
+	// the origin (§5.2).
+	anchors map[string]string
+	// inHotIndex tracks membership of the memory-resident detailed index
+	// (§4.1's index hierarchy).
+	inHotIndex bool
+}
+
+// Warehouse is the assembled CBFWW system.
+type Warehouse struct {
+	cfg   Config
+	clock core.Clock
+	web   Origin
+
+	corpus   *text.Corpus
+	index    *text.InvertedIndex
+	hotIndex *text.InvertedIndex
+	objects  *object.Hierarchy
+	builder  *object.Builder
+	tracker  *usage.Tracker
+	regions  *cluster.Online
+	topics   *topic.Manager
+	sensor   *topic.Sensor
+	prios    *priority.Manager
+	store    *storage.Manager
+	history  *version.Store
+	social   *recommend.Manager
+
+	mu               sync.Mutex
+	pages            map[string]*pageState // by URL
+	log              logmine.Log
+	feeds            []*simweb.NewsFeed
+	lastPrefetchPoll core.Time
+	// logicalSupport remembers mined path support per logical page ID.
+	logicalSupport map[core.ObjectID]int
+	// regionObjOf maps cluster region index -> region object ID.
+	regionObjOf map[int]core.ObjectID
+	// views holds per-user stored queries: user -> name -> query text
+	// (§3(5)'s per-user views of relevant contents).
+	views map[string]map[string]string
+	stats Stats
+}
+
+// New assembles a warehouse over the given (simulated) web.
+func New(cfg Config, clock core.Clock, web Origin) (*Warehouse, error) {
+	if clock == nil || web == nil {
+		return nil, fmt.Errorf("warehouse: %w: nil clock or web", core.ErrInvalid)
+	}
+	store, err := storage.NewManager(cfg.Storage)
+	if err != nil {
+		return nil, err
+	}
+	regions, err := cluster.NewOnline(cfg.RegionMinSim, cfg.RegionMax)
+	if err != nil {
+		return nil, err
+	}
+	corpus := text.NewCorpus()
+	topics := topic.NewManager(corpus.Dict())
+	prios, err := priority.NewManager(cfg.Priority, clock, regions, topics)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Admission == nil {
+		cfg.Admission = constraint.NewAdmission()
+	}
+	if cfg.AdmissionDecay <= 0 || cfg.AdmissionDecay > 1 {
+		cfg.AdmissionDecay = 0.8
+	}
+	w := &Warehouse{
+		cfg:              cfg,
+		clock:            clock,
+		web:              web,
+		corpus:           corpus,
+		index:            text.NewInvertedIndex(corpus.Dict()),
+		hotIndex:         text.NewInvertedIndex(corpus.Dict()),
+		objects:          object.NewHierarchy(),
+		tracker:          usage.NewTracker(clock, cfg.WindowSize, cfg.Lambda),
+		regions:          regions,
+		topics:           topics,
+		sensor:           topic.NewSensor(clock, cfg.SensorDecay),
+		prios:            prios,
+		store:            store,
+		history:          version.NewStore(cfg.VersionDepth),
+		social:           recommend.NewManager(cfg.ProfileBlend),
+		pages:            make(map[string]*pageState),
+		lastPrefetchPoll: core.TimeNever,
+		logicalSupport:   make(map[core.ObjectID]int),
+		regionObjOf:      make(map[int]core.ObjectID),
+	}
+	if cfg.AgingEpoch > 0 {
+		w.tracker.SetAgingEpoch(cfg.AgingEpoch)
+	}
+	if cfg.BlobDir != "" {
+		bs, err := blob.Open(cfg.BlobDir)
+		if err != nil {
+			return nil, err
+		}
+		w.history.UseBlobs(bs)
+	}
+	w.builder = object.NewBuilder(w.objects)
+	return w, nil
+}
+
+// WatchFeed registers a news feed with the Topic Sensor.
+func (w *Warehouse) WatchFeed(f *simweb.NewsFeed) {
+	w.sensor.AddFeed(f)
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.feeds = append(w.feeds, f)
+}
+
+// Stats returns a copy of the activity counters.
+func (w *Warehouse) Stats() Stats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.stats
+}
+
+// Clock exposes the warehouse clock (examples print times).
+func (w *Warehouse) Clock() core.Clock { return w.clock }
+
+// Topics exposes the Topic Manager (REPL: HOT, RELATED).
+func (w *Warehouse) Topics() *topic.Manager { return w.topics }
+
+// Regions exposes the semantic-region clusterer.
+func (w *Warehouse) Regions() *cluster.Online { return w.regions }
+
+// StorageManager exposes the storage tiers (failure-injection experiments).
+func (w *Warehouse) StorageManager() *storage.Manager { return w.store }
+
+// Versions exposes the version store.
+func (w *Warehouse) Versions() *version.Store { return w.history }
+
+// Corpus exposes the shared corpus (examples vectorize queries with it).
+func (w *Warehouse) Corpus() *text.Corpus { return w.corpus }
+
+// Hierarchy exposes the object hierarchy for experiments that inspect
+// structure directly.
+func (w *Warehouse) Hierarchy() *object.Hierarchy { return w.objects }

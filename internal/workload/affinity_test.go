@@ -1,0 +1,105 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"cbfww/internal/core"
+)
+
+// topicConcentration measures the Herfindahl index of traffic over
+// topics: 1/topics for uniform spread, approaching 1 when one topic owns
+// all traffic.
+func topicConcentration(g *GeneratedWeb, tr *Trace) float64 {
+	counts := make(map[int]int)
+	total := 0
+	for _, r := range tr.Log {
+		counts[g.TopicOf[r.URL]]++
+		total++
+	}
+	var h float64
+	for _, c := range counts {
+		p := float64(c) / float64(total)
+		h += p * p
+	}
+	return h
+}
+
+func genWithAffinity(t *testing.T, affinity float64) (*GeneratedWeb, *Trace) {
+	t.Helper()
+	clock := core.NewSimClock(0)
+	wcfg := DefaultWebConfig()
+	wcfg.Sites, wcfg.PagesPerSite = 10, 40
+	g, err := GenerateWeb(clock, wcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tcfg := DefaultTraceConfig()
+	tcfg.Sessions = 1500
+	tcfg.Length = 100_000
+	tcfg.ZipfS = 1.0
+	tcfg.TopicAffinity = affinity
+	tcfg.FollowLinkProb = 0 // entries only: pure popularity signal
+	tr, err := GenerateTrace(g, clock, tcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, tr
+}
+
+func TestTopicAffinityConcentratesTraffic(t *testing.T) {
+	_, tr0 := genWithAffinity(t, 0)
+	g0, _ := genWithAffinity(t, 0)
+	_ = g0
+	gA, trA := genWithAffinity(t, 1)
+	g, _ := genWithAffinity(t, 0)
+	c0 := topicConcentration(g, tr0)
+	cA := topicConcentration(gA, trA)
+	if cA <= c0*1.5 {
+		t.Errorf("affinity did not concentrate traffic: H(0)=%v H(1)=%v", c0, cA)
+	}
+}
+
+func TestPopularityOrderIsPermutation(t *testing.T) {
+	for _, affinity := range []float64{0, 0.5, 1} {
+		g, _ := genWithAffinity(t, affinity)
+		rng := rand.New(rand.NewSource(7))
+		perm := popularityOrder(rng, g, affinity)
+		if len(perm) != len(g.PageURLs) {
+			t.Fatalf("affinity %v: perm length %d", affinity, len(perm))
+		}
+		sorted := append([]int(nil), perm...)
+		sort.Ints(sorted)
+		for i, v := range sorted {
+			if v != i {
+				t.Fatalf("affinity %v: not a permutation at %d: %d", affinity, i, v)
+			}
+		}
+	}
+}
+
+func TestPopularityOrderBlockedAtFullAffinity(t *testing.T) {
+	g, _ := genWithAffinity(t, 1)
+	rng := rand.New(rand.NewSource(3))
+	perm := popularityOrder(rng, g, 1)
+	// With affinity 1, topics appear in contiguous blocks: count topic
+	// switches along the rank order; it must be close to the number of
+	// topics, far below a random permutation's switches.
+	switches := 0
+	for i := 1; i < len(perm); i++ {
+		a := g.TopicOf[g.PageURLs[perm[i-1]]]
+		b := g.TopicOf[g.PageURLs[perm[i]]]
+		if a != b {
+			switches++
+		}
+	}
+	topics := len(g.Vocab.Topics)
+	if switches > topics*2 {
+		t.Errorf("blocked order has %d topic switches for %d topics", switches, topics)
+	}
+	if math.IsNaN(float64(switches)) {
+		t.Fatal("unreachable")
+	}
+}

@@ -1,0 +1,126 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// baseWords is a pool of common English nouns used to build per-topic
+// vocabularies. Topic vocabularies are disjoint slices of this pool
+// (extended with synthesized words when the pool runs out), so clustering
+// has real ground truth to recover while the text still looks like text.
+var baseWords = []string{
+	"station", "temple", "garden", "festival", "river", "mountain",
+	"bridge", "market", "castle", "shrine", "museum", "theater",
+	"library", "harbor", "island", "forest", "valley", "meadow",
+	"train", "ticket", "schedule", "platform", "express", "transfer",
+	"soccer", "baseball", "stadium", "player", "coach", "league",
+	"tournament", "score", "goal", "match", "season", "champion",
+	"stock", "bond", "yield", "inflation", "currency", "dividend",
+	"earnings", "merger", "portfolio", "analyst", "forecast", "profit",
+	"senate", "election", "ballot", "policy", "minister", "cabinet",
+	"treaty", "summit", "reform", "budget", "governor", "mayor",
+	"protein", "genome", "neuron", "molecule", "particle", "quantum",
+	"orbit", "galaxy", "telescope", "microbe", "enzyme", "fossil",
+	"processor", "network", "router", "protocol", "kernel", "compiler",
+	"database", "query", "index", "storage", "latency", "bandwidth",
+	"recipe", "noodle", "broth", "tofu", "seaweed", "matcha",
+	"sushi", "tempura", "sake", "ramen", "bento", "wasabi",
+	"guitar", "piano", "violin", "concert", "melody", "rhythm",
+	"orchestra", "chorus", "opera", "ballet", "lyric", "album",
+	"painting", "sculpture", "gallery", "canvas", "portrait", "mural",
+	"novel", "poem", "author", "chapter", "editor", "publisher",
+	"doctor", "clinic", "vaccine", "surgery", "diagnosis", "therapy",
+	"weather", "typhoon", "rainfall", "humidity", "blizzard", "drought",
+	"airline", "airport", "runway", "luggage", "passport", "customs",
+	"hotel", "ryokan", "hostel", "reservation", "checkout", "lobby",
+	"student", "lecture", "campus", "diploma", "professor", "seminar",
+	"factory", "assembly", "robot", "welding", "turbine", "conveyor",
+	"farmer", "harvest", "paddy", "orchard", "irrigation", "tractor",
+	"lawyer", "verdict", "appeal", "statute", "contract", "tribunal",
+	"soldier", "regiment", "fortress", "armistice", "brigade", "garrison",
+	"merchant", "bazaar", "caravan", "ledger", "invoice", "warehouse",
+}
+
+// connectives pad generated sentences so the text has realistic stop-word
+// density; they carry no topical signal (most are on the stop list).
+var connectives = []string{
+	"the", "of", "and", "in", "for", "with", "near", "about", "from", "to",
+}
+
+// Vocabulary holds per-topic word lists plus a shared pool.
+type Vocabulary struct {
+	Topics [][]string
+	Shared []string
+}
+
+// NewVocabulary partitions the word pool into nTopics disjoint topic
+// vocabularies of perTopic words plus a shared pool of nShared words.
+// When the base pool is exhausted, synthetic words ("kyotoql3") extend it
+// deterministically.
+func NewVocabulary(nTopics, perTopic, nShared int) *Vocabulary {
+	if nTopics < 1 || perTopic < 1 || nShared < 0 {
+		panic("workload: invalid vocabulary shape")
+	}
+	need := nTopics*perTopic + nShared
+	pool := make([]string, 0, need)
+	pool = append(pool, baseWords...)
+	for i := 0; len(pool) < need; i++ {
+		// Suffix with a letter pair so the Porter stemmer leaves the word
+		// intact and no collision with the base pool is possible.
+		pool = append(pool, fmt.Sprintf("%sq%c%c", baseWords[i%len(baseWords)],
+			'a'+rune(i%26), 'a'+rune((i/26)%26)))
+	}
+	v := &Vocabulary{Topics: make([][]string, nTopics)}
+	for t := 0; t < nTopics; t++ {
+		v.Topics[t] = pool[t*perTopic : (t+1)*perTopic]
+	}
+	v.Shared = pool[nTopics*perTopic : nTopics*perTopic+nShared]
+	return v
+}
+
+// TopicWord samples one word of topic t; earlier words in the topic list
+// are favored (Zipf-ish within topic) so per-topic term distributions are
+// realistic.
+func (v *Vocabulary) TopicWord(rng *rand.Rand, t int) string {
+	words := v.Topics[t%len(v.Topics)]
+	// Square a uniform to bias toward low indices.
+	u := rng.Float64()
+	i := int(u * u * float64(len(words)))
+	if i >= len(words) {
+		i = len(words) - 1
+	}
+	return words[i]
+}
+
+// SharedWord samples a shared-pool word; returns "" when there is no pool.
+func (v *Vocabulary) SharedWord(rng *rand.Rand) string {
+	if len(v.Shared) == 0 {
+		return ""
+	}
+	return v.Shared[rng.Intn(len(v.Shared))]
+}
+
+// Sentence generates n content words of topic t, mixing in shared words
+// with probability sharedProb and connectives between words.
+func (v *Vocabulary) Sentence(rng *rand.Rand, t, n int, sharedProb float64) string {
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			b.WriteByte(' ')
+			if rng.Float64() < 0.3 {
+				b.WriteString(connectives[rng.Intn(len(connectives))])
+				b.WriteByte(' ')
+			}
+		}
+		if sharedProb > 0 && rng.Float64() < sharedProb {
+			if w := v.SharedWord(rng); w != "" {
+				b.WriteString(w)
+				continue
+			}
+		}
+		b.WriteString(v.TopicWord(rng, t))
+	}
+	return b.String()
+}
