@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench tables examples clean
+.PHONY: all build test race cover bench tables serve examples clean
 
 all: build test
 
@@ -14,8 +14,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/warehouse/ ./internal/crawl/ \
-		./internal/cluster/ ./internal/storage/ ./internal/blob/
+	$(GO) test -race ./...
 
 cover:
 	$(GO) test -cover ./...
@@ -27,6 +26,10 @@ bench:
 # Paper tables via the CLI (same experiments, readable output).
 tables:
 	$(GO) run ./cmd/cbfww-bench
+
+# The warehouse as a network daemon (ctrl-C drains and exits).
+serve:
+	$(GO) run ./cmd/cbfww-serve
 
 examples:
 	$(GO) run ./examples/quickstart

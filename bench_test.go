@@ -9,10 +9,14 @@ package cbfww_bench
 
 import (
 	"fmt"
+	"io"
+	"net/http/httptest"
+	"sync"
 	"testing"
 
 	"cbfww/internal/core"
 	"cbfww/internal/experiments"
+	"cbfww/internal/gateway"
 	"cbfww/internal/warehouse"
 	"cbfww/internal/workload"
 )
@@ -199,6 +203,106 @@ func BenchmarkWarehouseMinePaths(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// --- gateway (network daemon) benchmarks ------------------------------
+
+// benchGateway stands a gateway daemon up over a fresh warehouse on a real
+// test socket. warm pre-fetches every page so /fetch serves pure hits.
+func benchGateway(b *testing.B, warm bool) (*httptest.Server, *workload.GeneratedWeb, *warehouse.Warehouse) {
+	b.Helper()
+	clock := core.NewSimClock(0)
+	wcfg := workload.DefaultWebConfig()
+	wcfg.Sites, wcfg.PagesPerSite, wcfg.Seed = 10, 50, benchSeed
+	g, err := workload.GenerateWeb(clock, wcfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w, err := warehouse.New(warehouse.DefaultConfig(), clock, g.Web)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if warm {
+		for _, u := range g.PageURLs {
+			if _, err := w.Get("warm", u); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	s, err := gateway.New(gateway.Config{}, w)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return httptest.NewServer(s.Handler()), g, w
+}
+
+// BenchmarkGatewayParallelFetch measures hot-hit serving under parallel
+// clients: every requested URL is already resident, so the daemon's
+// read-locked serve path and the HTTP plumbing are what is being timed.
+func BenchmarkGatewayParallelFetch(b *testing.B) {
+	ts, g, _ := benchGateway(b, true)
+	defer ts.Close()
+	client := ts.Client()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			u := g.PageURLs[i%len(g.PageURLs)]
+			i++
+			resp, err := client.Get(ts.URL + "/fetch?url=" + u)
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != 200 {
+				b.Errorf("fetch %s = %d", u, resp.StatusCode)
+				return
+			}
+		}
+	})
+}
+
+// BenchmarkGatewayMissStorm measures the coalesced cold path: 50
+// concurrent requests for one cold URL, which must cost exactly one
+// origin fetch (the paper's hot-spot arrival shape, §3(3)).
+func BenchmarkGatewayMissStorm(b *testing.B) {
+	const storm = 50
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		ts, g, w := benchGateway(b, false)
+		client := ts.Client()
+		cold := g.PageURLs[0]
+		b.StartTimer()
+
+		var wg sync.WaitGroup
+		for j := 0; j < storm; j++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				resp, err := client.Get(ts.URL + "/fetch?url=" + cold)
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != 200 {
+					b.Errorf("storm fetch = %d", resp.StatusCode)
+				}
+			}()
+		}
+		wg.Wait()
+
+		b.StopTimer()
+		if n := w.Stats().OriginFetches; n != 1 {
+			b.Fatalf("miss storm cost %d origin fetches, want exactly 1", n)
+		}
+		ts.Close()
+		b.StartTimer()
+	}
+	b.ReportMetric(storm, "reqs/storm")
 }
 
 func firstWord(s string) string {

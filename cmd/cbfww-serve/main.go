@@ -1,0 +1,197 @@
+// Command cbfww-serve runs the warehouse as a network daemon: the gateway
+// subsystem serving fetch-through, popularity-aware queries, search and
+// recommendations over HTTP.
+//
+// By default it warehouses a generated synthetic web (in-process origin):
+//
+//	cbfww-serve -addr 127.0.0.1:8642 -sites 8 -pages 25
+//
+// With -origin it fetches through real HTTP sockets instead, resolving
+// every logical host to the given address (e.g. a simweb origin started
+// elsewhere):
+//
+//	cbfww-serve -origin 127.0.0.1:9000
+//
+// Endpoints: GET /fetch?url=, POST /query, GET /search, GET /recommend,
+// GET /stats, GET /healthz. SIGINT/SIGTERM shut down gracefully, draining
+// in-flight requests.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"cbfww/internal/core"
+	"cbfww/internal/crawl"
+	"cbfww/internal/gateway"
+	"cbfww/internal/schema"
+	"cbfww/internal/warehouse"
+	"cbfww/internal/workload"
+)
+
+// options collects the daemon's flags (separated from flag parsing so the
+// smoke test can build a daemon directly).
+type options struct {
+	addr          string
+	sites, pages  int
+	seed          int64
+	schemaFile    string
+	origin        string
+	workers       int
+	fetchTimeout  time.Duration
+	maintainEvery time.Duration
+}
+
+// daemon bundles the running pieces: the gateway server, the warehouse
+// behind it, and the optional maintenance loop.
+type daemon struct {
+	srv *gateway.Server
+	wh  *warehouse.Warehouse
+	// urls samples the built-in simulated web (empty with -origin) so
+	// operators and tests have something to curl.
+	urls []string
+
+	maintainEvery time.Duration
+	stopMaintain  chan struct{}
+	maintainDone  chan struct{}
+}
+
+// build assembles warehouse + gateway per the options.
+func build(opts options) (*daemon, error) {
+	cfg := warehouse.DefaultConfig()
+	cfg.Miner.MinSupport = 2
+	if opts.schemaFile != "" {
+		text, err := os.ReadFile(opts.schemaFile)
+		if err != nil {
+			return nil, err
+		}
+		s, err := schema.Parse(string(text))
+		if err != nil {
+			return nil, err
+		}
+		cfg.ApplySchema(s)
+	}
+
+	// A serving daemon lives on wall-clock time: usage windows, aging and
+	// consistency polling all tick in real seconds.
+	clock := core.NewWallClock()
+
+	var (
+		origin warehouse.Origin
+		urls   []string
+	)
+	if opts.origin != "" {
+		req, err := crawl.NewRequester(crawl.DefaultConfig(), crawl.FixedResolver(opts.origin))
+		if err != nil {
+			return nil, err
+		}
+		origin = req
+	} else {
+		wcfg := workload.DefaultWebConfig()
+		wcfg.Sites, wcfg.PagesPerSite, wcfg.Seed = opts.sites, opts.pages, opts.seed
+		g, err := workload.GenerateWeb(clock, wcfg)
+		if err != nil {
+			return nil, err
+		}
+		origin = g.Web
+		urls = g.PageURLs
+	}
+
+	wh, err := warehouse.New(cfg, clock, origin)
+	if err != nil {
+		return nil, err
+	}
+	srv, err := gateway.New(gateway.Config{
+		Addr:         opts.addr,
+		FetchWorkers: opts.workers,
+		FetchTimeout: opts.fetchTimeout,
+	}, wh)
+	if err != nil {
+		return nil, err
+	}
+	return &daemon{srv: srv, wh: wh, urls: urls, maintainEvery: opts.maintainEvery}, nil
+}
+
+// start binds the listener and, when configured, the maintenance loop.
+func (d *daemon) start() error {
+	if err := d.srv.Start(); err != nil {
+		return err
+	}
+	if d.maintainEvery > 0 {
+		d.stopMaintain = make(chan struct{})
+		d.maintainDone = make(chan struct{})
+		go func() {
+			defer close(d.maintainDone)
+			t := time.NewTicker(d.maintainEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					if _, err := d.wh.Maintain(); err != nil {
+						log.Printf("maintain: %v", err)
+					}
+				case <-d.stopMaintain:
+					return
+				}
+			}
+		}()
+	}
+	return nil
+}
+
+// shutdown drains in-flight requests and stops the maintenance loop.
+func (d *daemon) shutdown(ctx context.Context) error {
+	if d.stopMaintain != nil {
+		close(d.stopMaintain)
+		<-d.maintainDone
+		d.stopMaintain = nil
+	}
+	return d.srv.Shutdown(ctx)
+}
+
+func main() {
+	opts := options{}
+	flag.StringVar(&opts.addr, "addr", "127.0.0.1:8642", "listen address")
+	flag.IntVar(&opts.sites, "sites", 8, "origin sites in the synthetic web (in-process origin)")
+	flag.IntVar(&opts.pages, "pages", 25, "pages per site (in-process origin)")
+	flag.Int64Var(&opts.seed, "seed", 1, "random seed for the synthetic web")
+	flag.StringVar(&opts.schemaFile, "schema", "", "storage schema definition file (see internal/schema)")
+	flag.StringVar(&opts.origin, "origin", "", "fetch through real HTTP, resolving all hosts to this host:port")
+	flag.IntVar(&opts.workers, "workers", 32, "max concurrent origin fetches")
+	flag.DurationVar(&opts.fetchTimeout, "fetch-timeout", 10*time.Second, "per-request origin fetch budget")
+	flag.DurationVar(&opts.maintainEvery, "maintain-every", time.Minute, "maintenance sweep interval (0 disables)")
+	grace := flag.Duration("grace", 15*time.Second, "graceful-shutdown drain budget")
+	flag.Parse()
+
+	d, err := build(opts)
+	if err != nil {
+		log.Fatalf("cbfww-serve: %v", err)
+	}
+	if err := d.start(); err != nil {
+		log.Fatalf("cbfww-serve: %v", err)
+	}
+	log.Printf("cbfww-serve listening on http://%s", d.srv.Addr())
+	if len(d.urls) > 0 {
+		log.Printf("try: curl 'http://%s/fetch?url=%s'", d.srv.Addr(), d.urls[0])
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	s := <-sig
+	log.Printf("received %v; draining in-flight requests", s)
+
+	ctx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	if err := d.shutdown(ctx); err != nil {
+		log.Fatalf("cbfww-serve: shutdown: %v", err)
+	}
+	st := d.wh.Stats()
+	fmt.Printf("served %d requests (%.0f%% hits), %d origin fetches\n",
+		st.Requests, 100*st.HitRatio(), st.OriginFetches)
+}

@@ -1,0 +1,101 @@
+package main
+
+// Smoke test: bring the daemon up on an ephemeral port, hit /healthz and
+// one /fetch over a real socket, and shut down cleanly.
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestServeSmoke(t *testing.T) {
+	d, err := build(options{
+		addr:         "127.0.0.1:0",
+		sites:        3,
+		pages:        8,
+		seed:         1,
+		workers:      4,
+		fetchTimeout: 5 * time.Second,
+		// maintainEvery 0: no background sweeps during the smoke test.
+	})
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	if err := d.start(); err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	base := "http://" + d.srv.Addr()
+	client := &http.Client{Timeout: 10 * time.Second}
+
+	resp, err := client.Get(base + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || strings.TrimSpace(string(body)) != "ok" {
+		t.Fatalf("healthz = %d %q", resp.StatusCode, body)
+	}
+
+	if len(d.urls) == 0 {
+		t.Fatal("daemon over built-in web reported no sample URLs")
+	}
+	resp, err = client.Get(base + "/fetch?url=" + d.urls[0])
+	if err != nil {
+		t.Fatalf("fetch: %v", err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("fetch = %d (%s)", resp.StatusCode, body)
+	}
+	var fr struct {
+		URL    string `json:"url"`
+		Title  string `json:"title"`
+		Source string `json:"source"`
+	}
+	if err := json.Unmarshal(body, &fr); err != nil {
+		t.Fatalf("fetch decode: %v (%q)", err, body)
+	}
+	if fr.URL != d.urls[0] || fr.Source != "origin" || fr.Title == "" {
+		t.Fatalf("fetch payload implausible: %+v", fr)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := d.shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if _, err := (&http.Client{Timeout: time.Second}).Get(base + "/healthz"); err == nil {
+		t.Fatal("daemon still serving after shutdown")
+	}
+}
+
+func TestServeMaintenanceLoop(t *testing.T) {
+	d, err := build(options{
+		addr: "127.0.0.1:0", sites: 2, pages: 4, seed: 2,
+		maintainEvery: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	if err := d.start(); err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	time.Sleep(80 * time.Millisecond) // a few sweeps fire
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := d.shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	// Shutdown is idempotent enough to not hang when called with the loop
+	// already stopped.
+	if d.stopMaintain != nil {
+		t.Fatal("maintenance loop not cleared after shutdown")
+	}
+}

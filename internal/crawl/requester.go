@@ -11,6 +11,7 @@
 package crawl
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"net/http"
@@ -119,7 +120,8 @@ func (r *Requester) polite(host string) {
 }
 
 // do issues one request with the Host header carrying the logical host.
-func (r *Requester) do(method, url string) (*http.Response, error) {
+// The context bounds the whole exchange (on top of the client timeout).
+func (r *Requester) do(ctx context.Context, method, url string) (*http.Response, error) {
 	host, path, err := splitURL(url)
 	if err != nil {
 		return nil, err
@@ -129,7 +131,10 @@ func (r *Requester) do(method, url string) (*http.Response, error) {
 		return nil, fmt.Errorf("crawl: resolve %q: %w", host, err)
 	}
 	r.polite(host)
-	req, err := http.NewRequest(method, "http://"+addr+path, nil)
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("crawl: %s %s: %w", method, url, err)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, "http://"+addr+path, nil)
 	if err != nil {
 		return nil, fmt.Errorf("crawl: %w: %v", core.ErrInvalid, err)
 	}
@@ -145,7 +150,13 @@ func (r *Requester) do(method, url string) (*http.Response, error) {
 // HTML back into the document model, and report the origin's simulated
 // latency (X-Simweb-Latency header; absent headers degrade gracefully).
 func (r *Requester) Fetch(url string) (simweb.FetchResult, error) {
-	resp, err := r.do(http.MethodGet, url)
+	return r.FetchCtx(context.Background(), url)
+}
+
+// FetchCtx is Fetch bounded by a context: cancellation or deadline expiry
+// aborts the HTTP exchange. It implements warehouse.ContextOrigin.
+func (r *Requester) FetchCtx(ctx context.Context, url string) (simweb.FetchResult, error) {
+	resp, err := r.do(ctx, http.MethodGet, url)
 	if err != nil {
 		return simweb.FetchResult{}, err
 	}
@@ -172,7 +183,13 @@ func (r *Requester) Fetch(url string) (simweb.FetchResult, error) {
 
 // Head implements warehouse.Origin's revalidation probe.
 func (r *Requester) Head(url string) (int, core.Time, error) {
-	resp, err := r.do(http.MethodHead, url)
+	return r.HeadCtx(context.Background(), url)
+}
+
+// HeadCtx is Head bounded by a context. It implements
+// warehouse.ContextOrigin.
+func (r *Requester) HeadCtx(ctx context.Context, url string) (int, core.Time, error) {
+	resp, err := r.do(ctx, http.MethodHead, url)
 	if err != nil {
 		return 0, 0, err
 	}

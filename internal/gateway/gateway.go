@@ -1,0 +1,440 @@
+// Package gateway is the warehouse's network front: an http.Server daemon
+// exposing CBFWW's non-transparent surfaces — fetch-through, the §4.3
+// popularity-aware query dialect, recommendation, ranked search — over
+// real sockets. The paper positions CBFWW as a non-transparent proxy users
+// query directly (§3, §4.3); this package is that daemon, engineered for
+// concurrency:
+//
+//   - request coalescing: N concurrent requests for one cold URL trigger
+//     exactly one origin fetch (singleflight.go) — the miss-storm shape of
+//     the paper's hot spots (§3(3));
+//   - a bounded worker pool for origin fetches with per-request context
+//     deadlines (pool.go), so a flood of cold URLs cannot swamp origins or
+//     pile up goroutines;
+//   - hot hits bypass both: resident pages are served straight from the
+//     warehouse under its read-write lock;
+//   - graceful shutdown that drains in-flight requests;
+//   - a counters/latency-histogram registry (metrics.go) surfaced at
+//     /stats.
+//
+// Endpoints:
+//
+//	GET  /fetch?url=U[&user=X]   fetch-through with admission
+//	POST /query                  popularity-aware query (§4.3); body = query text or form q=
+//	GET  /search?q=T[&n=K]       ranked retrieval through the index hierarchy
+//	GET  /recommend?user=X[&n=K] content suggestions
+//	GET  /stats                  gateway + warehouse counters, latency quantiles
+//	GET  /healthz                liveness probe
+package gateway
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"cbfww/internal/core"
+	"cbfww/internal/warehouse"
+)
+
+// Config tunes the daemon.
+type Config struct {
+	// Addr is the listen address ("127.0.0.1:0" for an ephemeral port).
+	Addr string
+	// FetchWorkers bounds concurrent origin fetches.
+	FetchWorkers int
+	// FetchTimeout is the origin-fetch budget per coalesced fetch.
+	FetchTimeout time.Duration
+	// MaxQueryBytes bounds a POST /query body.
+	MaxQueryBytes int64
+	// MaxResults caps n parameters on /search and /recommend.
+	MaxResults int
+}
+
+// DefaultConfig returns production-ish defaults.
+func DefaultConfig() Config {
+	return Config{
+		Addr:          "127.0.0.1:8642",
+		FetchWorkers:  32,
+		FetchTimeout:  10 * time.Second,
+		MaxQueryBytes: 64 << 10,
+		MaxResults:    100,
+	}
+}
+
+// Server is the warehouse daemon.
+type Server struct {
+	cfg     Config
+	wh      *warehouse.Warehouse
+	metrics *Registry
+	flights *flightGroup
+	pool    *workerPool
+
+	// coalesced counts /fetch requests that shared another request's
+	// origin fetch instead of issuing their own.
+	coalesced atomic.Uint64
+
+	srv      *http.Server
+	ln       net.Listener
+	serveErr chan error
+}
+
+// New assembles a daemon over the warehouse (which must be non-nil).
+func New(cfg Config, wh *warehouse.Warehouse) (*Server, error) {
+	if wh == nil {
+		return nil, fmt.Errorf("gateway: %w: nil warehouse", core.ErrInvalid)
+	}
+	def := DefaultConfig()
+	if cfg.Addr == "" {
+		cfg.Addr = def.Addr
+	}
+	if cfg.FetchWorkers <= 0 {
+		cfg.FetchWorkers = def.FetchWorkers
+	}
+	if cfg.FetchTimeout <= 0 {
+		cfg.FetchTimeout = def.FetchTimeout
+	}
+	if cfg.MaxQueryBytes <= 0 {
+		cfg.MaxQueryBytes = def.MaxQueryBytes
+	}
+	if cfg.MaxResults <= 0 {
+		cfg.MaxResults = def.MaxResults
+	}
+	s := &Server{
+		cfg:     cfg,
+		wh:      wh,
+		metrics: NewRegistry(),
+		flights: newFlightGroup(),
+		pool:    newWorkerPool(cfg.FetchWorkers),
+	}
+	s.srv = &http.Server{Handler: s.Handler()}
+	return s, nil
+}
+
+// Handler returns the daemon's routing table — usable directly under
+// httptest without opening a real socket.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /fetch", s.instrument("fetch", s.handleFetch))
+	mux.HandleFunc("POST /query", s.instrument("query", s.handleQuery))
+	mux.HandleFunc("GET /search", s.instrument("search", s.handleSearch))
+	mux.HandleFunc("GET /recommend", s.instrument("recommend", s.handleRecommend))
+	mux.HandleFunc("GET /stats", s.instrument("stats", s.handleStats))
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+// Metrics exposes the registry (tests and embedding binaries).
+func (s *Server) Metrics() *Registry { return s.metrics }
+
+// CoalescedFetches returns how many /fetch requests joined another
+// request's origin fetch.
+func (s *Server) CoalescedFetches() uint64 { return s.coalesced.Load() }
+
+// Start listens on cfg.Addr and serves in the background. It returns once
+// the listener is bound, so Addr() is immediately valid.
+func (s *Server) Start() error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return fmt.Errorf("gateway: listen %s: %w", s.cfg.Addr, err)
+	}
+	s.ln = ln
+	s.serveErr = make(chan error, 1)
+	go func() { s.serveErr <- s.srv.Serve(ln) }()
+	return nil
+}
+
+// Addr returns the bound listen address (host:port), valid after Start.
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return s.cfg.Addr
+	}
+	return s.ln.Addr().String()
+}
+
+// Shutdown stops accepting connections and blocks until every in-flight
+// request has completed (or ctx expires, whichever is first).
+func (s *Server) Shutdown(ctx context.Context) error {
+	err := s.srv.Shutdown(ctx)
+	if s.serveErr != nil {
+		if serr := <-s.serveErr; serr != nil && !errors.Is(serr, http.ErrServerClosed) && err == nil {
+			err = serr
+		}
+		s.serveErr = nil
+	}
+	return err
+}
+
+// statusRecorder captures the response status for the metrics middleware.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with the counters/latency registry.
+func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		h(rec, r)
+		s.metrics.Observe(name, time.Since(start), rec.status >= 500)
+	}
+}
+
+// httpStatus maps warehouse/context errors onto HTTP statuses.
+func httpStatus(err error) int {
+	switch {
+	case errors.Is(err, core.ErrNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, core.ErrInvalid):
+		return http.StatusBadRequest
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	writeJSON(w, httpStatus(err), map[string]string{"error": err.Error()})
+}
+
+// nParam parses an optional positive integer query parameter, clamped to
+// the configured maximum.
+func (s *Server) nParam(r *http.Request, name string, def int) int {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return def
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 1 {
+		return def
+	}
+	if n > s.cfg.MaxResults {
+		n = s.cfg.MaxResults
+	}
+	return n
+}
+
+// FetchResponse is the /fetch payload.
+type FetchResponse struct {
+	URL          string  `json:"url"`
+	Title        string  `json:"title"`
+	Body         string  `json:"body"`
+	Size         int64   `json:"size"`
+	Version      int     `json:"version"`
+	Hit          bool    `json:"hit"`
+	Coalesced    bool    `json:"coalesced"`
+	Source       string  `json:"source"`
+	LatencyTicks int64   `json:"latency_ticks"`
+	Priority     float64 `json:"priority"`
+	Stale        bool    `json:"stale"`
+}
+
+func (s *Server) handleFetch(w http.ResponseWriter, r *http.Request) {
+	url := r.URL.Query().Get("url")
+	if url == "" {
+		writeError(w, fmt.Errorf("gateway: %w: missing url parameter", core.ErrInvalid))
+		return
+	}
+	user := r.URL.Query().Get("user")
+
+	var (
+		res    warehouse.GetResult
+		err    error
+		joined bool
+	)
+	if s.wh.Resident(url) {
+		// Hot path: the page is already warehoused, so serving it is pure
+		// in-memory work — no coalescing or pooling needed.
+		res, err = s.wh.GetCtx(r.Context(), user, url)
+	} else {
+		res, joined, err = s.flights.Do(r.Context(), url, func() (warehouse.GetResult, error) {
+			// The shared fetch is detached from any single client so an
+			// impatient leader cannot poison the result for its joiners;
+			// the configured fetch budget bounds it instead.
+			ctx, cancel := context.WithTimeout(context.Background(), s.cfg.FetchTimeout)
+			defer cancel()
+			var (
+				out  warehouse.GetResult
+				ferr error
+			)
+			if perr := s.pool.do(ctx, func() { out, ferr = s.wh.GetCtx(ctx, user, url) }); perr != nil {
+				return warehouse.GetResult{}, perr
+			}
+			return out, ferr
+		})
+		if joined {
+			s.coalesced.Add(1)
+		}
+	}
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, FetchResponse{
+		URL:          res.Page.URL,
+		Title:        res.Page.Title,
+		Body:         res.Page.Body,
+		Size:         int64(res.Page.Size),
+		Version:      res.Page.Version,
+		Hit:          res.Hit,
+		Coalesced:    joined,
+		Source:       res.Source,
+		LatencyTicks: int64(res.Latency),
+		Priority:     float64(res.Priority),
+		Stale:        res.Stale,
+	})
+}
+
+// QueryRow is one /query result row: the projected values in SELECT order,
+// rendered as strings.
+type QueryRow struct {
+	ID     int64    `json:"id"`
+	Values []string `json:"values"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	q, err := s.queryText(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	rows, err := s.wh.Query(q)
+	if err != nil {
+		writeError(w, fmt.Errorf("%w: %w", core.ErrInvalid, err))
+		return
+	}
+	out := make([]QueryRow, len(rows))
+	for i, row := range rows {
+		vals := make([]string, len(row.Values))
+		for j, v := range row.Values {
+			vals[j] = v.String()
+		}
+		out[i] = QueryRow{ID: int64(row.ID), Values: vals}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"query": q, "rows": out})
+}
+
+// queryText extracts the query from a POST body. A form-encoded q= field
+// wins when present; otherwise the raw body is the query text — so both
+// `curl -d 'SELECT ...'` (which claims form encoding) and a plain text
+// body work.
+func (s *Server) queryText(r *http.Request) (string, error) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, s.cfg.MaxQueryBytes))
+	if err != nil {
+		return "", fmt.Errorf("gateway: read query: %w", err)
+	}
+	raw := strings.TrimSpace(string(body))
+	if raw == "" {
+		return "", fmt.Errorf("gateway: %w: empty query body", core.ErrInvalid)
+	}
+	if strings.HasPrefix(r.Header.Get("Content-Type"), "application/x-www-form-urlencoded") {
+		if vals, err := url.ParseQuery(raw); err == nil {
+			if q := strings.TrimSpace(vals.Get("q")); q != "" {
+				return q, nil
+			}
+		}
+	}
+	return raw, nil
+}
+
+// SearchHit is one /search result.
+type SearchHit struct {
+	Doc   int64   `json:"doc"`
+	Score float64 `json:"score"`
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		writeError(w, fmt.Errorf("gateway: %w: missing q parameter", core.ErrInvalid))
+		return
+	}
+	n := s.nParam(r, "n", 10)
+	res := s.wh.SearchTiered(q, n)
+	hits := make([]SearchHit, len(res.Scores))
+	for i, sc := range res.Scores {
+		hits[i] = SearchHit{Doc: int64(sc.Doc), Score: sc.Value}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"tier":          res.Tier.String(),
+		"latency_ticks": int64(res.Latency),
+		"hits":          hits,
+	})
+}
+
+func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
+	user := r.URL.Query().Get("user")
+	if user == "" {
+		writeError(w, fmt.Errorf("gateway: %w: missing user parameter", core.ErrInvalid))
+		return
+	}
+	n := s.nParam(r, "n", 10)
+	recs := s.wh.RecommendPages(user, n)
+	type rec struct {
+		URL   string  `json:"url"`
+		Score float64 `json:"score"`
+	}
+	out := make([]rec, len(recs))
+	for i, p := range recs {
+		out[i] = rec{URL: p.URL, Score: p.Score}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"user": user, "recommendations": out})
+}
+
+// StatsResponse is the /stats payload.
+type StatsResponse struct {
+	Gateway   GatewayStats                `json:"gateway"`
+	Endpoints map[string]EndpointSnapshot `json:"endpoints"`
+	Warehouse warehouse.Stats             `json:"warehouse"`
+}
+
+// GatewayStats are the daemon-level counters.
+type GatewayStats struct {
+	CoalescedFetches     uint64 `json:"coalesced_fetches"`
+	InflightOriginFetchs int    `json:"inflight_origin_fetches"`
+	FetchWorkers         int    `json:"fetch_workers"`
+	ResidentPages        int    `json:"resident_pages"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, StatsResponse{
+		Gateway: GatewayStats{
+			CoalescedFetches:     s.coalesced.Load(),
+			InflightOriginFetchs: s.pool.inflight(),
+			FetchWorkers:         s.pool.capacity(),
+			ResidentPages:        s.wh.ResidentPages(),
+		},
+		Endpoints: s.metrics.Snapshot(),
+		Warehouse: s.wh.Stats(),
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}

@@ -1,0 +1,39 @@
+package gateway
+
+import (
+	"context"
+)
+
+// workerPool bounds how many origin fetches run at once: a counting
+// semaphore sized at construction. Acquisition is context-aware, so a
+// request whose deadline expires while queued behind a saturated pool
+// fails fast instead of fetching for a client that already hung up.
+type workerPool struct {
+	sem chan struct{}
+}
+
+func newWorkerPool(workers int) *workerPool {
+	if workers < 1 {
+		workers = 1
+	}
+	return &workerPool{sem: make(chan struct{}, workers)}
+}
+
+// do runs fn on an acquired slot, or returns ctx.Err() without running it
+// when the context ends first.
+func (p *workerPool) do(ctx context.Context, fn func()) error {
+	select {
+	case p.sem <- struct{}{}:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	defer func() { <-p.sem }()
+	fn()
+	return nil
+}
+
+// inflight returns how many slots are currently held.
+func (p *workerPool) inflight() int { return len(p.sem) }
+
+// capacity returns the pool size.
+func (p *workerPool) capacity() int { return cap(p.sem) }

@@ -1,0 +1,84 @@
+package gateway
+
+import (
+	"context"
+	"sync"
+
+	"cbfww/internal/warehouse"
+)
+
+// Stdlib-only request coalescing (a singleflight specialized to the fetch
+// path). A miss storm — N concurrent requests for the same cold URL, the
+// paper's hot-spot arrival pattern (§3(3)) — must cost one origin fetch,
+// not N: the first caller becomes the leader and runs the fetch; everyone
+// else parks on the call's done channel and shares the leader's result.
+
+// flightCall is one in-flight fetch being shared.
+type flightCall struct {
+	done chan struct{}
+	res  warehouse.GetResult
+	err  error
+	// dups counts callers that joined this call after the leader.
+	dups int
+}
+
+// flightGroup coalesces concurrent work by key.
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{calls: make(map[string]*flightCall)}
+}
+
+// Do runs fn once per key among concurrent callers. The leader executes fn
+// in its own goroutine so that a caller abandoning the wait (ctx done)
+// never cancels the shared work; each caller — leader included — waits for
+// the result under its own ctx. joined reports whether this caller shared
+// another caller's fetch instead of running its own.
+func (g *flightGroup) Do(ctx context.Context, key string, fn func() (warehouse.GetResult, error)) (res warehouse.GetResult, joined bool, err error) {
+	g.mu.Lock()
+	if c, ok := g.calls[key]; ok {
+		c.dups++
+		g.mu.Unlock()
+		select {
+		case <-c.done:
+			return c.res, true, c.err
+		case <-ctx.Done():
+			return warehouse.GetResult{}, true, ctx.Err()
+		}
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	go func() {
+		c.res, c.err = fn()
+		g.mu.Lock()
+		delete(g.calls, key)
+		g.mu.Unlock()
+		close(c.done)
+	}()
+
+	select {
+	case <-c.done:
+		return c.res, false, c.err
+	case <-ctx.Done():
+		// The shared fetch keeps running for any later joiners; this
+		// caller alone gives up.
+		return warehouse.GetResult{}, false, ctx.Err()
+	}
+}
+
+// joiners reports how many callers are currently sharing the in-flight
+// call for key (0 when no call is in flight). Tests use it to detect that
+// a miss storm has fully converged on one fetch.
+func (g *flightGroup) joiners(key string) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if c, ok := g.calls[key]; ok {
+		return c.dups
+	}
+	return 0
+}

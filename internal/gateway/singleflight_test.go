@@ -1,0 +1,133 @@
+package gateway
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cbfww/internal/warehouse"
+)
+
+func TestFlightGroupCoalesces(t *testing.T) {
+	g := newFlightGroup()
+	const callers = 32
+
+	var executions atomic.Int32
+	release := make(chan struct{})
+	fn := func() (warehouse.GetResult, error) {
+		executions.Add(1)
+		<-release
+		return warehouse.GetResult{Source: "origin"}, nil
+	}
+
+	var wg sync.WaitGroup
+	var joins atomic.Int32
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, joined, err := g.Do(context.Background(), "k", fn)
+			if err != nil {
+				t.Errorf("Do: %v", err)
+			}
+			if res.Source != "origin" {
+				t.Errorf("res.Source = %q", res.Source)
+			}
+			if joined {
+				joins.Add(1)
+			}
+		}()
+	}
+	// Wait until every follower has parked on the leader's call, then
+	// release the shared work.
+	deadline := time.Now().Add(5 * time.Second)
+	for g.joiners("k") < callers-1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d joiners after 5s", g.joiners("k"))
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+
+	if n := executions.Load(); n != 1 {
+		t.Fatalf("fn executed %d times, want 1", n)
+	}
+	if n := joins.Load(); n != callers-1 {
+		t.Fatalf("joined = %d, want %d", n, callers-1)
+	}
+}
+
+func TestFlightGroupSequentialCallsRunSeparately(t *testing.T) {
+	g := newFlightGroup()
+	var executions atomic.Int32
+	fn := func() (warehouse.GetResult, error) {
+		executions.Add(1)
+		return warehouse.GetResult{}, nil
+	}
+	for i := 0; i < 3; i++ {
+		if _, joined, err := g.Do(context.Background(), "k", fn); err != nil || joined {
+			t.Fatalf("call %d: joined=%v err=%v", i, joined, err)
+		}
+	}
+	if n := executions.Load(); n != 3 {
+		t.Fatalf("fn executed %d times, want 3 (no stale coalescing)", n)
+	}
+}
+
+func TestFlightGroupErrorShared(t *testing.T) {
+	g := newFlightGroup()
+	sentinel := errors.New("origin down")
+	release := make(chan struct{})
+	fn := func() (warehouse.GetResult, error) {
+		<-release
+		return warehouse.GetResult{}, sentinel
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 4)
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, _, errs[i] = g.Do(context.Background(), "k", fn)
+		}(i)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for g.joiners("k") < 3 {
+		if time.Now().After(deadline) {
+			t.Fatal("joiners never converged")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+	for i, err := range errs {
+		if !errors.Is(err, sentinel) {
+			t.Fatalf("caller %d: err = %v, want sentinel", i, err)
+		}
+	}
+}
+
+func TestFlightGroupWaiterHonorsContext(t *testing.T) {
+	g := newFlightGroup()
+	release := make(chan struct{})
+	defer close(release)
+	fn := func() (warehouse.GetResult, error) {
+		<-release
+		return warehouse.GetResult{}, nil
+	}
+	// Leader parks on the slow fn under a short deadline.
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, _, err := g.Do(ctx, "k", fn)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("caller waited %v for an abandoned fetch", elapsed)
+	}
+}

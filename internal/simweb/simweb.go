@@ -15,6 +15,7 @@
 package simweb
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -181,6 +182,25 @@ func (w *Web) Fetch(url string) (FetchResult, error) {
 	cp.Anchors = append([]Anchor(nil), p.Anchors...)
 	cp.Components = append([]Component(nil), p.Components...)
 	return FetchResult{Page: cp, Latency: lat}, nil
+}
+
+// FetchCtx is Fetch with context propagation: an already-cancelled or
+// expired context aborts before the (in-process, instantaneous) fetch.
+// It implements warehouse.ContextOrigin so daemons can bound simulated
+// origin fetches the same way they bound real HTTP ones.
+func (w *Web) FetchCtx(ctx context.Context, url string) (FetchResult, error) {
+	if err := ctx.Err(); err != nil {
+		return FetchResult{}, fmt.Errorf("simweb: fetch %q: %w", url, err)
+	}
+	return w.Fetch(url)
+}
+
+// HeadCtx is Head with context propagation (see FetchCtx).
+func (w *Web) HeadCtx(ctx context.Context, url string) (int, core.Time, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, 0, fmt.Errorf("simweb: head %q: %w", url, err)
+	}
+	return w.Head(url)
 }
 
 // Head returns the page's version and last-modified time without a body

@@ -1,0 +1,116 @@
+package warehouse
+
+// Race-detector workout for the RWMutex split: read-only surfaces (stats,
+// search, queries, listings) running concurrently with fetch-through
+// admissions, revalidations and maintenance sweeps.
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"cbfww/internal/core"
+	"cbfww/internal/workload"
+)
+
+func newConcurrencyWarehouse(t *testing.T) (*Warehouse, *workload.GeneratedWeb) {
+	t.Helper()
+	clock := core.NewSimClock(0)
+	wcfg := workload.DefaultWebConfig()
+	wcfg.Sites, wcfg.PagesPerSite, wcfg.Seed = 4, 10, 11
+	g, err := workload.GenerateWeb(clock, wcfg)
+	if err != nil {
+		t.Fatalf("GenerateWeb: %v", err)
+	}
+	w, err := New(DefaultConfig(), clock, g.Web)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return w, g
+}
+
+func TestConcurrentReadersAndWriters(t *testing.T) {
+	w, g := newConcurrencyWarehouse(t)
+	urls := g.PageURLs
+
+	var wg sync.WaitGroup
+	// Writers: fetch-through traffic over overlapping URL ranges.
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 30; j++ {
+				url := urls[(i*7+j)%len(urls)]
+				if _, err := w.Get("user", url); err != nil {
+					t.Errorf("Get %s: %v", url, err)
+					return
+				}
+			}
+		}(i)
+	}
+	// Readers: every non-mutating surface, concurrently.
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 30; j++ {
+				_ = w.Stats()
+				_ = w.ResidentPages()
+				_ = w.Pages()
+				_ = w.Search("page", 5)
+				_ = w.Resident(urls[j%len(urls)])
+				_ = w.Recommend("user", 3)
+				_ = w.RecommendPages("user", 3)
+				_ = w.AccessLog()
+				if _, err := w.Query(`SELECT MFU 3 p.url FROM Physical_Page p`); err != nil {
+					t.Errorf("Query: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	// One maintenance loop racing both.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for j := 0; j < 5; j++ {
+			if _, err := w.Maintain(); err != nil {
+				t.Errorf("Maintain: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+
+	if got := w.Stats().Requests; got == 0 {
+		t.Fatal("no requests recorded")
+	}
+}
+
+func TestGetCtxCancelledBeforeFetch(t *testing.T) {
+	w, g := newConcurrencyWarehouse(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := w.GetCtx(ctx, "user", g.PageURLs[0]); err == nil {
+		t.Fatal("GetCtx with cancelled context admitted a cold URL")
+	}
+	if w.Resident(g.PageURLs[0]) {
+		t.Fatal("cancelled fetch still admitted the page")
+	}
+
+	// A resident page serves fine even under an expired deadline: the
+	// warehouse's whole point is that cached content needs no origin.
+	if _, err := w.Get("user", g.PageURLs[0]); err != nil {
+		t.Fatalf("warm-up Get: %v", err)
+	}
+	expired, cancel2 := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel2()
+	res, err := w.GetCtx(expired, "user", g.PageURLs[0])
+	if err != nil {
+		t.Fatalf("resident GetCtx under expired deadline: %v", err)
+	}
+	if !res.Hit {
+		t.Fatal("resident page not served as hit")
+	}
+}

@@ -69,7 +69,7 @@ func (w *Warehouse) linkCandidates(qvec text.Vector, max int) []string {
 		url   string
 		score float64
 	}
-	w.mu.Lock()
+	w.mu.RLock()
 	var cands []cand
 	seen := make(map[string]bool)
 	for _, st := range w.pages {
@@ -90,7 +90,7 @@ func (w *Warehouse) linkCandidates(qvec text.Vector, max int) []string {
 			}
 		}
 	}
-	w.mu.Unlock()
+	w.mu.RUnlock()
 	sort.Slice(cands, func(i, j int) bool {
 		if cands[i].score != cands[j].score {
 			return cands[i].score > cands[j].score

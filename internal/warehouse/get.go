@@ -1,6 +1,7 @@
 package warehouse
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -38,27 +39,34 @@ type GetResult struct {
 // Get serves url for user: the warehouse's fetch-through path. An empty
 // user is allowed (anonymous access skips profile updates).
 func (w *Warehouse) Get(user, url string) (GetResult, error) {
-	return w.get(user, url, false)
+	return w.get(context.Background(), user, url, false)
+}
+
+// GetCtx is Get bounded by a context: cancellation or deadline expiry
+// aborts origin fetches (a ContextOrigin aborts mid-flight; any other
+// Origin is checked before each fetch). This is the entry point network
+// daemons use to enforce per-request deadlines.
+func (w *Warehouse) GetCtx(ctx context.Context, user, url string) (GetResult, error) {
+	return w.get(ctx, user, url, false)
 }
 
 // Prefetch pulls url into the warehouse without a user request (Topic
 // Sensor-driven anticipation). It never counts as a request in Stats.
 func (w *Warehouse) Prefetch(url string) error {
-	_, err := w.get("", url, true)
+	_, err := w.get(context.Background(), "", url, true)
 	return err
 }
 
-func (w *Warehouse) get(user, url string, prefetch bool) (GetResult, error) {
+func (w *Warehouse) get(ctx context.Context, user, url string, prefetch bool) (GetResult, error) {
 	w.mu.Lock()
-	defer w.mu.Unlock()
 	now := w.clock.Now()
 
-	st := w.pages[url]
-	if st != nil {
+	if st := w.pages[url]; st != nil {
+		defer w.mu.Unlock()
 		// Resident: consistency check first.
 		fresh := true
 		if w.cfg.Consistency.NeedsCheck(st.lastCheck, now, core.Duration(st.updateGap), w.tracker.AgedFrequency(st.physID)) {
-			ver, mod, err := w.web.Head(url)
+			ver, mod, err := w.originHead(ctx, url)
 			if err == nil {
 				if !prefetch {
 					w.stats.Revalidations++
@@ -73,25 +81,44 @@ func (w *Warehouse) get(user, url string, prefetch bool) (GetResult, error) {
 			// a warehouse).
 		}
 		if fresh {
-			return w.serveResident(user, url, st, prefetch)
+			return w.serveResident(ctx, user, url, st, prefetch)
 		}
 		// Content changed: refetch and re-admit the new version.
 		if !prefetch {
 			w.stats.Refetches++
 		}
-		return w.refetch(user, url, st, prefetch)
+		return w.refetch(ctx, user, url, st, prefetch)
 	}
-	// First sight of this URL: fetch and admit.
-	return w.admitNew(user, url, prefetch)
+	w.mu.Unlock()
+
+	// First sight of this URL: fetch from the origin outside the write
+	// lock so cold misses for different URLs proceed in parallel (the
+	// gateway's singleflight already coalesces same-URL misses), then
+	// retake the lock to admit the result.
+	fr, err := w.originFetch(ctx, url)
+	if err != nil {
+		return GetResult{}, fmt.Errorf("warehouse: fetch %q: %w", url, err)
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if !prefetch {
+		w.stats.OriginFetches++
+	}
+	if st := w.pages[url]; st != nil {
+		// A concurrent request admitted the URL while we were fetching:
+		// serve the resident copy and drop our duplicate fetch.
+		return w.serveResident(ctx, user, url, st, prefetch)
+	}
+	return w.admitNew(user, url, fr, prefetch)
 }
 
-// serveResident serves a warehouse-resident page.
-func (w *Warehouse) serveResident(user, url string, st *pageState, prefetch bool) (GetResult, error) {
+// serveResident serves a warehouse-resident page. Requires w.mu (write).
+func (w *Warehouse) serveResident(ctx context.Context, user, url string, st *pageState, prefetch bool) (GetResult, error) {
 	res, err := w.store.Access(st.container)
 	if err != nil {
 		// The body was lost (tier failures without recovery); fall back to
 		// the origin path.
-		return w.refetch(user, url, st, prefetch)
+		return w.refetch(ctx, user, url, st, prefetch)
 	}
 	snap, ok := w.history.Latest(url)
 	if !ok {
@@ -100,7 +127,7 @@ func (w *Warehouse) serveResident(user, url string, st *pageState, prefetch bool
 	snap, err = w.history.Materialize(snap)
 	if err != nil {
 		// The body blob is unreadable (disk corruption): refetch.
-		return w.refetch(user, url, st, prefetch)
+		return w.refetch(ctx, user, url, st, prefetch)
 	}
 	page := simweb.Page{
 		URL:     url,
@@ -123,9 +150,9 @@ func (w *Warehouse) serveResident(user, url string, st *pageState, prefetch bool
 }
 
 // refetch replaces a resident page's content with the origin's current
-// version.
-func (w *Warehouse) refetch(user, url string, st *pageState, prefetch bool) (GetResult, error) {
-	fr, err := w.web.Fetch(url)
+// version. Requires w.mu (write).
+func (w *Warehouse) refetch(ctx context.Context, user, url string, st *pageState, prefetch bool) (GetResult, error) {
+	fr, err := w.originFetch(ctx, url)
 	if err != nil {
 		return GetResult{}, fmt.Errorf("warehouse: refetch %q: %w", url, err)
 	}
@@ -175,15 +202,10 @@ func (w *Warehouse) refetch(user, url string, st *pageState, prefetch bool) (Get
 	return out, nil
 }
 
-// admitNew runs the full admission path for a first-seen URL.
-func (w *Warehouse) admitNew(user, url string, prefetch bool) (GetResult, error) {
-	fr, err := w.web.Fetch(url)
-	if err != nil {
-		return GetResult{}, fmt.Errorf("warehouse: fetch %q: %w", url, err)
-	}
-	if !prefetch {
-		w.stats.OriginFetches++
-	}
+// admitNew runs the full admission path for a first-seen URL whose content
+// has already been fetched (the fetch happens outside the write lock; see
+// get). Requires w.mu (write).
+func (w *Warehouse) admitNew(user, url string, fr simweb.FetchResult, prefetch bool) (GetResult, error) {
 	p := fr.Page
 
 	out := GetResult{Page: p, Hit: false, Source: "origin", Latency: fr.Latency}

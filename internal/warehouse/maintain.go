@@ -212,7 +212,7 @@ func (w *Warehouse) applyPrioritiesLocked() {
 
 // AccessLog returns a copy of the operational log.
 func (w *Warehouse) AccessLog() logmine.Log {
-	w.mu.Lock()
-	defer w.mu.Unlock()
+	w.mu.RLock()
+	defer w.mu.RUnlock()
 	return append(logmine.Log(nil), w.log...)
 }

@@ -41,6 +41,10 @@ func (s querySource) ChildrenOf(id core.ObjectID) []core.ObjectID {
 // phrases at the caller's choice — Query executes exactly what was given;
 // use ExpandQuery to pre-expand.
 func (w *Warehouse) Query(q string) ([]query.Row, error) {
+	// Read lock: queries never mutate, so any number may run concurrently;
+	// the lock only excludes in-flight admissions and migrations.
+	w.mu.RLock()
+	defer w.mu.RUnlock()
 	return query.RunString(q, querySource{w: w})
 }
 
@@ -54,19 +58,47 @@ func (w *Warehouse) ExpandQuery(text string) string {
 // Search runs ranked full-text retrieval over the warehouse's contents —
 // the Search-Engine face of the system.
 func (w *Warehouse) Search(queryText string, n int) []text.Score {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
 	return w.index.Search(queryText, n)
 }
 
 // Recommend returns content suggestions for the user over everything the
 // warehouse holds.
 func (w *Warehouse) Recommend(user string, n int) []recommend.Suggestion {
-	w.mu.Lock()
+	w.mu.RLock()
 	candidates := make(map[core.ObjectID]text.Vector, len(w.pages))
 	for _, st := range w.pages {
 		candidates[st.physID] = st.vec
 	}
-	w.mu.Unlock()
+	w.mu.RUnlock()
 	return w.social.Recommend(user, candidates, n)
+}
+
+// RecommendedPage is a content suggestion resolved back to its URL — the
+// form a network client can actually follow.
+type RecommendedPage struct {
+	URL   string
+	Score float64
+}
+
+// RecommendPages returns content suggestions for the user with object IDs
+// resolved to URLs (the gateway's /recommend payload).
+func (w *Warehouse) RecommendPages(user string, n int) []RecommendedPage {
+	sugg := w.Recommend(user, n)
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	urlOf := make(map[core.ObjectID]string, len(w.pages))
+	for url, st := range w.pages {
+		urlOf[st.physID] = url
+	}
+	out := make([]RecommendedPage, 0, len(sugg))
+	for _, s := range sugg {
+		if url, ok := urlOf[s.ID]; ok {
+			out = append(out, RecommendedPage{URL: url, Score: s.Score})
+		}
+	}
+	return out
 }
 
 // NextHops returns social-navigation suggestions for a user standing on
@@ -80,10 +112,21 @@ func (w *Warehouse) Analyze() analyzer.Report {
 	return analyzer.Analyze(w.AccessLog(), 3)
 }
 
+// Resident reports whether url is already admitted. The gateway uses it to
+// route hot hits past its miss-coalescing machinery; a page admitted a
+// moment later only costs one redundant (and internally deduplicated)
+// admission attempt, so the check racing an admission is harmless.
+func (w *Warehouse) Resident(url string) bool {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	_, ok := w.pages[url]
+	return ok
+}
+
 // ResidentPages returns the number of admitted physical pages.
 func (w *Warehouse) ResidentPages() int {
-	w.mu.Lock()
-	defer w.mu.Unlock()
+	w.mu.RLock()
+	defer w.mu.RUnlock()
 	return len(w.pages)
 }
 
@@ -98,8 +141,8 @@ type PageInfo struct {
 
 // Pages lists admitted pages (unspecified order).
 func (w *Warehouse) Pages() []PageInfo {
-	w.mu.Lock()
-	defer w.mu.Unlock()
+	w.mu.RLock()
+	defer w.mu.RUnlock()
 	out := make([]PageInfo, 0, len(w.pages))
 	for url, st := range w.pages {
 		info := PageInfo{URL: url, Version: st.version, Region: st.region}

@@ -42,9 +42,9 @@ func (w *Warehouse) SaveView(user, name, queryText string) error {
 
 // View evaluates a stored view against the current warehouse state.
 func (w *Warehouse) View(user, name string) ([]query.Row, error) {
-	w.mu.Lock()
+	w.mu.RLock()
 	queryText, ok := w.views[user][name]
-	w.mu.Unlock()
+	w.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("warehouse: view %s/%s: %w", user, name, core.ErrNotFound)
 	}
@@ -64,8 +64,8 @@ func (w *Warehouse) DropView(user, name string) error {
 
 // Views lists a user's stored views, sorted by name.
 func (w *Warehouse) Views(user string) []ViewInfo {
-	w.mu.Lock()
-	defer w.mu.Unlock()
+	w.mu.RLock()
+	defer w.mu.RUnlock()
 	out := make([]ViewInfo, 0, len(w.views[user]))
 	for name, q := range w.views[user] {
 		out = append(out, ViewInfo{User: user, Name: name, Query: q})

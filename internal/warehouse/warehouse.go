@@ -16,6 +16,7 @@
 package warehouse
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -124,6 +125,40 @@ type Origin interface {
 	Head(url string) (version int, lastMod core.Time, err error)
 }
 
+// ContextOrigin is an Origin whose fetches honor context cancellation and
+// deadlines — the contract a network daemon needs to bound origin work per
+// request. crawl.Requester and *simweb.Web both implement it. Origins that
+// do not are still usable: the context is then checked between steps only,
+// not during the fetch itself.
+type ContextOrigin interface {
+	Origin
+	FetchCtx(ctx context.Context, url string) (simweb.FetchResult, error)
+	HeadCtx(ctx context.Context, url string) (version int, lastMod core.Time, err error)
+}
+
+// originFetch fetches from the origin under ctx when the origin supports
+// it, degrading to a pre-flight cancellation check when it does not.
+func (w *Warehouse) originFetch(ctx context.Context, url string) (simweb.FetchResult, error) {
+	if co, ok := w.web.(ContextOrigin); ok {
+		return co.FetchCtx(ctx, url)
+	}
+	if err := ctx.Err(); err != nil {
+		return simweb.FetchResult{}, err
+	}
+	return w.web.Fetch(url)
+}
+
+// originHead is the revalidation probe under ctx (see originFetch).
+func (w *Warehouse) originHead(ctx context.Context, url string) (int, core.Time, error) {
+	if co, ok := w.web.(ContextOrigin); ok {
+		return co.HeadCtx(ctx, url)
+	}
+	if err := ctx.Err(); err != nil {
+		return 0, 0, err
+	}
+	return w.web.Head(url)
+}
+
 // Stats counts warehouse activity.
 type Stats struct {
 	Requests      int
@@ -199,7 +234,12 @@ type Warehouse struct {
 	history  *version.Store
 	social   *recommend.Manager
 
-	mu               sync.Mutex
+	// mu is a read-write lock: read-only surfaces (stats, queries, search,
+	// page listings) take the read side and run concurrently; admission,
+	// refetch, mining and migration take the write side. Every component
+	// behind it (indexes, tracker, storage, hierarchy, ...) is internally
+	// synchronized, so read-locked paths may call them freely.
+	mu               sync.RWMutex
 	pages            map[string]*pageState // by URL
 	log              logmine.Log
 	feeds            []*simweb.NewsFeed
@@ -284,8 +324,8 @@ func (w *Warehouse) WatchFeed(f *simweb.NewsFeed) {
 
 // Stats returns a copy of the activity counters.
 func (w *Warehouse) Stats() Stats {
-	w.mu.Lock()
-	defer w.mu.Unlock()
+	w.mu.RLock()
+	defer w.mu.RUnlock()
 	return w.stats
 }
 
