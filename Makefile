@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench tables serve examples clean
+.PHONY: all build test race cover bench tables serve faults examples clean
 
 all: build test
 
@@ -30,6 +30,11 @@ tables:
 # The warehouse as a network daemon (ctrl-C drains and exits).
 serve:
 	$(GO) run ./cmd/cbfww-serve
+
+# Fault-injection drill: the daemon against a flaky / blacked-out origin.
+faults:
+	$(GO) test -race -v -run 'Fault|Blackout|Retries|Degrade|Stale' \
+		./internal/gateway ./internal/warehouse ./internal/simweb ./cmd/cbfww-serve
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -30,7 +30,9 @@ import (
 	"cbfww/internal/core"
 	"cbfww/internal/crawl"
 	"cbfww/internal/gateway"
+	"cbfww/internal/resilience"
 	"cbfww/internal/schema"
+	"cbfww/internal/simweb"
 	"cbfww/internal/warehouse"
 	"cbfww/internal/workload"
 )
@@ -46,6 +48,13 @@ type options struct {
 	workers       int
 	fetchTimeout  time.Duration
 	maintainEvery time.Duration
+
+	// Origin resilience: retry attempts per origin call, per-host breaker
+	// threshold/cool-down, and the in-process fault-injection rate.
+	retry            int
+	breakerThreshold int
+	breakerCooldown  time.Duration
+	faultRate        float64
 }
 
 // daemon bundles the running pieces: the gateway server, the warehouse
@@ -83,7 +92,8 @@ func build(opts options) (*daemon, error) {
 	clock := core.NewWallClock()
 
 	var (
-		origin warehouse.Origin
+		origin resilience.ContextOrigin
+		faults *simweb.FaultyOrigin
 		urls   []string
 	)
 	if opts.origin != "" {
@@ -101,6 +111,35 @@ func build(opts options) (*daemon, error) {
 		}
 		origin = g.Web
 		urls = g.PageURLs
+		if opts.faultRate > 0 {
+			// Fault injection applies to the in-process origin only: a real
+			// -origin is flaky enough on its own.
+			faults = simweb.NewFaultyOrigin(g.Web, simweb.FaultConfig{
+				Seed:      opts.seed,
+				ErrorRate: opts.faultRate,
+			})
+			origin = faults
+		}
+	}
+
+	var resilient *resilience.Origin
+	if opts.retry > 1 || opts.breakerThreshold > 0 {
+		var err error
+		resilient, err = resilience.Wrap(origin, resilience.Config{
+			Retry: resilience.RetryPolicy{
+				MaxAttempts: opts.retry,
+				BaseBackoff: 50 * time.Millisecond,
+				MaxBackoff:  2 * time.Second,
+			},
+			Breaker: resilience.BreakerConfig{
+				Threshold: opts.breakerThreshold,
+				Cooldown:  opts.breakerCooldown,
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		origin = resilient
 	}
 
 	wh, err := warehouse.New(cfg, clock, origin)
@@ -111,6 +150,8 @@ func build(opts options) (*daemon, error) {
 		Addr:         opts.addr,
 		FetchWorkers: opts.workers,
 		FetchTimeout: opts.fetchTimeout,
+		Resilient:    resilient,
+		Faults:       faults,
 	}, wh)
 	if err != nil {
 		return nil, err
@@ -166,6 +207,10 @@ func main() {
 	flag.IntVar(&opts.workers, "workers", 32, "max concurrent origin fetches")
 	flag.DurationVar(&opts.fetchTimeout, "fetch-timeout", 10*time.Second, "per-request origin fetch budget")
 	flag.DurationVar(&opts.maintainEvery, "maintain-every", time.Minute, "maintenance sweep interval (0 disables)")
+	flag.IntVar(&opts.retry, "retry", 3, "origin attempts per fetch (1 disables retries)")
+	flag.IntVar(&opts.breakerThreshold, "breaker-threshold", 5, "consecutive host failures that open the circuit breaker (0 disables)")
+	flag.DurationVar(&opts.breakerCooldown, "breaker-cooldown", 30*time.Second, "open-breaker cool-down before a half-open probe")
+	flag.Float64Var(&opts.faultRate, "fault-rate", 0, "injected origin error probability (in-process origin only)")
 	grace := flag.Duration("grace", 15*time.Second, "graceful-shutdown drain budget")
 	flag.Parse()
 

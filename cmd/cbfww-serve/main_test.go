@@ -76,6 +76,77 @@ func TestServeSmoke(t *testing.T) {
 	}
 }
 
+// TestServeFaultSmoke brings up the daemon against its own fault-injecting
+// origin and checks that retries absorb the faults and /stats reports the
+// resilience counters.
+func TestServeFaultSmoke(t *testing.T) {
+	d, err := build(options{
+		addr:             "127.0.0.1:0",
+		sites:            3,
+		pages:            8,
+		seed:             11,
+		workers:          4,
+		fetchTimeout:     5 * time.Second,
+		retry:            4,
+		breakerThreshold: 0, // breaker off: every URL should eventually land
+		faultRate:        0.3,
+	})
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	if err := d.start(); err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	base := "http://" + d.srv.Addr()
+	client := &http.Client{Timeout: 10 * time.Second}
+
+	ok := 0
+	for _, u := range d.urls {
+		resp, err := client.Get(base + "/fetch?url=" + u)
+		if err != nil {
+			t.Fatalf("fetch %s: %v", u, err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			ok++
+		}
+	}
+	// 30% per-attempt error rate with 4 attempts: per-URL failure odds are
+	// under 1%; most of the 24 URLs must land.
+	if ok < len(d.urls)/2 {
+		t.Fatalf("only %d/%d fetches succeeded against faulty origin with retries", ok, len(d.urls))
+	}
+
+	resp, err := client.Get(base + "/stats")
+	if err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var stats struct {
+		Resilience struct {
+			Retries         uint64 `json:"retries"`
+			FaultInjections uint64 `json:"fault_injections"`
+		} `json:"resilience"`
+	}
+	if err := json.Unmarshal(body, &stats); err != nil {
+		t.Fatalf("stats decode: %v (%q)", err, body)
+	}
+	if stats.Resilience.FaultInjections == 0 {
+		t.Error("stats fault_injections = 0 with fault rate 0.3")
+	}
+	if stats.Resilience.Retries == 0 {
+		t.Error("stats retries = 0 with faults injected and retry 4")
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := d.shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+}
+
 func TestServeMaintenanceLoop(t *testing.T) {
 	d, err := build(options{
 		addr: "127.0.0.1:0", sites: 2, pages: 4, seed: 2,

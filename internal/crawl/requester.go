@@ -95,13 +95,14 @@ func (r *Requester) Fetches() int {
 }
 
 // polite blocks until the per-host interval has elapsed, then claims the
-// slot.
-func (r *Requester) polite(host string) {
+// slot. The wait is interruptible: a cancelled request releases its
+// worker-pool slot immediately instead of sleeping out the interval.
+func (r *Requester) polite(ctx context.Context, host string) error {
 	if r.cfg.PerHostInterval <= 0 {
 		r.mu.Lock()
 		r.fetches++
 		r.mu.Unlock()
-		return
+		return ctx.Err()
 	}
 	for {
 		r.mu.Lock()
@@ -109,13 +110,19 @@ func (r *Requester) polite(host string) {
 		now := time.Now()
 		if wait := r.cfg.PerHostInterval - now.Sub(last); wait > 0 {
 			r.mu.Unlock()
-			time.Sleep(wait)
-			continue
+			t := time.NewTimer(wait)
+			select {
+			case <-t.C:
+				continue
+			case <-ctx.Done():
+				t.Stop()
+				return ctx.Err()
+			}
 		}
 		r.lastHit[host] = now
 		r.fetches++
 		r.mu.Unlock()
-		return
+		return nil
 	}
 }
 
@@ -130,8 +137,7 @@ func (r *Requester) do(ctx context.Context, method, url string) (*http.Response,
 	if err != nil {
 		return nil, fmt.Errorf("crawl: resolve %q: %w", host, err)
 	}
-	r.polite(host)
-	if err := ctx.Err(); err != nil {
+	if err := r.polite(ctx, host); err != nil {
 		return nil, fmt.Errorf("crawl: %s %s: %w", method, url, err)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, "http://"+addr+path, nil)
@@ -160,12 +166,12 @@ func (r *Requester) FetchCtx(ctx context.Context, url string) (simweb.FetchResul
 	if err != nil {
 		return simweb.FetchResult{}, err
 	}
-	defer resp.Body.Close()
+	defer drainClose(resp.Body)
 	if resp.StatusCode == http.StatusNotFound {
 		return simweb.FetchResult{}, fmt.Errorf("crawl: fetch %q: %w", url, core.ErrNotFound)
 	}
 	if resp.StatusCode != http.StatusOK {
-		return simweb.FetchResult{}, fmt.Errorf("crawl: fetch %q: status %d", url, resp.StatusCode)
+		return simweb.FetchResult{}, fmt.Errorf("crawl: fetch %q: %w", url, &StatusError{Code: resp.StatusCode})
 	}
 	body, err := io.ReadAll(io.LimitReader(resp.Body, r.cfg.MaxBodyBytes))
 	if err != nil {
@@ -193,17 +199,35 @@ func (r *Requester) HeadCtx(ctx context.Context, url string) (int, core.Time, er
 	if err != nil {
 		return 0, 0, err
 	}
-	io.Copy(io.Discard, resp.Body)
-	resp.Body.Close()
+	drainClose(resp.Body)
 	if resp.StatusCode == http.StatusNotFound {
 		return 0, 0, fmt.Errorf("crawl: head %q: %w", url, core.ErrNotFound)
 	}
 	if resp.StatusCode != http.StatusOK {
-		return 0, 0, fmt.Errorf("crawl: head %q: status %d", url, resp.StatusCode)
+		return 0, 0, fmt.Errorf("crawl: head %q: %w", url, &StatusError{Code: resp.StatusCode})
 	}
 	v := headerInt(resp.Header, "X-Simweb-Version", 1)
 	lm := core.Time(headerInt(resp.Header, "X-Simweb-LastMod", 0))
 	return v, lm, nil
+}
+
+// StatusError reports a non-200, non-404 origin response. It exposes the
+// code via HTTPStatus so retry policies can classify 5xx as transient
+// without importing this package.
+type StatusError struct{ Code int }
+
+func (e *StatusError) Error() string { return "status " + strconv.Itoa(e.Code) }
+
+// HTTPStatus returns the response status code.
+func (e *StatusError) HTTPStatus() int { return e.Code }
+
+// drainClose consumes what remains of body before closing it, so the
+// underlying connection returns to the keep-alive pool instead of being
+// torn down. The drain is bounded: a huge error body is not worth a
+// connection.
+func drainClose(body io.ReadCloser) {
+	io.Copy(io.Discard, io.LimitReader(body, 256<<10))
+	body.Close()
 }
 
 func headerInt(h http.Header, key string, def int) int {

@@ -42,6 +42,8 @@ import (
 	"time"
 
 	"cbfww/internal/core"
+	"cbfww/internal/resilience"
+	"cbfww/internal/simweb"
 	"cbfww/internal/warehouse"
 )
 
@@ -57,6 +59,13 @@ type Config struct {
 	MaxQueryBytes int64
 	// MaxResults caps n parameters on /search and /recommend.
 	MaxResults int
+	// Resilient, when the warehouse's origin is wrapped by a
+	// resilience.Origin, surfaces its retry/breaker counters at /stats
+	// (nil is fine: the counters read zero).
+	Resilient *resilience.Origin
+	// Faults, when the origin path includes a fault-injecting simweb
+	// origin, surfaces its injection counters at /stats (nil is fine).
+	Faults *simweb.FaultyOrigin
 }
 
 // DefaultConfig returns production-ish defaults.
@@ -201,6 +210,8 @@ func httpStatus(err error) int {
 		return http.StatusNotFound
 	case errors.Is(err, core.ErrInvalid):
 		return http.StatusBadRequest
+	case errors.Is(err, resilience.ErrOpen):
+		return http.StatusServiceUnavailable
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled):
@@ -292,8 +303,19 @@ func (s *Server) handleFetch(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if err != nil {
+		// An open breaker with no resident copy is the one honest answer a
+		// bound-free warehouse cannot dodge: 503 plus when to come back.
+		var open *resilience.BreakerOpenError
+		if errors.As(err, &open) {
+			w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(open.RetryAfter)))
+		}
 		writeError(w, err)
 		return
+	}
+	if res.Stale {
+		// Degraded serve: the origin failed (or lagged) and the warehouse
+		// answered from its admitted copy.
+		w.Header().Set("X-CBFWW-Stale", "1")
 	}
 	writeJSON(w, http.StatusOK, FetchResponse{
 		URL:          res.Page.URL,
@@ -406,11 +428,35 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"user": user, "recommendations": out})
 }
 
+// retryAfterSeconds renders a cool-down as a Retry-After value, rounding
+// up so clients never come back early (and never see 0).
+func retryAfterSeconds(d time.Duration) int {
+	s := int((d + time.Second - 1) / time.Second)
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
 // StatsResponse is the /stats payload.
 type StatsResponse struct {
-	Gateway   GatewayStats                `json:"gateway"`
-	Endpoints map[string]EndpointSnapshot `json:"endpoints"`
-	Warehouse warehouse.Stats             `json:"warehouse"`
+	Gateway    GatewayStats                `json:"gateway"`
+	Resilience ResilienceStats             `json:"resilience"`
+	Endpoints  map[string]EndpointSnapshot `json:"endpoints"`
+	Warehouse  warehouse.Stats             `json:"warehouse"`
+}
+
+// ResilienceStats surfaces the origin-resilience counters: retries and
+// breaker activity from the resilience wrapper, degraded serves from the
+// warehouse, injections from the fault origin (when configured).
+type ResilienceStats struct {
+	Retries          uint64 `json:"retries"`
+	BreakerOpens     uint64 `json:"breaker_opens"`
+	BreakerHalfOpens uint64 `json:"breaker_half_opens"`
+	BreakerFastFails uint64 `json:"breaker_fast_fails"`
+	OpenHosts        int    `json:"open_hosts"`
+	StaleServes      uint64 `json:"stale_serves"`
+	FaultInjections  uint64 `json:"fault_injections"`
 }
 
 // GatewayStats are the daemon-level counters.
@@ -422,6 +468,19 @@ type GatewayStats struct {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	whStats := s.wh.Stats()
+	res := ResilienceStats{StaleServes: uint64(whStats.StaleServes)}
+	if s.cfg.Resilient != nil {
+		rs := s.cfg.Resilient.Stats()
+		res.Retries = rs.Retries
+		res.BreakerOpens = rs.BreakerOpens
+		res.BreakerHalfOpens = rs.BreakerHalfOpens
+		res.BreakerFastFails = rs.BreakerFastFails
+		res.OpenHosts = rs.OpenHosts
+	}
+	if s.cfg.Faults != nil {
+		res.FaultInjections = uint64(s.cfg.Faults.Stats().Total())
+	}
 	writeJSON(w, http.StatusOK, StatsResponse{
 		Gateway: GatewayStats{
 			CoalescedFetches:     s.coalesced.Load(),
@@ -429,8 +488,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			FetchWorkers:         s.pool.capacity(),
 			ResidentPages:        s.wh.ResidentPages(),
 		},
-		Endpoints: s.metrics.Snapshot(),
-		Warehouse: s.wh.Stats(),
+		Resilience: res,
+		Endpoints:  s.metrics.Snapshot(),
+		Warehouse:  whStats,
 	})
 }
 

@@ -1,0 +1,136 @@
+package resilience
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerConfig tunes the per-host circuit breaker.
+type BreakerConfig struct {
+	// Threshold is the consecutive host-failure count that opens the
+	// breaker; <= 0 disables breaking entirely.
+	Threshold int
+	// Cooldown is how long an open breaker refuses traffic before letting
+	// one half-open probe through.
+	Cooldown time.Duration
+}
+
+// breaker states. A breaker is closed (traffic flows, failures counted),
+// open (all traffic refused until the cool-down elapses), or half-open
+// (exactly one probe in flight decides: success closes, failure re-opens).
+const (
+	stateClosed = iota
+	stateOpen
+	stateHalfOpen
+)
+
+// hostBreaker is one host's state. Guarded by breakerSet.mu.
+type hostBreaker struct {
+	state    int
+	fails    int       // consecutive failures while closed
+	openedAt time.Time // when the breaker last opened
+}
+
+// breakerSet is the per-host breaker map plus shared counters.
+type breakerSet struct {
+	cfg BreakerConfig
+	now func() time.Time
+
+	mu        sync.Mutex
+	hosts     map[string]*hostBreaker
+	opens     uint64
+	halfOpens uint64
+	fastFails uint64
+}
+
+func newBreakerSet(cfg BreakerConfig, now func() time.Time) *breakerSet {
+	if now == nil {
+		now = time.Now
+	}
+	if cfg.Cooldown <= 0 {
+		cfg.Cooldown = 30 * time.Second
+	}
+	return &breakerSet{cfg: cfg, now: now, hosts: make(map[string]*hostBreaker)}
+}
+
+// allow asks whether a request to host may proceed. Refusals return a
+// *BreakerOpenError. Allowed requests must report their outcome through
+// the returned func (failed = hostFailure classification).
+func (s *breakerSet) allow(host string) (report func(failed bool), err error) {
+	if s == nil || s.cfg.Threshold <= 0 {
+		return func(bool) {}, nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b := s.hosts[host]
+	if b == nil {
+		b = &hostBreaker{}
+		s.hosts[host] = b
+	}
+	switch b.state {
+	case stateOpen:
+		remaining := s.cfg.Cooldown - s.now().Sub(b.openedAt)
+		if remaining > 0 {
+			s.fastFails++
+			return nil, &BreakerOpenError{Host: host, RetryAfter: remaining}
+		}
+		// Cool-down elapsed: this caller becomes the half-open probe.
+		b.state = stateHalfOpen
+		s.halfOpens++
+	case stateHalfOpen:
+		// A probe is already in flight; everyone else keeps failing fast.
+		s.fastFails++
+		return nil, &BreakerOpenError{Host: host, RetryAfter: s.cfg.Cooldown}
+	}
+	return func(failed bool) { s.report(host, failed) }, nil
+}
+
+// report records an allowed request's outcome.
+func (s *breakerSet) report(host string, failed bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b := s.hosts[host]
+	if b == nil {
+		return
+	}
+	switch b.state {
+	case stateHalfOpen:
+		if failed {
+			// The probe failed: back to open for a fresh cool-down.
+			b.state = stateOpen
+			b.openedAt = s.now()
+			s.opens++
+		} else {
+			b.state = stateClosed
+			b.fails = 0
+		}
+	case stateClosed:
+		if !failed {
+			b.fails = 0
+			return
+		}
+		b.fails++
+		if b.fails >= s.cfg.Threshold {
+			b.state = stateOpen
+			b.openedAt = s.now()
+			b.fails = 0
+			s.opens++
+		}
+	}
+}
+
+// openHosts counts hosts currently refusing traffic.
+func (s *breakerSet) openHosts() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, b := range s.hosts {
+		if b.state == stateOpen {
+			n++
+		}
+	}
+	return n
+}

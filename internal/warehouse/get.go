@@ -57,6 +57,20 @@ func (w *Warehouse) Prefetch(url string) error {
 	return err
 }
 
+// Refresh forces a resident page's content to be refetched from the
+// origin, bypassing the consistency schedule. When the origin fails and a
+// readable copy exists, the copy is served marked stale — the warehouse
+// never loses what it admitted. Refresh does not count as a user request.
+func (w *Warehouse) Refresh(ctx context.Context, url string) (GetResult, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	st := w.pages[url]
+	if st == nil {
+		return GetResult{}, fmt.Errorf("warehouse: refresh %q: %w", url, core.ErrNotFound)
+	}
+	return w.refetch(ctx, "", url, st, true)
+}
+
 func (w *Warehouse) get(ctx context.Context, user, url string, prefetch bool) (GetResult, error) {
 	w.mu.Lock()
 	now := w.clock.Now()
@@ -67,7 +81,16 @@ func (w *Warehouse) get(ctx context.Context, user, url string, prefetch bool) (G
 		fresh := true
 		if w.cfg.Consistency.NeedsCheck(st.lastCheck, now, core.Duration(st.updateGap), w.tracker.AgedFrequency(st.physID)) {
 			ver, mod, err := w.originHead(ctx, url)
-			if err == nil {
+			if err != nil {
+				// Dead origin: the copy-control promise (§5.2) — serve the
+				// admitted copy, marked stale since freshness is unknowable.
+				if out, ok := w.serveStale(user, url, st, prefetch); ok {
+					return out, nil
+				}
+				// The local copy is unreadable too; fall through to the
+				// refetch path, which surfaces the origin error.
+				fresh = false
+			} else {
 				if !prefetch {
 					w.stats.Revalidations++
 				}
@@ -77,8 +100,6 @@ func (w *Warehouse) get(ctx context.Context, user, url string, prefetch bool) (G
 					_ = mod
 				}
 			}
-			// A dead origin serves the cached copy (that is the point of
-			// a warehouse).
 		}
 		if fresh {
 			return w.serveResident(ctx, user, url, st, prefetch)
@@ -149,11 +170,52 @@ func (w *Warehouse) serveResident(ctx context.Context, user, url string, st *pag
 	return out, nil
 }
 
+// serveStale serves a resident page known (or suspected) to lag the
+// origin — the degraded mode behind the copy-control promise: once
+// admitted, content outlives its origin. Returns false when no readable
+// copy exists (lost tiers, corrupt blob). Requires w.mu (write).
+func (w *Warehouse) serveStale(user, url string, st *pageState, prefetch bool) (GetResult, bool) {
+	res, err := w.store.Access(st.container)
+	if err != nil {
+		return GetResult{}, false
+	}
+	snap, ok := w.history.Latest(url)
+	if !ok {
+		return GetResult{}, false
+	}
+	snap, err = w.history.Materialize(snap)
+	if err != nil {
+		return GetResult{}, false
+	}
+	out := GetResult{
+		Page: simweb.Page{
+			URL:     url,
+			Title:   snap.Title,
+			Body:    snap.Body,
+			Size:    snap.Size,
+			Version: snap.Version,
+			LastMod: snap.Time,
+		},
+		Hit:     true,
+		Source:  res.Tier.String(),
+		Latency: res.Latency,
+		Stale:   true,
+	}
+	out.Priority, _ = w.store.Priority(st.container)
+	w.stats.StaleServes++
+	w.afterServe(user, url, st, out, prefetch)
+	return out, true
+}
+
 // refetch replaces a resident page's content with the origin's current
-// version. Requires w.mu (write).
+// version. A failing origin degrades to the stale resident copy when one
+// is readable. Requires w.mu (write).
 func (w *Warehouse) refetch(ctx context.Context, user, url string, st *pageState, prefetch bool) (GetResult, error) {
 	fr, err := w.originFetch(ctx, url)
 	if err != nil {
+		if out, ok := w.serveStale(user, url, st, prefetch); ok {
+			return out, nil
+		}
 		return GetResult{}, fmt.Errorf("warehouse: refetch %q: %w", url, err)
 	}
 	if !prefetch {

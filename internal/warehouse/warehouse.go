@@ -169,6 +169,9 @@ type Stats struct {
 	Refetches     int // revalidations that found new content
 	Prefetches    int
 	Rejected      int // admission-constraint rejections
+	// StaleServes counts degraded serves: the origin failed but a resident
+	// copy answered, marked stale (the §5.2 copy-control promise).
+	StaleServes int
 	// IndexMemoryProbes / IndexDiskProbes count tiered index accesses
 	// (§4.1's index hierarchy).
 	IndexMemoryProbes int
