@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench tables serve faults examples clean
+.PHONY: all build test race cover bench tables serve faults soak fuzz examples clean
 
 all: build test
 
@@ -35,6 +35,19 @@ serve:
 faults:
 	$(GO) test -race -v -run 'Fault|Blackout|Retries|Degrade|Stale' \
 		./internal/gateway ./internal/warehouse ./internal/simweb ./cmd/cbfww-serve
+
+# Concurrency soak: the sharded warehouse oracle and the gateway under
+# fault-injecting load, twice each, under the race detector.
+soak:
+	$(GO) test -race -count=2 -run 'Oracle|Soak|Concurrent' \
+		./internal/warehouse ./internal/gateway
+
+# Native fuzzing of the query lexer/parser (30s per target; crank
+# FUZZTIME for a longer hunt).
+FUZZTIME ?= 30s
+fuzz:
+	$(GO) test -fuzz FuzzParse -fuzztime $(FUZZTIME) -run '^$$' ./internal/query/
+	$(GO) test -fuzz FuzzRunString -fuzztime $(FUZZTIME) -run '^$$' ./internal/query/
 
 examples:
 	$(GO) run ./examples/quickstart

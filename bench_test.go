@@ -8,15 +8,19 @@
 package cbfww_bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"net/http/httptest"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"cbfww/internal/core"
 	"cbfww/internal/experiments"
 	"cbfww/internal/gateway"
+	"cbfww/internal/simweb"
 	"cbfww/internal/warehouse"
 	"cbfww/internal/workload"
 )
@@ -202,6 +206,147 @@ func BenchmarkWarehouseMinePaths(b *testing.B) {
 		if _, err := w.MinePaths(); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// --- shard-scaling benchmarks -----------------------------------------
+
+// slowOrigin adds real wall-clock latency to every body fetch, standing
+// in for origin RTT. Refresh holds its shard's lock across the fetch, so
+// the sleep makes lock-hold time visible: with one stripe a refresh
+// stalls every reader, with N stripes it stalls only 1/N of the URL
+// space.
+type slowOrigin struct {
+	*simweb.Web
+	delay time.Duration
+}
+
+func (o *slowOrigin) Fetch(url string) (simweb.FetchResult, error) {
+	time.Sleep(o.delay)
+	return o.Web.Fetch(url)
+}
+
+func (o *slowOrigin) FetchCtx(ctx context.Context, url string) (simweb.FetchResult, error) {
+	time.Sleep(o.delay)
+	return o.Web.FetchCtx(ctx, url)
+}
+
+// benchShardedWorld builds a fully warmed warehouse with the given stripe
+// count. delay > 0 puts slowOrigin in front of the generated web.
+func benchShardedWorld(b *testing.B, shards int, delay time.Duration) (*warehouse.Warehouse, *workload.GeneratedWeb) {
+	b.Helper()
+	clock := core.NewSimClock(0)
+	wcfg := workload.DefaultWebConfig()
+	wcfg.Sites, wcfg.PagesPerSite, wcfg.Seed = 8, 25, benchSeed
+	g, err := workload.GenerateWeb(clock, wcfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var origin warehouse.Origin = g.Web
+	if delay > 0 {
+		origin = &slowOrigin{Web: g.Web, delay: delay}
+	}
+	cfg := warehouse.DefaultConfig()
+	cfg.Shards = shards
+	w, err := warehouse.New(cfg, clock, origin)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, u := range g.PageURLs {
+		if _, err := w.Get("warm", u); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return w, g
+}
+
+// shardedReaders drives parallel resident-hit reads over urls, each
+// worker starting at a different offset so the load spreads across
+// stripes.
+func shardedReaders(b *testing.B, w *warehouse.Warehouse, urls []string) {
+	var worker atomic.Int64
+	b.RunParallel(func(pb *testing.PB) {
+		i := int(worker.Add(1)) * 7919
+		for pb.Next() {
+			if _, err := w.Get("bench", urls[i%len(urls)]); err != nil {
+				b.Error(err)
+				return
+			}
+			i++
+		}
+	})
+}
+
+// BenchmarkShardedReadHit measures pure resident-hit throughput of the
+// lock-striped warehouse under parallel readers. Run with -cpu 8 to match
+// the 8-goroutine scaling check recorded in bench_tables.txt.
+func BenchmarkShardedReadHit(b *testing.B) {
+	for _, n := range []int{1, 8} {
+		b.Run(fmt.Sprintf("shards=%d", n), func(b *testing.B) {
+			w, g := benchShardedWorld(b, n, 0)
+			b.ResetTimer()
+			shardedReaders(b, w, g.PageURLs)
+		})
+	}
+}
+
+// BenchmarkShardedReadUnderRefresh is the stall-isolation case the
+// stripes exist for: parallel readers serve resident hits while
+// background writers loop Refresh on one stripe's pages through an origin
+// with 200µs of real latency. Refresh holds its shard's lock across that
+// fetch, so with a single stripe every reader serializes behind the
+// sleeping writers; with 8 stripes the stall is confined to the refreshed
+// stripe and reads of the other seven proceed at full speed.
+//
+// The workload split is fixed by the 8-way FNV mapping in both cases —
+// refreshers hammer pages of one stripe, readers the rest — so the only
+// variable between sub-benchmarks is how many locks cover that URL space.
+func BenchmarkShardedReadUnderRefresh(b *testing.B) {
+	const (
+		originDelay = 200 * time.Microsecond
+		stripes     = 8
+		refreshers  = 4
+	)
+	for _, n := range []int{1, stripes} {
+		b.Run(fmt.Sprintf("shards=%d", n), func(b *testing.B) {
+			w, g := benchShardedWorld(b, n, originDelay)
+			hot := warehouse.ShardIndex(g.PageURLs[0], stripes)
+			var hotURLs, readURLs []string
+			for _, u := range g.PageURLs {
+				if warehouse.ShardIndex(u, stripes) == hot {
+					hotURLs = append(hotURLs, u)
+				} else {
+					readURLs = append(readURLs, u)
+				}
+			}
+			if len(hotURLs) < refreshers || len(readURLs) == 0 {
+				b.Fatalf("degenerate stripe split: %d hot, %d read", len(hotURLs), len(readURLs))
+			}
+			done := make(chan struct{})
+			var wg sync.WaitGroup
+			for r := 0; r < refreshers; r++ {
+				wg.Add(1)
+				go func(r int) {
+					defer wg.Done()
+					for i := r; ; i += refreshers {
+						select {
+						case <-done:
+							return
+						default:
+						}
+						if _, err := w.Refresh(context.Background(), hotURLs[i%len(hotURLs)]); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}(r)
+			}
+			b.ResetTimer()
+			shardedReaders(b, w, readURLs)
+			b.StopTimer()
+			close(done)
+			wg.Wait()
+		})
 	}
 }
 

@@ -46,6 +46,7 @@ type options struct {
 	schemaFile    string
 	origin        string
 	workers       int
+	shards        int
 	fetchTimeout  time.Duration
 	maintainEvery time.Duration
 
@@ -69,12 +70,17 @@ type daemon struct {
 	maintainEvery time.Duration
 	stopMaintain  chan struct{}
 	maintainDone  chan struct{}
+	// sweepSignal, when non-nil, receives a token after every completed
+	// maintenance sweep (dropped when full). Tests synchronize on it
+	// instead of sleeping and hoping the ticker fired.
+	sweepSignal chan struct{}
 }
 
 // build assembles warehouse + gateway per the options.
 func build(opts options) (*daemon, error) {
 	cfg := warehouse.DefaultConfig()
 	cfg.Miner.MinSupport = 2
+	cfg.Shards = opts.shards
 	if opts.schemaFile != "" {
 		text, err := os.ReadFile(opts.schemaFile)
 		if err != nil {
@@ -177,6 +183,12 @@ func (d *daemon) start() error {
 					if _, err := d.wh.Maintain(); err != nil {
 						log.Printf("maintain: %v", err)
 					}
+					if d.sweepSignal != nil {
+						select {
+						case d.sweepSignal <- struct{}{}:
+						default:
+						}
+					}
 				case <-d.stopMaintain:
 					return
 				}
@@ -205,6 +217,7 @@ func main() {
 	flag.StringVar(&opts.schemaFile, "schema", "", "storage schema definition file (see internal/schema)")
 	flag.StringVar(&opts.origin, "origin", "", "fetch through real HTTP, resolving all hosts to this host:port")
 	flag.IntVar(&opts.workers, "workers", 32, "max concurrent origin fetches")
+	flag.IntVar(&opts.shards, "shards", 0, "warehouse lock stripes (0 = GOMAXPROCS)")
 	flag.DurationVar(&opts.fetchTimeout, "fetch-timeout", 10*time.Second, "per-request origin fetch budget")
 	flag.DurationVar(&opts.maintainEvery, "maintain-every", time.Minute, "maintenance sweep interval (0 disables)")
 	flag.IntVar(&opts.retry, "retry", 3, "origin attempts per fetch (1 disables retries)")

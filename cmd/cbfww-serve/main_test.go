@@ -155,10 +155,18 @@ func TestServeMaintenanceLoop(t *testing.T) {
 	if err != nil {
 		t.Fatalf("build: %v", err)
 	}
+	d.sweepSignal = make(chan struct{}, 4)
 	if err := d.start(); err != nil {
 		t.Fatalf("start: %v", err)
 	}
-	time.Sleep(80 * time.Millisecond) // a few sweeps fire
+	// Synchronize on actual sweeps instead of sleeping a guessed interval.
+	for i := 0; i < 2; i++ {
+		select {
+		case <-d.sweepSignal:
+		case <-time.After(10 * time.Second):
+			t.Fatal("maintenance loop never swept")
+		}
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := d.shutdown(ctx); err != nil {

@@ -444,6 +444,20 @@ type StatsResponse struct {
 	Resilience ResilienceStats             `json:"resilience"`
 	Endpoints  map[string]EndpointSnapshot `json:"endpoints"`
 	Warehouse  warehouse.Stats             `json:"warehouse"`
+	// Shards breaks the warehouse's traffic down by lock stripe so
+	// operators can see striping imbalance and per-stripe lock contention.
+	Shards []ShardSnapshot `json:"shards"`
+}
+
+// ShardSnapshot is one warehouse lock stripe's share of the load.
+type ShardSnapshot struct {
+	Shard          int   `json:"shard"`
+	Pages          int   `json:"pages"`
+	Requests       int   `json:"requests"`
+	Hits           int   `json:"hits"`
+	OriginFetches  int   `json:"origin_fetches"`
+	LockWaitMicros int64 `json:"lock_wait_micros"`
+	LockAcquires   int64 `json:"lock_acquires"`
 }
 
 // ResilienceStats surfaces the origin-resilience counters: retries and
@@ -465,6 +479,7 @@ type GatewayStats struct {
 	InflightOriginFetchs int    `json:"inflight_origin_fetches"`
 	FetchWorkers         int    `json:"fetch_workers"`
 	ResidentPages        int    `json:"resident_pages"`
+	Shards               int    `json:"shards"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -481,16 +496,31 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if s.cfg.Faults != nil {
 		res.FaultInjections = uint64(s.cfg.Faults.Stats().Total())
 	}
+	shardStats := s.wh.ShardStats()
+	shards := make([]ShardSnapshot, len(shardStats))
+	for i, ss := range shardStats {
+		shards[i] = ShardSnapshot{
+			Shard:          ss.Shard,
+			Pages:          ss.Pages,
+			Requests:       ss.Requests,
+			Hits:           ss.Hits,
+			OriginFetches:  ss.OriginFetches,
+			LockWaitMicros: ss.LockWaitMicros,
+			LockAcquires:   ss.LockAcquires,
+		}
+	}
 	writeJSON(w, http.StatusOK, StatsResponse{
 		Gateway: GatewayStats{
 			CoalescedFetches:     s.coalesced.Load(),
 			InflightOriginFetchs: s.pool.inflight(),
 			FetchWorkers:         s.pool.capacity(),
 			ResidentPages:        s.wh.ResidentPages(),
+			Shards:               s.wh.NumShards(),
 		},
 		Resilience: res,
 		Endpoints:  s.metrics.Snapshot(),
 		Warehouse:  whStats,
+		Shards:     shards,
 	})
 }
 

@@ -32,10 +32,29 @@ type gateOrigin struct {
 	web     *simweb.Web
 	gate    chan struct{} // nil = always open
 	fetches atomic.Int32  // origin fetches started
+	// active/maxActive track the concurrency high-water mark, the
+	// deterministic way to assert a bound without sleeping and hoping.
+	active    atomic.Int32
+	maxActive atomic.Int32
+	// started, when non-nil, receives one token per fetch start — tests
+	// synchronize on it instead of polling counters. Buffer it larger than
+	// the fetch count so sends never block.
+	started chan struct{}
 }
 
 func (o *gateOrigin) FetchCtx(ctx context.Context, url string) (simweb.FetchResult, error) {
 	o.fetches.Add(1)
+	n := o.active.Add(1)
+	defer o.active.Add(-1)
+	for {
+		max := o.maxActive.Load()
+		if n <= max || o.maxActive.CompareAndSwap(max, n) {
+			break
+		}
+	}
+	if o.started != nil {
+		o.started <- struct{}{}
+	}
 	if o.gate != nil {
 		select {
 		case <-o.gate:
@@ -321,6 +340,7 @@ func TestColdMissesFetchInParallel(t *testing.T) {
 	defer ts.Close()
 	client := ts.Client()
 
+	origin.started = make(chan struct{}, 4)
 	var wg sync.WaitGroup
 	for _, u := range g.PageURLs[:2] {
 		wg.Add(1)
@@ -331,12 +351,14 @@ func TestColdMissesFetchInParallel(t *testing.T) {
 			}
 		}(u)
 	}
-	deadline := time.Now().Add(10 * time.Second)
-	for origin.fetches.Load() < 2 {
-		if time.Now().After(deadline) {
+	// Two start tokens while the gate is still closed = two fetches in
+	// flight at the origin simultaneously. No polling, no sleeps.
+	for i := 0; i < 2; i++ {
+		select {
+		case <-origin.started:
+		case <-time.After(10 * time.Second):
 			t.Fatalf("only %d origin fetches in flight; cold misses serialized", origin.fetches.Load())
 		}
-		time.Sleep(time.Millisecond)
 	}
 	close(origin.gate)
 	wg.Wait()
@@ -375,6 +397,7 @@ func TestShutdownDrains(t *testing.T) {
 	}
 	base := "http://" + s.Addr()
 	client := &http.Client{Timeout: 30 * time.Second}
+	origin.started = make(chan struct{}, 2)
 
 	// Put one request in flight, blocked at the origin.
 	type result struct {
@@ -396,12 +419,10 @@ func TestShutdownDrains(t *testing.T) {
 		}
 		resCh <- r
 	}()
-	deadline := time.Now().Add(10 * time.Second)
-	for origin.fetches.Load() < 1 {
-		if time.Now().After(deadline) {
-			t.Fatal("request never reached the origin")
-		}
-		time.Sleep(time.Millisecond)
+	select {
+	case <-origin.started:
+	case <-time.After(10 * time.Second):
+		t.Fatal("request never reached the origin")
 	}
 
 	shutdownDone := make(chan error, 1)
@@ -446,6 +467,7 @@ func TestFetchWorkerPoolBounds(t *testing.T) {
 	defer ts.Close()
 	client := ts.Client()
 
+	origin.started = make(chan struct{}, 8)
 	var wg sync.WaitGroup
 	for _, u := range g.PageURLs[:6] {
 		wg.Add(1)
@@ -457,23 +479,24 @@ func TestFetchWorkerPoolBounds(t *testing.T) {
 		}(u)
 	}
 
-	// Give the storm time to saturate the pool, then check the bound: the
-	// gate holds fetches open, so starts == concurrent.
-	deadline := time.Now().Add(10 * time.Second)
-	for origin.fetches.Load() < 2 {
-		if time.Now().After(deadline) {
+	// Wait for both workers to be parked on the gate, release the storm,
+	// then judge the pool by its concurrency high-water mark: it must have
+	// reached the bound (both tokens arrived while the gate was closed)
+	// and never exceeded it — no saturation sleep needed.
+	for i := 0; i < 2; i++ {
+		select {
+		case <-origin.started:
+		case <-time.After(10 * time.Second):
 			t.Fatal("pool never reached its 2 concurrent fetches")
 		}
-		time.Sleep(time.Millisecond)
-	}
-	time.Sleep(50 * time.Millisecond)
-	if n := origin.fetches.Load(); n != 2 {
-		t.Fatalf("origin saw %d concurrent fetches, want pool bound 2", n)
 	}
 	close(origin.gate)
 	wg.Wait()
 	if n := origin.fetches.Load(); n != 6 {
 		t.Fatalf("total origin fetches = %d, want 6", n)
+	}
+	if n := origin.maxActive.Load(); n != 2 {
+		t.Fatalf("origin concurrency high-water mark = %d, want pool bound 2", n)
 	}
 }
 

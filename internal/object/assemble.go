@@ -19,6 +19,25 @@ type Builder struct {
 // NewBuilder returns a Builder over h.
 func NewBuilder(h *Hierarchy) *Builder { return &Builder{H: h} }
 
+// getOrAdd returns the object at (kind, key), creating it when absent.
+// Concurrent builders may race a ByKey miss against each other; the loser's
+// Add fails with ErrExists, in which case the winner's object is returned.
+func (b *Builder) getOrAdd(kind Kind, key string, size core.Bytes, title, body string) (*Object, error) {
+	if existing, ok := b.H.ByKey(kind, key); ok {
+		return existing, nil
+	}
+	o, err := b.H.Add(kind, key, size, title, body)
+	if err == nil {
+		return o, nil
+	}
+	if isExists(err) {
+		if existing, ok := b.H.ByKey(kind, key); ok {
+			return existing, nil
+		}
+	}
+	return nil, err
+}
+
 // AddPhysicalPage registers a fetched web page as a physical page object
 // with its container and component raw objects, linking them. Re-adding an
 // existing page returns the existing object (idempotent admission), but
@@ -29,28 +48,25 @@ func (b *Builder) AddPhysicalPage(p *simweb.Page) (*Object, error) {
 	}
 	// The physical page's size is the whole visual unit: container plus
 	// components (the paper's queries filter on p.size).
-	phys, err := b.H.Add(KindPhysical, p.URL, p.TotalSize(), p.Title, p.Body)
+	phys, err := b.getOrAdd(KindPhysical, p.URL, p.TotalSize(), p.Title, p.Body)
 	if err != nil {
 		return nil, err
 	}
 	// Container raw object carries the page's own size and content.
-	container, ok := b.H.ByKey(KindRaw, p.URL)
-	if !ok {
-		container, err = b.H.Add(KindRaw, p.URL, p.Size, p.Title, p.Body)
-		if err != nil {
-			return nil, err
-		}
+	container, err := b.getOrAdd(KindRaw, p.URL, p.Size, p.Title, p.Body)
+	if err != nil {
+		return nil, err
 	}
-	if err := b.H.Link(phys.ID, container.ID); err != nil {
+	if err := b.H.Link(phys.ID, container.ID); err != nil && !isExists(err) {
 		return nil, err
 	}
 	for _, c := range p.Components {
-		comp, ok := b.H.ByKey(KindRaw, c.URL)
-		if !ok {
-			comp, err = b.H.Add(KindRaw, c.URL, c.Size, "", "")
-			if err != nil {
-				return nil, err
-			}
+		// Components are routinely shared across pages (that is the point
+		// of Fig. 2), so concurrent admissions on different shards race to
+		// create them; getOrAdd resolves the race to a single object.
+		comp, err := b.getOrAdd(KindRaw, c.URL, c.Size, "", "")
+		if err != nil {
+			return nil, err
 		}
 		if err := b.H.Link(phys.ID, comp.ID); err != nil && !isExists(err) {
 			return nil, err
@@ -111,7 +127,7 @@ func (b *Builder) AddLogicalPage(steps []PathStep) (*Object, error) {
 	titleParts = append(titleParts, terminal.Title)
 	title := strings.Join(titleParts, ", ")
 
-	logical, err := b.H.Add(KindLogical, key, 0, title, terminal.Body)
+	logical, err := b.getOrAdd(KindLogical, key, 0, title, terminal.Body)
 	if err != nil {
 		return nil, err
 	}
@@ -126,13 +142,9 @@ func (b *Builder) AddLogicalPage(steps []PathStep) (*Object, error) {
 // AddRegion registers a semantic region and links the given logical pages
 // into it.
 func (b *Builder) AddRegion(name string, logicalIDs []core.ObjectID) (*Object, error) {
-	region, ok := b.H.ByKey(KindRegion, name)
-	if !ok {
-		var err error
-		region, err = b.H.Add(KindRegion, name, 0, name, "")
-		if err != nil {
-			return nil, err
-		}
+	region, err := b.getOrAdd(KindRegion, name, 0, name, "")
+	if err != nil {
+		return nil, err
 	}
 	for _, lid := range logicalIDs {
 		if err := b.H.Link(region.ID, lid); err != nil && !isExists(err) {

@@ -1,0 +1,59 @@
+package query
+
+import (
+	"testing"
+
+	"cbfww/internal/object"
+)
+
+// Native fuzz targets for the §4.3 query dialect: whatever bytes arrive,
+// the lexer/parser must return (Query, nil) or (nil, error) — never panic
+// — and any parse-accepted query must execute against an empty source
+// without panicking. Run with
+//
+//	go test -fuzz FuzzParse ./internal/query/
+//
+// The seed corpus mixes well-formed §4.3 queries with the malformed shapes
+// the robustness tests already exercise.
+
+func fuzzSeeds(f *testing.F) {
+	seeds := []string{
+		"",
+		"SELECT p.oid FROM Physical_Page p",
+		"SELECT * FROM Physical_Page p WHERE p.size > 200,000",
+		"SELECT MFU 3 l.path FROM Logical_Page l",
+		"SELECT MFU 3 l.path FROM Logical_Page l WHERE end_at(l.oid) IN (SELECT p.oid FROM Physical_Page p)",
+		"SELECT * FROM Semantic_Region r WHERE r.name MENTION 'x'",
+		"SELECT LRU p.oid FROM Raw_Object p WHERE p.size > 0 AND NOT p.key = 'y'",
+		"SELECT FROM WHERE",
+		"SELECT p.oid FROM Physical_Page p WHERE p.url = 'unterminated",
+		"SELECT ((((",
+		"MENTION MENTION MENTION",
+		"SELECT * FROM Physical_Page p WHERE p.freq >= 10 OR EXISTS (SELECT * FROM Logical_Page l)",
+		"@#$ 末尾 ; , . != <=",
+		"SELECT MRU 200,000 p.* FROM p",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+}
+
+func FuzzParse(f *testing.F) {
+	fuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Parse(src)
+		if err == nil && q == nil {
+			t.Fatalf("Parse(%q) returned nil, nil", src)
+		}
+	})
+}
+
+func FuzzRunString(f *testing.F) {
+	fuzzSeeds(f)
+	empty := &fakeSource{h: object.NewHierarchy()}
+	f.Fuzz(func(t *testing.T, src string) {
+		// RunString must never panic: parse errors are returned, accepted
+		// queries execute against the empty source.
+		_, _ = RunString(src, empty)
+	})
+}

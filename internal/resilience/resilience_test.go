@@ -19,6 +19,9 @@ type scriptOrigin struct {
 	mu     sync.Mutex
 	script map[string][]error
 	calls  map[string]int
+	// called, when non-nil, receives a token per origin call (dropped when
+	// full) — tests synchronize on attempts instead of sleeping.
+	called chan struct{}
 }
 
 func newScriptOrigin() *scriptOrigin {
@@ -41,6 +44,12 @@ func (s *scriptOrigin) next(url string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.calls[url]++
+	if s.called != nil {
+		select {
+		case s.called <- struct{}{}:
+		default:
+		}
+	}
 	if q := s.script[url]; len(q) > 0 {
 		err := q[0]
 		s.script[url] = q[1:]
@@ -204,6 +213,7 @@ func TestNoRetryOnNotFound(t *testing.T) {
 
 func TestNoRetryAfterCallerCancels(t *testing.T) {
 	s := newScriptOrigin()
+	s.called = make(chan struct{}, 8)
 	url := "http://a.example/p"
 	s.fail(url, errFlaky, errFlaky, errFlaky)
 	o := wrapT(t, s, Config{Retry: RetryPolicy{MaxAttempts: 5, BaseBackoff: time.Hour}})
@@ -214,9 +224,14 @@ func TestNoRetryAfterCallerCancels(t *testing.T) {
 		_, err := o.FetchCtx(ctx, url)
 		done <- err
 	}()
-	// Let the first attempt fail, then cancel during backoff: the call must
-	// return promptly instead of sleeping the hour out.
-	time.Sleep(20 * time.Millisecond)
+	// Wait for the first attempt to actually hit the origin (the hour-long
+	// backoff starts right after), then cancel: the call must return
+	// promptly instead of sleeping the hour out.
+	select {
+	case <-s.called:
+	case <-time.After(5 * time.Second):
+		t.Fatal("first attempt never reached the origin")
+	}
 	cancel()
 	select {
 	case err := <-done:

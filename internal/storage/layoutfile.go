@@ -1,0 +1,145 @@
+package storage
+
+import (
+	"bufio"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"cbfww/internal/core"
+)
+
+// The tertiary layout — which object sits at which position on the linear
+// medium — is the one piece of Storage Manager state worth persisting:
+// §4.4's clustering is recomputed only by a full maintenance sweep, so a
+// restarted warehouse would otherwise serve analysis runs from a scrambled
+// tape until the next sweep. The layout file is an append-ordered text
+// format built for crash recovery:
+//
+//	cbfww-layout v1
+//	<position> <object-id> <crc32>
+//	...
+//
+// Each entry line carries a CRC32 (IEEE) of its own "<position> <id>"
+// prefix. A crash mid-write leaves a truncated or half-written tail; on
+// load, the first line that fails to parse or checksum ends the usable
+// data, and the intact prefix is recovered — a shorter layout, never a
+// corrupt one.
+
+const layoutHeader = "cbfww-layout v1"
+
+// SaveLayout writes the current tertiary layout to path atomically (temp
+// file + rename), positions in ascending order.
+func (m *Manager) SaveLayout(path string) error {
+	m.mu.RLock()
+	type entry struct {
+		pos int
+		id  core.ObjectID
+	}
+	entries := make([]entry, 0, len(m.objects))
+	for id, o := range m.objects {
+		if o.copies[Tertiary].present {
+			entries = append(entries, entry{pos: o.tertiaryPos, id: id})
+		}
+	}
+	m.mu.RUnlock()
+	sort.Slice(entries, func(i, j int) bool { return entries[i].pos < entries[j].pos })
+
+	var b strings.Builder
+	b.WriteString(layoutHeader)
+	b.WriteByte('\n')
+	for _, e := range entries {
+		line := fmt.Sprintf("%d %d", e.pos, int64(e.id))
+		fmt.Fprintf(&b, "%s %08x\n", line, crc32.ChecksumIEEE([]byte(line)))
+	}
+
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".layout-*")
+	if err != nil {
+		return fmt.Errorf("storage: save layout: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after successful rename
+	if _, err := tmp.WriteString(b.String()); err != nil {
+		tmp.Close()
+		return fmt.Errorf("storage: save layout: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("storage: save layout: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("storage: save layout: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("storage: save layout: %w", err)
+	}
+	return nil
+}
+
+// LoadLayout reads a layout file and returns the longest intact prefix of
+// object IDs in layout order. Entries after the first corrupt, truncated
+// or out-of-order line are discarded (a crashed writer only damages the
+// tail). A missing file is an error the caller can test with
+// errors.Is(err, fs.ErrNotExist); a bad header is core.ErrInvalid.
+func LoadLayout(path string) ([]core.ObjectID, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("storage: load layout: %w", err)
+	}
+	defer f.Close()
+
+	sc := bufio.NewScanner(f)
+	if !sc.Scan() || sc.Text() != layoutHeader {
+		return nil, fmt.Errorf("storage: load layout %s: %w: bad header", path, core.ErrInvalid)
+	}
+	var order []core.ObjectID
+	next := 0
+	for sc.Scan() {
+		line := sc.Text()
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			break // truncated tail
+		}
+		payload, sumHex := line[:i], line[i+1:]
+		sum, err := strconv.ParseUint(sumHex, 16, 32)
+		if err != nil || uint32(sum) != crc32.ChecksumIEEE([]byte(payload)) {
+			break // corrupt or half-written line
+		}
+		var pos int
+		var id int64
+		if _, err := fmt.Sscanf(payload, "%d %d", &pos, &id); err != nil || pos != next {
+			break // malformed or out-of-order: not part of the intact prefix
+		}
+		order = append(order, core.ObjectID(id))
+		next++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("storage: load layout %s: %w", path, err)
+	}
+	return order, nil
+}
+
+// RestoreLayout loads the layout file and re-applies it to the manager,
+// skipping IDs the manager no longer knows (objects lost since the save).
+// It returns how many entries were applied. A recovered prefix shorter
+// than the resident population is fine: unlisted residents follow in ID
+// order, exactly as LayoutTertiary always lays them.
+func (m *Manager) RestoreLayout(path string) (int, error) {
+	order, err := LoadLayout(path)
+	if err != nil {
+		return 0, err
+	}
+	known := order[:0]
+	for _, id := range order {
+		if _, ok := m.Contains(id); ok {
+			known = append(known, id)
+		}
+	}
+	if err := m.LayoutTertiary(known); err != nil {
+		return 0, err
+	}
+	return len(known), nil
+}

@@ -1,0 +1,241 @@
+package storage
+
+import (
+	"errors"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cbfww/internal/core"
+)
+
+// layoutFixture admits n objects and lays them out in reverse-ID order so
+// the layout is distinguishable from the default ascending-ID placement.
+func layoutFixture(t *testing.T, n int) (*Manager, []core.ObjectID) {
+	t.Helper()
+	m := newTestManager(t)
+	order := make([]core.ObjectID, n)
+	for i := 0; i < n; i++ {
+		id := core.ObjectID(i + 1)
+		if err := m.Admit(id, 10, 1, 0.5); err != nil {
+			t.Fatal(err)
+		}
+		order[n-1-i] = id
+	}
+	if err := m.LayoutTertiary(order); err != nil {
+		t.Fatal(err)
+	}
+	return m, order
+}
+
+func positions(t *testing.T, m *Manager, ids []core.ObjectID) []int {
+	t.Helper()
+	out := make([]int, len(ids))
+	for i, id := range ids {
+		pos, ok := m.TertiaryPosition(id)
+		if !ok {
+			t.Fatalf("object %v has no tertiary position", id)
+		}
+		out[i] = pos
+	}
+	return out
+}
+
+func TestLayoutSaveLoadRoundtrip(t *testing.T) {
+	m, order := layoutFixture(t, 8)
+	path := filepath.Join(t.TempDir(), "layout")
+	if err := m.SaveLayout(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadLayout(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(order) {
+		t.Fatalf("loaded %d entries, want %d", len(got), len(order))
+	}
+	for i := range order {
+		if got[i] != order[i] {
+			t.Fatalf("entry %d = %v, want %v", i, got[i], order[i])
+		}
+	}
+
+	// A fresh manager with the same population recovers the exact layout.
+	m2, _ := layoutFixture(t, 8)
+	if err := m2.LayoutTertiary(nil); err != nil { // scramble to default order
+		t.Fatal(err)
+	}
+	applied, err := m2.RestoreLayout(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied != len(order) {
+		t.Fatalf("applied %d entries, want %d", applied, len(order))
+	}
+	want := positions(t, m, order)
+	if got := positions(t, m2, order); !equalInts(got, want) {
+		t.Fatalf("restored positions %v, want %v", got, want)
+	}
+}
+
+// A crash that truncates the file mid-line must yield the intact prefix,
+// not an error and not garbage.
+func TestLayoutRecoversTruncatedFile(t *testing.T) {
+	m, order := layoutFixture(t, 8)
+	path := filepath.Join(t.TempDir(), "layout")
+	if err := m.SaveLayout(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chop into the middle of the last line.
+	cut := data[:len(data)-9]
+	if err := os.WriteFile(path, cut, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadLayout(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(order)-1 {
+		t.Fatalf("truncated load returned %d entries, want %d", len(got), len(order)-1)
+	}
+	for i := range got {
+		if got[i] != order[i] {
+			t.Fatalf("prefix entry %d = %v, want %v", i, got[i], order[i])
+		}
+	}
+}
+
+// A partial in-place write (crash without the atomic rename: some middle
+// line is half old, half new bytes) must stop recovery at the damage — the
+// entries before it survive, those after are discarded even if their own
+// checksums are fine.
+func TestLayoutRecoversPartialWrite(t *testing.T) {
+	m, order := layoutFixture(t, 8)
+	path := filepath.Join(t.TempDir(), "layout")
+	if err := m.SaveLayout(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(string(data), "\n")
+	// Corrupt the 4th entry line (index 4: header is line 0).
+	lines[4] = "garbage " + lines[4][:4]
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "\n")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadLayout(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("partial-write load returned %d entries, want 3", len(got))
+	}
+	for i := range got {
+		if got[i] != order[i] {
+			t.Fatalf("prefix entry %d = %v, want %v", i, got[i], order[i])
+		}
+	}
+
+	// RestoreLayout applies the prefix; the rest follow in ID order and
+	// the medium stays dense (positions 0..n-1, no holes).
+	applied, err := m.RestoreLayout(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied != 3 {
+		t.Fatalf("applied %d entries, want 3", applied)
+	}
+	seen := make(map[int]bool)
+	for _, id := range order {
+		pos, ok := m.TertiaryPosition(id)
+		if !ok || seen[pos] {
+			t.Fatalf("object %v: position %d (ok=%v, dup=%v)", id, pos, ok, seen[pos])
+		}
+		seen[pos] = true
+	}
+	for p := 0; p < len(order); p++ {
+		if !seen[p] {
+			t.Fatalf("position %d unoccupied after restore", p)
+		}
+	}
+}
+
+func TestLayoutMissingFileAndBadHeader(t *testing.T) {
+	m, _ := layoutFixture(t, 2)
+	missing := filepath.Join(t.TempDir(), "nope")
+	if _, err := LoadLayout(missing); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("missing file err = %v, want fs.ErrNotExist", err)
+	}
+	if _, err := m.RestoreLayout(missing); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("restore missing file err = %v, want fs.ErrNotExist", err)
+	}
+
+	bad := filepath.Join(t.TempDir(), "bad")
+	if err := os.WriteFile(bad, []byte("not a layout\n0 1 deadbeef\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadLayout(bad); !errors.Is(err, core.ErrInvalid) {
+		t.Fatalf("bad header err = %v, want core.ErrInvalid", err)
+	}
+}
+
+// IDs saved before a tier failure may be gone after Recover drops lost
+// objects; restoring must skip them instead of failing.
+func TestLayoutRestoreSkipsLostObjects(t *testing.T) {
+	m, order := layoutFixture(t, 6)
+	path := filepath.Join(t.TempDir(), "layout")
+	if err := m.SaveLayout(path); err != nil {
+		t.Fatal(err)
+	}
+
+	// Lose every copy of one object: drop all tiers, then resurrect the
+	// rest by hand via a fresh manager holding a subset.
+	m2 := newTestManager(t)
+	for _, id := range order[1:] {
+		if err := m2.Admit(id, 10, 1, 0.5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	applied, err := m2.RestoreLayout(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied != len(order)-1 {
+		t.Fatalf("applied %d entries, want %d", applied, len(order)-1)
+	}
+	// Survivors keep their relative layout order.
+	prev := -1
+	for _, id := range order[1:] {
+		pos, ok := m2.TertiaryPosition(id)
+		if !ok {
+			t.Fatalf("survivor %v lost its tertiary position", id)
+		}
+		if pos <= prev {
+			t.Fatalf("survivor %v at %d breaks layout order (prev %d)", id, pos, prev)
+		}
+		prev = pos
+	}
+	if err := m2.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

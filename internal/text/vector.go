@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // TermID is a dense integer assigned to a term by a Dictionary. Sparse
@@ -13,9 +14,12 @@ import (
 type TermID int32
 
 // Dictionary maps terms to dense TermIDs and back. It only grows; terms are
-// never removed, matching the warehouse's "store everything" stance.
-// Dictionary is not safe for concurrent mutation; wrap it if shared.
+// never removed, matching the warehouse's "store everything" stance. Safe
+// for concurrent use: one dictionary is shared by the corpus and every
+// index segment, and since the lock-striped warehouse no longer serializes
+// their callers against each other, the dictionary synchronizes itself.
 type Dictionary struct {
+	mu    sync.RWMutex
 	ids   map[string]TermID
 	terms []string
 }
@@ -27,10 +31,19 @@ func NewDictionary() *Dictionary {
 
 // ID returns the TermID for term, assigning a fresh one if unseen.
 func (d *Dictionary) ID(term string) TermID {
-	if id, ok := d.ids[term]; ok {
+	d.mu.RLock()
+	id, ok := d.ids[term]
+	d.mu.RUnlock()
+	if ok {
 		return id
 	}
-	id := TermID(len(d.terms))
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if id, ok := d.ids[term]; ok {
+		// Another writer assigned it between our two lock acquisitions.
+		return id
+	}
+	id = TermID(len(d.terms))
 	d.ids[term] = id
 	d.terms = append(d.terms, term)
 	return id
@@ -39,6 +52,8 @@ func (d *Dictionary) ID(term string) TermID {
 // Lookup returns the TermID for term without assigning, and whether it
 // exists.
 func (d *Dictionary) Lookup(term string) (TermID, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	id, ok := d.ids[term]
 	return id, ok
 }
@@ -46,6 +61,8 @@ func (d *Dictionary) Lookup(term string) (TermID, bool) {
 // Term returns the term for id; it panics on an ID this dictionary never
 // issued, since that is always a programming error.
 func (d *Dictionary) Term(id TermID) string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	if id < 0 || int(id) >= len(d.terms) {
 		panic(fmt.Sprintf("text: Term(%d) out of range [0,%d)", id, len(d.terms)))
 	}
@@ -53,7 +70,11 @@ func (d *Dictionary) Term(id TermID) string {
 }
 
 // Len returns the number of distinct terms seen.
-func (d *Dictionary) Len() int { return len(d.terms) }
+func (d *Dictionary) Len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.terms)
+}
 
 // Vector is a sparse term-weight vector in the vector space model. The zero
 // value is the empty vector and is ready to use with the package functions;

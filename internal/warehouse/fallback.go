@@ -69,28 +69,31 @@ func (w *Warehouse) linkCandidates(qvec text.Vector, max int) []string {
 		url   string
 		score float64
 	}
-	w.mu.RLock()
-	var cands []cand
-	seen := make(map[string]bool)
-	for _, st := range w.pages {
-		for target, anchorText := range st.anchors {
-			if seen[target] {
-				continue
-			}
-			if _, resident := w.pages[target]; resident {
-				continue
-			}
-			seen[target] = true
-			if anchorText == "" {
-				continue
-			}
-			avec := w.corpus.Vectorize(anchorText)
-			if s := qvec.Cosine(avec); s > 0 {
-				cands = append(cands, cand{url: target, score: s})
+	// First pass: collect anchor targets shard by shard (a target may live
+	// on any shard, so residency is filtered afterwards — never holding
+	// two shard locks at once).
+	anchors := make(map[string]string)
+	for _, sh := range w.shards {
+		sh.mu.RLock()
+		for _, st := range sh.pages {
+			for target, anchorText := range st.anchors {
+				if _, dup := anchors[target]; !dup {
+					anchors[target] = anchorText
+				}
 			}
 		}
+		sh.mu.RUnlock()
 	}
-	w.mu.RUnlock()
+	var cands []cand
+	for target, anchorText := range anchors {
+		if anchorText == "" || w.Resident(target) {
+			continue
+		}
+		avec := w.corpus.Vectorize(anchorText)
+		if s := qvec.Cosine(avec); s > 0 {
+			cands = append(cands, cand{url: target, score: s})
+		}
+	}
 	sort.Slice(cands, func(i, j int) bool {
 		if cands[i].score != cands[j].score {
 			return cands[i].score > cands[j].score

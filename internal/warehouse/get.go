@@ -62,21 +62,23 @@ func (w *Warehouse) Prefetch(url string) error {
 // readable copy exists, the copy is served marked stale — the warehouse
 // never loses what it admitted. Refresh does not count as a user request.
 func (w *Warehouse) Refresh(ctx context.Context, url string) (GetResult, error) {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	st := w.pages[url]
+	sh := w.shardOf(url)
+	sh.lock()
+	defer sh.mu.Unlock()
+	st := sh.pages[url]
 	if st == nil {
 		return GetResult{}, fmt.Errorf("warehouse: refresh %q: %w", url, core.ErrNotFound)
 	}
-	return w.refetch(ctx, "", url, st, true)
+	return w.refetch(ctx, sh, "", url, st, true)
 }
 
 func (w *Warehouse) get(ctx context.Context, user, url string, prefetch bool) (GetResult, error) {
-	w.mu.Lock()
+	sh := w.shardOf(url)
+	sh.lock()
 	now := w.clock.Now()
 
-	if st := w.pages[url]; st != nil {
-		defer w.mu.Unlock()
+	if st := sh.pages[url]; st != nil {
+		defer sh.mu.Unlock()
 		// Resident: consistency check first.
 		fresh := true
 		if w.cfg.Consistency.NeedsCheck(st.lastCheck, now, core.Duration(st.updateGap), w.tracker.AgedFrequency(st.physID)) {
@@ -84,7 +86,7 @@ func (w *Warehouse) get(ctx context.Context, user, url string, prefetch bool) (G
 			if err != nil {
 				// Dead origin: the copy-control promise (§5.2) — serve the
 				// admitted copy, marked stale since freshness is unknowable.
-				if out, ok := w.serveStale(user, url, st, prefetch); ok {
+				if out, ok := w.serveStale(sh, user, url, st, prefetch); ok {
 					return out, nil
 				}
 				// The local copy is unreadable too; fall through to the
@@ -92,7 +94,7 @@ func (w *Warehouse) get(ctx context.Context, user, url string, prefetch bool) (G
 				fresh = false
 			} else {
 				if !prefetch {
-					w.stats.Revalidations++
+					sh.stats.Revalidations++
 				}
 				st.lastCheck = now
 				if ver != st.version {
@@ -102,44 +104,45 @@ func (w *Warehouse) get(ctx context.Context, user, url string, prefetch bool) (G
 			}
 		}
 		if fresh {
-			return w.serveResident(ctx, user, url, st, prefetch)
+			return w.serveResident(ctx, sh, user, url, st, prefetch)
 		}
 		// Content changed: refetch and re-admit the new version.
 		if !prefetch {
-			w.stats.Refetches++
+			sh.stats.Refetches++
 		}
-		return w.refetch(ctx, user, url, st, prefetch)
+		return w.refetch(ctx, sh, user, url, st, prefetch)
 	}
-	w.mu.Unlock()
+	sh.mu.Unlock()
 
-	// First sight of this URL: fetch from the origin outside the write
-	// lock so cold misses for different URLs proceed in parallel (the
+	// First sight of this URL: fetch from the origin outside the shard
+	// lock so cold misses proceed in parallel even within one stripe (the
 	// gateway's singleflight already coalesces same-URL misses), then
 	// retake the lock to admit the result.
 	fr, err := w.originFetch(ctx, url)
 	if err != nil {
 		return GetResult{}, fmt.Errorf("warehouse: fetch %q: %w", url, err)
 	}
-	w.mu.Lock()
-	defer w.mu.Unlock()
+	sh.lock()
+	defer sh.mu.Unlock()
 	if !prefetch {
-		w.stats.OriginFetches++
+		sh.stats.OriginFetches++
 	}
-	if st := w.pages[url]; st != nil {
+	if st := sh.pages[url]; st != nil {
 		// A concurrent request admitted the URL while we were fetching:
 		// serve the resident copy and drop our duplicate fetch.
-		return w.serveResident(ctx, user, url, st, prefetch)
+		return w.serveResident(ctx, sh, user, url, st, prefetch)
 	}
-	return w.admitNew(user, url, fr, prefetch)
+	return w.admitNew(sh, user, url, fr, prefetch)
 }
 
-// serveResident serves a warehouse-resident page. Requires w.mu (write).
-func (w *Warehouse) serveResident(ctx context.Context, user, url string, st *pageState, prefetch bool) (GetResult, error) {
+// serveResident serves a warehouse-resident page. Requires sh.mu (write),
+// where sh is the shard owning url.
+func (w *Warehouse) serveResident(ctx context.Context, sh *shard, user, url string, st *pageState, prefetch bool) (GetResult, error) {
 	res, err := w.store.Access(st.container)
 	if err != nil {
 		// The body was lost (tier failures without recovery); fall back to
 		// the origin path.
-		return w.refetch(ctx, user, url, st, prefetch)
+		return w.refetch(ctx, sh, user, url, st, prefetch)
 	}
 	snap, ok := w.history.Latest(url)
 	if !ok {
@@ -148,7 +151,7 @@ func (w *Warehouse) serveResident(ctx context.Context, user, url string, st *pag
 	snap, err = w.history.Materialize(snap)
 	if err != nil {
 		// The body blob is unreadable (disk corruption): refetch.
-		return w.refetch(ctx, user, url, st, prefetch)
+		return w.refetch(ctx, sh, user, url, st, prefetch)
 	}
 	page := simweb.Page{
 		URL:     url,
@@ -166,15 +169,15 @@ func (w *Warehouse) serveResident(ctx context.Context, user, url string, st *pag
 		Stale:   res.Stale,
 	}
 	out.Priority, _ = w.store.Priority(st.container)
-	w.afterServe(user, url, st, out, prefetch)
+	w.afterServe(sh, user, url, st, out, prefetch)
 	return out, nil
 }
 
 // serveStale serves a resident page known (or suspected) to lag the
 // origin — the degraded mode behind the copy-control promise: once
 // admitted, content outlives its origin. Returns false when no readable
-// copy exists (lost tiers, corrupt blob). Requires w.mu (write).
-func (w *Warehouse) serveStale(user, url string, st *pageState, prefetch bool) (GetResult, bool) {
+// copy exists (lost tiers, corrupt blob). Requires sh.mu (write).
+func (w *Warehouse) serveStale(sh *shard, user, url string, st *pageState, prefetch bool) (GetResult, bool) {
 	res, err := w.store.Access(st.container)
 	if err != nil {
 		return GetResult{}, false
@@ -202,24 +205,24 @@ func (w *Warehouse) serveStale(user, url string, st *pageState, prefetch bool) (
 		Stale:   true,
 	}
 	out.Priority, _ = w.store.Priority(st.container)
-	w.stats.StaleServes++
-	w.afterServe(user, url, st, out, prefetch)
+	sh.stats.StaleServes++
+	w.afterServe(sh, user, url, st, out, prefetch)
 	return out, true
 }
 
 // refetch replaces a resident page's content with the origin's current
 // version. A failing origin degrades to the stale resident copy when one
-// is readable. Requires w.mu (write).
-func (w *Warehouse) refetch(ctx context.Context, user, url string, st *pageState, prefetch bool) (GetResult, error) {
+// is readable. Requires sh.mu (write).
+func (w *Warehouse) refetch(ctx context.Context, sh *shard, user, url string, st *pageState, prefetch bool) (GetResult, error) {
 	fr, err := w.originFetch(ctx, url)
 	if err != nil {
-		if out, ok := w.serveStale(user, url, st, prefetch); ok {
+		if out, ok := w.serveStale(sh, user, url, st, prefetch); ok {
 			return out, nil
 		}
 		return GetResult{}, fmt.Errorf("warehouse: refetch %q: %w", url, err)
 	}
 	if !prefetch {
-		w.stats.OriginFetches++
+		sh.stats.OriginFetches++
 	}
 	p := fr.Page
 	// Update-gap EMA from observed modification times.
@@ -259,15 +262,15 @@ func (w *Warehouse) refetch(ctx context.Context, user, url string, st *pageState
 		Latency: fr.Latency,
 	}
 	out.Priority, _ = w.store.Priority(st.container)
-	w.afterServe(user, url, st, out, prefetch)
+	w.afterServe(sh, user, url, st, out, prefetch)
 	w.appendLog(user, url, out, true)
 	return out, nil
 }
 
 // admitNew runs the full admission path for a first-seen URL whose content
-// has already been fetched (the fetch happens outside the write lock; see
-// get). Requires w.mu (write).
-func (w *Warehouse) admitNew(user, url string, fr simweb.FetchResult, prefetch bool) (GetResult, error) {
+// has already been fetched (the fetch happens outside the shard lock; see
+// get). Requires sh.mu (write).
+func (w *Warehouse) admitNew(sh *shard, user, url string, fr simweb.FetchResult, prefetch bool) (GetResult, error) {
 	p := fr.Page
 
 	out := GetResult{Page: p, Hit: false, Source: "origin", Latency: fr.Latency}
@@ -276,9 +279,9 @@ func (w *Warehouse) admitNew(user, url string, fr simweb.FetchResult, prefetch b
 	// page (pass-through), the warehouse just won't keep it.
 	cand := constraint.Candidate{URL: url, Size: p.TotalSize()}
 	if err := w.cfg.Admission.Check(cand); err != nil {
-		w.stats.Rejected++
+		sh.stats.Rejected++
 		if !prefetch {
-			w.countRequest(out)
+			w.countRequest(sh, out)
 		}
 		w.appendLog(user, url, out, false)
 		return out, nil
@@ -307,9 +310,11 @@ func (w *Warehouse) admitNew(user, url string, fr simweb.FetchResult, prefetch b
 		admissionPriority: prio,
 		anchors:           anchorMap(p.Anchors),
 	}
-	w.pages[url] = st
 
-	// Storage: container + components enter with the page's priority.
+	// Storage: container + components enter with the page's priority. The
+	// page is published to the shard map only afterwards, so cross-shard
+	// sweeps (tertiary clustering, priority application) never see a page
+	// whose container the Storage Manager does not know yet.
 	if err := w.store.Admit(container.ID, sizeOrOne(p.Size), p.Version, prio); err != nil && !errors.Is(err, core.ErrExists) {
 		return GetResult{}, err
 	}
@@ -323,6 +328,8 @@ func (w *Warehouse) admitNew(user, url string, fr simweb.FetchResult, prefetch b
 		}
 	}
 
+	sh.pages[url] = st
+
 	// Indexes, versions, topic model.
 	w.index.Index(phys.ID, p.Title+"\n"+p.Body)
 	if err := w.history.Capture(url, version.Snapshot{
@@ -333,17 +340,17 @@ func (w *Warehouse) admitNew(user, url string, fr simweb.FetchResult, prefetch b
 	}
 	w.topics.Learn(vec, prio)
 
-	w.afterServe(user, url, st, out, prefetch)
+	w.afterServe(sh, user, url, st, out, prefetch)
 	w.appendLog(user, url, out, false)
 	if prefetch {
-		w.stats.Prefetches++
+		sh.stats.Prefetches++
 	}
 	return out, nil
 }
 
 // afterServe updates usage, region heat and the user profile, and counts
-// the request.
-func (w *Warehouse) afterServe(user, url string, st *pageState, out GetResult, prefetch bool) {
+// the request. Requires sh.mu (write).
+func (w *Warehouse) afterServe(sh *shard, user, url string, st *pageState, out GetResult, prefetch bool) {
 	if prefetch {
 		return
 	}
@@ -354,35 +361,40 @@ func (w *Warehouse) afterServe(user, url string, st *pageState, out GetResult, p
 	if user != "" {
 		w.social.ObserveVisit(user, st.physID, st.vec)
 	}
-	w.countRequest(out)
+	w.countRequest(sh, out)
 	if out.Hit {
 		w.appendLog(user, url, out, false)
 	}
 }
 
-func (w *Warehouse) countRequest(out GetResult) {
-	w.stats.Requests++
-	w.stats.LatencyTotal += out.Latency
+func (w *Warehouse) countRequest(sh *shard, out GetResult) {
+	sh.stats.Requests++
+	sh.stats.LatencyTotal += out.Latency
 	if out.Hit {
-		w.stats.Hits++
+		sh.stats.Hits++
 		if out.Source == storage.Memory.String() {
-			w.stats.MemoryHits++
+			sh.stats.MemoryHits++
 		}
 	}
 }
 
 // appendLog records the access in the warehouse's operational log
 // ("Operational data (logs) are also stored for priority management and
-// performance improvement").
+// performance improvement"). The log has its own mutex so appends from
+// different shards keep a single total order — sessionization and path
+// mining depend on per-user access order across the whole warehouse.
 func (w *Warehouse) appendLog(user, url string, out GetResult, modified bool) {
-	w.log = append(w.log, logmine.Record{
+	rec := logmine.Record{
 		Time:     w.clock.Now(),
 		User:     user,
 		URL:      url,
 		Status:   200,
 		Bytes:    out.Page.Size,
 		Modified: modified,
-	})
+	}
+	w.logMu.Lock()
+	w.log = append(w.log, rec)
+	w.logMu.Unlock()
 }
 
 func sizeOrOne(b core.Bytes) core.Bytes {

@@ -1,6 +1,8 @@
 package warehouse
 
 import (
+	"sort"
+
 	"cbfww/internal/core"
 	"cbfww/internal/storage"
 	"cbfww/internal/text"
@@ -13,6 +15,14 @@ import (
 // the memory tier. Ranked retrieval probes the hot index first and only
 // falls back to the full index — at disk cost — when the memory index
 // cannot satisfy the request.
+//
+// The hot index is segmented by shard: each stripe maintains the segment
+// covering its own pages, so membership sync takes one shard lock at a
+// time and a search fans out over the segments and merges. Scores come
+// from per-segment statistics (each segment computes IDF over its own
+// document population), so a merged ranking can deviate slightly from a
+// single unified index — an accepted property of every sharded search
+// system; the full disk index still provides globally consistent scoring.
 
 // TieredSearchResult reports how a search was served.
 type TieredSearchResult struct {
@@ -23,55 +33,69 @@ type TieredSearchResult struct {
 	Latency core.Duration
 }
 
-// syncHotIndexLocked re-derives the hot index membership from the memory
-// tier's current residents. Requires w.mu.
-func (w *Warehouse) syncHotIndexLocked() {
+// syncHotIndex re-derives every shard's hot-segment membership from the
+// memory tier's current residents, one shard lock at a time.
+func (w *Warehouse) syncHotIndex() {
 	resident := make(map[core.ObjectID]bool)
 	for _, id := range w.store.ResidentIDs(storage.Memory) {
 		resident[id] = true
 	}
-	for url, st := range w.pages {
-		hot := resident[st.container]
-		if hot == st.inHotIndex {
-			continue
-		}
-		if hot {
-			if snap, ok := w.history.Latest(url); ok {
-				if m, err := w.history.Materialize(snap); err == nil {
-					snap = m
-				}
-				w.hotIndex.Index(st.physID, snap.Title+"\n"+snap.Body)
-				st.inHotIndex = true
+	for _, sh := range w.shards {
+		sh.mu.Lock()
+		for url, st := range sh.pages {
+			hot := resident[st.container]
+			if hot == st.inHotIndex {
+				continue
 			}
-		} else {
-			w.hotIndex.Remove(st.physID)
-			st.inHotIndex = false
+			if hot {
+				if snap, ok := w.history.Latest(url); ok {
+					if m, err := w.history.Materialize(snap); err == nil {
+						snap = m
+					}
+					sh.hotIndex.Index(st.physID, snap.Title+"\n"+snap.Body)
+					st.inHotIndex = true
+				}
+			} else {
+				sh.hotIndex.Remove(st.physID)
+				st.inHotIndex = false
+			}
 		}
+		sh.mu.Unlock()
 	}
 }
 
 // SearchTiered performs ranked retrieval through the index hierarchy: the
-// memory-resident detailed index first, the full index (disk) only when
-// the hot index returns fewer than n results. The returned latency uses
-// the storage configuration's tier costs.
+// memory-resident detailed index first (all shard segments, merged), the
+// full index (disk) only when the hot segments return fewer than n
+// results. The returned latency uses the storage configuration's tier
+// costs.
 func (w *Warehouse) SearchTiered(query string, n int) TieredSearchResult {
-	w.mu.Lock()
-	w.syncHotIndexLocked()
-	w.mu.Unlock()
+	w.syncHotIndex()
 
-	if hits := w.hotIndex.Search(query, n); len(hits) >= n {
-		w.mu.Lock()
-		w.stats.IndexMemoryProbes++
-		w.mu.Unlock()
+	var merged []text.Score
+	for _, sh := range w.shards {
+		// The segment indexes are internally synchronized; no shard lock
+		// is needed to search them.
+		merged = append(merged, sh.hotIndex.Search(query, n)...)
+	}
+	sort.Slice(merged, func(i, j int) bool {
+		if merged[i].Value != merged[j].Value {
+			return merged[i].Value > merged[j].Value
+		}
+		return merged[i].Doc < merged[j].Doc
+	})
+	if len(merged) >= n {
+		w.indexMemProbes.Add(1)
+		if n >= 0 && n < len(merged) {
+			merged = merged[:n]
+		}
 		return TieredSearchResult{
-			Scores:  hits,
+			Scores:  merged,
 			Tier:    storage.Memory,
 			Latency: w.cfg.Storage.MemLatency,
 		}
 	}
-	w.mu.Lock()
-	w.stats.IndexDiskProbes++
-	w.mu.Unlock()
+	w.indexDiskProbes.Add(1)
 	return TieredSearchResult{
 		Scores:  w.index.Search(query, n),
 		Tier:    storage.Disk,
@@ -80,11 +104,12 @@ func (w *Warehouse) SearchTiered(query string, n int) TieredSearchResult {
 }
 
 // HotIndexSize returns how many pages the memory-resident detailed index
-// currently covers.
+// currently covers, over all shard segments.
 func (w *Warehouse) HotIndexSize() int {
-	w.mu.Lock()
-	w.syncHotIndexLocked()
-	n := w.hotIndex.NumDocs()
-	w.mu.Unlock()
+	w.syncHotIndex()
+	n := 0
+	for _, sh := range w.shards {
+		n += sh.hotIndex.NumDocs()
+	}
 	return n
 }

@@ -129,13 +129,15 @@ func TestMaintainClustersTertiaryByRegion(t *testing.T) {
 	// Collect (region, position) pairs of the container objects.
 	type rp struct{ region, pos int }
 	var pairs []rp
-	w.mu.Lock()
-	for _, st := range w.pages {
-		if pos, ok := w.store.TertiaryPosition(st.container); ok {
-			pairs = append(pairs, rp{st.region, pos})
+	for _, sh := range w.shards {
+		sh.mu.Lock()
+		for _, st := range sh.pages {
+			if pos, ok := w.store.TertiaryPosition(st.container); ok {
+				pairs = append(pairs, rp{st.region, pos})
+			}
 		}
+		sh.mu.Unlock()
 	}
-	w.mu.Unlock()
 	if len(pairs) < 4 {
 		t.Skip("too few archived pages")
 	}

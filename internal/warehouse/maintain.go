@@ -30,10 +30,7 @@ type MineReport struct {
 // documents into semantic regions, and hand the path set to the
 // Recommendation Manager.
 func (w *Warehouse) MinePaths() (MineReport, error) {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-
-	sessions := logmine.Sessionize(w.log, w.cfg.SessionTimeout)
+	sessions := logmine.Sessionize(w.AccessLog(), w.cfg.SessionTimeout)
 	paths := logmine.MaximalOnly(logmine.MinePaths(sessions, w.cfg.Miner))
 	rep := MineReport{Sessions: len(sessions), Paths: len(paths)}
 
@@ -46,11 +43,6 @@ func (w *Warehouse) MinePaths() (MineReport, error) {
 		if err != nil {
 			return rep, fmt.Errorf("warehouse: mine: %w", err)
 		}
-		if _, seen := w.logicalSupport[logical.ID]; !seen {
-			rep.LogicalPages++
-		}
-		w.logicalSupport[logical.ID] = path.Support
-
 		// §5.3: cluster the logical document's weighted vector into a
 		// semantic region, then reflect the region in the hierarchy.
 		vec := w.corpus.WeightedVector(logical.Title, logical.Body, w.cfg.Omega)
@@ -60,7 +52,15 @@ func (w *Warehouse) MinePaths() (MineReport, error) {
 			return rep, fmt.Errorf("warehouse: mine: %w", err)
 		}
 		regionObj, _ := w.objects.ByKey(object.KindRegion, name)
+
+		w.metaMu.Lock()
+		if _, seen := w.logicalSupport[logical.ID]; !seen {
+			rep.LogicalPages++
+		}
+		w.logicalSupport[logical.ID] = path.Support
 		w.regionObjOf[idx] = regionObj.ID
+		w.metaMu.Unlock()
+
 		// Index the logical document so MENTION queries reach it.
 		w.index.Index(logical.ID, logical.Title+"\n"+logical.Body)
 	}
@@ -71,20 +71,36 @@ func (w *Warehouse) MinePaths() (MineReport, error) {
 
 // pathSteps converts a mined URL path into builder steps, attaching the
 // anchor texts the warehouse recorded at admission. Paths touching pages
-// the warehouse never admitted are skipped.
+// the warehouse never admitted are skipped. Each URL's anchors are read
+// under its own shard lock.
 func (w *Warehouse) pathSteps(p logmine.Path) ([]object.PathStep, bool) {
 	steps := make([]object.PathStep, len(p.URLs))
 	for i, url := range p.URLs {
-		st, ok := w.pages[url]
-		if !ok {
+		next := ""
+		if i+1 < len(p.URLs) {
+			next = p.URLs[i+1]
+		}
+		anchor, resident := w.anchorText(url, next)
+		if !resident {
 			return nil, false
 		}
-		steps[i] = object.PathStep{URL: url}
-		if i+1 < len(p.URLs) {
-			steps[i].AnchorText = st.anchors[p.URLs[i+1]]
-		}
+		steps[i] = object.PathStep{URL: url, AnchorText: anchor}
 	}
 	return steps, true
+}
+
+// anchorText returns the anchor text the page at url recorded for target
+// at admission ("" when none, or when target is ""), and whether url is
+// resident at all.
+func (w *Warehouse) anchorText(url, target string) (anchor string, resident bool) {
+	sh := w.shardOf(url)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	st, ok := sh.pages[url]
+	if !ok {
+		return "", false
+	}
+	return st.anchors[target], true
 }
 
 // MaintainReport summarizes one maintenance sweep.
@@ -109,20 +125,21 @@ func (w *Warehouse) Maintain() (MaintainReport, error) {
 	// prefetching operations" — event pages enter the warehouse before the
 	// request wave.
 	now := w.clock.Now()
-	w.mu.Lock()
-	var urls []string
+	w.metaMu.Lock()
+	var candidates []string
 	for _, f := range w.feeds {
 		for _, a := range f.Since(w.lastPrefetchPoll, now) {
 			if a.URL != "" {
-				if _, resident := w.pages[a.URL]; !resident {
-					urls = append(urls, a.URL)
-				}
+				candidates = append(candidates, a.URL)
 			}
 		}
 	}
 	w.lastPrefetchPoll = now
-	w.mu.Unlock()
-	for _, u := range urls {
+	w.metaMu.Unlock()
+	for _, u := range candidates {
+		if w.Resident(u) {
+			continue
+		}
 		if err := w.Prefetch(u); err == nil {
 			rep.Prefetched++
 		}
@@ -131,28 +148,31 @@ func (w *Warehouse) Maintain() (MaintainReport, error) {
 	w.topics.Decay(w.cfg.TopicDecayFactor)
 	w.prios.DecayAll()
 
-	w.mu.Lock()
-	defer w.mu.Unlock()
 	before := w.store.Stats().Migrations
-	w.applyPrioritiesLocked()
+	w.applyPriorities()
 	w.store.Backup()
-	w.clusterTertiaryLocked()
+	w.clusterTertiary()
 	rep.Migrations = w.store.Stats().Migrations - before
 	return rep, nil
 }
 
-// clusterTertiaryLocked lays the tertiary medium out by semantic region
-// (§4.4 locality of reference): pages of the same region — the ones an
-// analysis of a past hot spot retrieves together — sit adjacently on tape.
-// Requires w.mu.
-func (w *Warehouse) clusterTertiaryLocked() {
+// clusterTertiary lays the tertiary medium out by semantic region (§4.4
+// locality of reference): pages of the same region — the ones an analysis
+// of a past hot spot retrieves together — sit adjacently on tape. Pages
+// are collected shard by shard; admissions racing the sweep just wait for
+// the next sweep to be laid out.
+func (w *Warehouse) clusterTertiary() {
 	byRegion := make(map[int][]core.ObjectID)
 	regions := make([]int, 0, 8)
-	for _, st := range w.pages {
-		if _, seen := byRegion[st.region]; !seen {
-			regions = append(regions, st.region)
+	for _, sh := range w.shards {
+		sh.mu.RLock()
+		for _, st := range sh.pages {
+			if _, seen := byRegion[st.region]; !seen {
+				regions = append(regions, st.region)
+			}
+			byRegion[st.region] = append(byRegion[st.region], st.container)
 		}
-		byRegion[st.region] = append(byRegion[st.region], st.container)
+		sh.mu.RUnlock()
 	}
 	sort.Ints(regions)
 	var order []core.ObjectID
@@ -168,7 +188,7 @@ func (w *Warehouse) clusterTertiaryLocked() {
 	}
 }
 
-// applyPrioritiesLocked recomputes every object's priority and re-places
+// applyPriorities recomputes every object's priority and re-places
 // storage. Base priorities:
 //
 //   - physical pages: max(admission priority, aged-frequency heat) — the
@@ -177,26 +197,40 @@ func (w *Warehouse) clusterTertiaryLocked() {
 //   - semantic regions: the Priority Manager's aged region heat.
 //
 // The structural rule (max over containers, Fig. 2) then flows these down
-// to the raw objects the Storage Manager actually places.
-func (w *Warehouse) applyPrioritiesLocked() {
+// to the raw objects the Storage Manager actually places. The sweep locks
+// one shard at a time; pages admitted on already-swept shards while the
+// sweep runs simply keep their admission priority until the next sweep.
+func (w *Warehouse) applyPriorities() {
 	base := make(map[core.ObjectID]core.Priority, w.objects.Len(object.Kind(-1)))
-	for _, st := range w.pages {
-		f := w.tracker.AgedFrequency(st.physID)
-		heat := core.Priority(f / (1 + f))
-		// The admission estimate fades with each sweep: once real usage
-		// exists it should carry the priority ("priority of an object will
-		// be dynamically modified", §4.3 problem (4)).
-		st.admissionPriority *= core.Priority(w.cfg.AdmissionDecay)
-		p := st.admissionPriority
-		if heat > p {
-			p = heat
+	for _, sh := range w.shards {
+		sh.mu.Lock()
+		for _, st := range sh.pages {
+			f := w.tracker.AgedFrequency(st.physID)
+			heat := core.Priority(f / (1 + f))
+			// The admission estimate fades with each sweep: once real usage
+			// exists it should carry the priority ("priority of an object will
+			// be dynamically modified", §4.3 problem (4)).
+			st.admissionPriority *= core.Priority(w.cfg.AdmissionDecay)
+			p := st.admissionPriority
+			if heat > p {
+				p = heat
+			}
+			base[st.physID] = p
 		}
-		base[st.physID] = p
+		sh.mu.Unlock()
 	}
+	w.metaMu.RLock()
 	for id, support := range w.logicalSupport {
 		base[id] = core.Priority(float64(support) / (float64(support) + 5))
 	}
+	regionObjs := make(map[int]core.ObjectID, len(w.regionObjOf))
 	for idx, objID := range w.regionObjOf {
+		regionObjs[idx] = objID
+	}
+	w.metaMu.RUnlock()
+	for idx, objID := range regionObjs {
+		// RegionHeat takes the Priority Manager's own lock; resolve it
+		// outside metaMu to keep lock scopes disjoint.
 		base[objID] = core.Priority(w.prios.RegionHeat(idx))
 	}
 	eff := w.objects.EffectivePriorities(base)
@@ -212,7 +246,7 @@ func (w *Warehouse) applyPrioritiesLocked() {
 
 // AccessLog returns a copy of the operational log.
 func (w *Warehouse) AccessLog() logmine.Log {
-	w.mu.RLock()
-	defer w.mu.RUnlock()
+	w.logMu.Lock()
+	defer w.logMu.Unlock()
 	return append(logmine.Log(nil), w.log...)
 }

@@ -41,10 +41,11 @@ func (s querySource) ChildrenOf(id core.ObjectID) []core.ObjectID {
 // phrases at the caller's choice — Query executes exactly what was given;
 // use ExpandQuery to pre-expand.
 func (w *Warehouse) Query(q string) ([]query.Row, error) {
-	// Read lock: queries never mutate, so any number may run concurrently;
-	// the lock only excludes in-flight admissions and migrations.
-	w.mu.RLock()
-	defer w.mu.RUnlock()
+	// No warehouse-level lock: the executor only reads the object
+	// hierarchy and the usage tracker, both internally synchronized, so
+	// any number of queries run concurrently with admissions on every
+	// shard. A query racing an admission may or may not see the new page
+	// — the same read-committed visibility the old read lock gave.
 	return query.RunString(q, querySource{w: w})
 }
 
@@ -58,20 +59,21 @@ func (w *Warehouse) ExpandQuery(text string) string {
 // Search runs ranked full-text retrieval over the warehouse's contents —
 // the Search-Engine face of the system.
 func (w *Warehouse) Search(queryText string, n int) []text.Score {
-	w.mu.RLock()
-	defer w.mu.RUnlock()
+	// The full inverted index is internally synchronized.
 	return w.index.Search(queryText, n)
 }
 
 // Recommend returns content suggestions for the user over everything the
-// warehouse holds.
+// warehouse holds. Candidates are collected shard by shard.
 func (w *Warehouse) Recommend(user string, n int) []recommend.Suggestion {
-	w.mu.RLock()
-	candidates := make(map[core.ObjectID]text.Vector, len(w.pages))
-	for _, st := range w.pages {
-		candidates[st.physID] = st.vec
+	candidates := make(map[core.ObjectID]text.Vector, w.ResidentPages())
+	for _, sh := range w.shards {
+		sh.mu.RLock()
+		for _, st := range sh.pages {
+			candidates[st.physID] = st.vec
+		}
+		sh.mu.RUnlock()
 	}
-	w.mu.RUnlock()
 	return w.social.Recommend(user, candidates, n)
 }
 
@@ -86,11 +88,13 @@ type RecommendedPage struct {
 // resolved to URLs (the gateway's /recommend payload).
 func (w *Warehouse) RecommendPages(user string, n int) []RecommendedPage {
 	sugg := w.Recommend(user, n)
-	w.mu.RLock()
-	defer w.mu.RUnlock()
-	urlOf := make(map[core.ObjectID]string, len(w.pages))
-	for url, st := range w.pages {
-		urlOf[st.physID] = url
+	urlOf := make(map[core.ObjectID]string, w.ResidentPages())
+	for _, sh := range w.shards {
+		sh.mu.RLock()
+		for url, st := range sh.pages {
+			urlOf[st.physID] = url
+		}
+		sh.mu.RUnlock()
 	}
 	out := make([]RecommendedPage, 0, len(sugg))
 	for _, s := range sugg {
@@ -117,17 +121,23 @@ func (w *Warehouse) Analyze() analyzer.Report {
 // moment later only costs one redundant (and internally deduplicated)
 // admission attempt, so the check racing an admission is harmless.
 func (w *Warehouse) Resident(url string) bool {
-	w.mu.RLock()
-	defer w.mu.RUnlock()
-	_, ok := w.pages[url]
+	sh := w.shardOf(url)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	_, ok := sh.pages[url]
 	return ok
 }
 
-// ResidentPages returns the number of admitted physical pages.
+// ResidentPages returns the number of admitted physical pages, summed over
+// shards.
 func (w *Warehouse) ResidentPages() int {
-	w.mu.RLock()
-	defer w.mu.RUnlock()
-	return len(w.pages)
+	n := 0
+	for _, sh := range w.shards {
+		sh.mu.RLock()
+		n += len(sh.pages)
+		sh.mu.RUnlock()
+	}
+	return n
 }
 
 // PageInfo describes one admitted page for tooling.
@@ -139,18 +149,20 @@ type PageInfo struct {
 	Tier     string
 }
 
-// Pages lists admitted pages (unspecified order).
+// Pages lists admitted pages (unspecified order), shard by shard.
 func (w *Warehouse) Pages() []PageInfo {
-	w.mu.RLock()
-	defer w.mu.RUnlock()
-	out := make([]PageInfo, 0, len(w.pages))
-	for url, st := range w.pages {
-		info := PageInfo{URL: url, Version: st.version, Region: st.region}
-		info.Priority, _ = w.store.Priority(st.container)
-		if tier, ok := w.store.Contains(st.container); ok {
-			info.Tier = tier.String()
+	out := make([]PageInfo, 0, w.ResidentPages())
+	for _, sh := range w.shards {
+		sh.mu.RLock()
+		for url, st := range sh.pages {
+			info := PageInfo{URL: url, Version: st.version, Region: st.region}
+			info.Priority, _ = w.store.Priority(st.container)
+			if tier, ok := w.store.Contains(st.container); ok {
+				info.Tier = tier.String()
+			}
+			out = append(out, info)
 		}
-		out = append(out, info)
+		sh.mu.RUnlock()
 	}
 	return out
 }

@@ -28,8 +28,8 @@ func (w *Warehouse) SaveView(user, name, queryText string) error {
 	if _, err := query.Parse(queryText); err != nil {
 		return fmt.Errorf("warehouse: view %q: %w", name, err)
 	}
-	w.mu.Lock()
-	defer w.mu.Unlock()
+	w.metaMu.Lock()
+	defer w.metaMu.Unlock()
 	if w.views == nil {
 		w.views = make(map[string]map[string]string)
 	}
@@ -42,9 +42,9 @@ func (w *Warehouse) SaveView(user, name, queryText string) error {
 
 // View evaluates a stored view against the current warehouse state.
 func (w *Warehouse) View(user, name string) ([]query.Row, error) {
-	w.mu.RLock()
+	w.metaMu.RLock()
 	queryText, ok := w.views[user][name]
-	w.mu.RUnlock()
+	w.metaMu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("warehouse: view %s/%s: %w", user, name, core.ErrNotFound)
 	}
@@ -53,8 +53,8 @@ func (w *Warehouse) View(user, name string) ([]query.Row, error) {
 
 // DropView removes a stored view.
 func (w *Warehouse) DropView(user, name string) error {
-	w.mu.Lock()
-	defer w.mu.Unlock()
+	w.metaMu.Lock()
+	defer w.metaMu.Unlock()
 	if _, ok := w.views[user][name]; !ok {
 		return fmt.Errorf("warehouse: view %s/%s: %w", user, name, core.ErrNotFound)
 	}
@@ -64,8 +64,8 @@ func (w *Warehouse) DropView(user, name string) error {
 
 // Views lists a user's stored views, sorted by name.
 func (w *Warehouse) Views(user string) []ViewInfo {
-	w.mu.RLock()
-	defer w.mu.RUnlock()
+	w.metaMu.RLock()
+	defer w.metaMu.RUnlock()
 	out := make([]ViewInfo, 0, len(w.views[user]))
 	for name, q := range w.views[user] {
 		out = append(out, ViewInfo{User: user, Name: name, Query: q})

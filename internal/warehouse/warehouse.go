@@ -18,7 +18,9 @@ package warehouse
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"cbfww/internal/blob"
 	"cbfww/internal/cluster"
@@ -81,6 +83,12 @@ type Config struct {
 	// object nobody has re-referenced yet, and it must fade on a disuse
 	// timescale so measured usage takes over (§4.3 problem (4)).
 	AdmissionDecay float64
+	// Shards is the lock-stripe count for the hot page state (see
+	// shard.go). 0 picks GOMAXPROCS — one stripe per schedulable core is
+	// the point of diminishing returns for lock striping. 1 degenerates
+	// to the old single-lock warehouse (useful as a reference model in
+	// tests).
+	Shards int
 }
 
 // ApplySchema merges a parsed storage-schema definition (§4.4's schema
@@ -223,28 +231,30 @@ type Warehouse struct {
 	clock core.Clock
 	web   Origin
 
-	corpus   *text.Corpus
-	index    *text.InvertedIndex
-	hotIndex *text.InvertedIndex
-	objects  *object.Hierarchy
-	builder  *object.Builder
-	tracker  *usage.Tracker
-	regions  *cluster.Online
-	topics   *topic.Manager
-	sensor   *topic.Sensor
-	prios    *priority.Manager
-	store    *storage.Manager
-	history  *version.Store
-	social   *recommend.Manager
+	corpus  *text.Corpus
+	index   *text.InvertedIndex
+	objects *object.Hierarchy
+	builder *object.Builder
+	tracker *usage.Tracker
+	regions *cluster.Online
+	topics  *topic.Manager
+	sensor  *topic.Sensor
+	prios   *priority.Manager
+	store   *storage.Manager
+	history *version.Store
+	social  *recommend.Manager
 
-	// mu is a read-write lock: read-only surfaces (stats, queries, search,
-	// page listings) take the read side and run concurrently; admission,
-	// refetch, mining and migration take the write side. Every component
-	// behind it (indexes, tracker, storage, hierarchy, ...) is internally
-	// synchronized, so read-locked paths may call them freely.
-	mu               sync.RWMutex
-	pages            map[string]*pageState // by URL
-	log              logmine.Log
+	// shards stripe the hot per-URL state (page map, counters, hot-index
+	// segments); see shard.go. Fixed at construction, so reads of the
+	// slice itself need no lock.
+	shards []*shard
+
+	// metaMu guards the cold, low-traffic maps below: mined-path
+	// bookkeeping, feed registration and stored views. It is never held
+	// together with a shard lock on any writer path, and only ever in
+	// metaMu->shard order on readers, so it cannot deadlock with the
+	// stripes.
+	metaMu           sync.RWMutex
 	feeds            []*simweb.NewsFeed
 	lastPrefetchPoll core.Time
 	// logicalSupport remembers mined path support per logical page ID.
@@ -254,7 +264,19 @@ type Warehouse struct {
 	// views holds per-user stored queries: user -> name -> query text
 	// (§3(5)'s per-user views of relevant contents).
 	views map[string]map[string]string
-	stats Stats
+
+	// logMu guards the operational log. The log is append-mostly and the
+	// critical section is one slice append, so a dedicated mutex keeps
+	// the global total order of accesses (sessionization needs it)
+	// without re-serializing the request path.
+	logMu sync.Mutex
+	log   logmine.Log
+
+	// Tiered-index probe counters are warehouse-global (a search sweeps
+	// every shard), kept as atomics so SearchTiered stays lock-free
+	// outside the shard sweeps.
+	indexMemProbes  atomic.Int64
+	indexDiskProbes atomic.Int64
 }
 
 // New assembles a warehouse over the given (simulated) web.
@@ -282,13 +304,15 @@ func New(cfg Config, clock core.Clock, web Origin) (*Warehouse, error) {
 	if cfg.AdmissionDecay <= 0 || cfg.AdmissionDecay > 1 {
 		cfg.AdmissionDecay = 0.8
 	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = runtime.GOMAXPROCS(0)
+	}
 	w := &Warehouse{
 		cfg:              cfg,
 		clock:            clock,
 		web:              web,
 		corpus:           corpus,
 		index:            text.NewInvertedIndex(corpus.Dict()),
-		hotIndex:         text.NewInvertedIndex(corpus.Dict()),
 		objects:          object.NewHierarchy(),
 		tracker:          usage.NewTracker(clock, cfg.WindowSize, cfg.Lambda),
 		regions:          regions,
@@ -298,10 +322,16 @@ func New(cfg Config, clock core.Clock, web Origin) (*Warehouse, error) {
 		store:            store,
 		history:          version.NewStore(cfg.VersionDepth),
 		social:           recommend.NewManager(cfg.ProfileBlend),
-		pages:            make(map[string]*pageState),
+		shards:           make([]*shard, cfg.Shards),
 		lastPrefetchPoll: core.TimeNever,
 		logicalSupport:   make(map[core.ObjectID]int),
 		regionObjOf:      make(map[int]core.ObjectID),
+	}
+	for i := range w.shards {
+		w.shards[i] = &shard{
+			pages:    make(map[string]*pageState),
+			hotIndex: text.NewInvertedIndex(corpus.Dict()),
+		}
 	}
 	if cfg.AgingEpoch > 0 {
 		w.tracker.SetAgingEpoch(cfg.AgingEpoch)
@@ -320,16 +350,35 @@ func New(cfg Config, clock core.Clock, web Origin) (*Warehouse, error) {
 // WatchFeed registers a news feed with the Topic Sensor.
 func (w *Warehouse) WatchFeed(f *simweb.NewsFeed) {
 	w.sensor.AddFeed(f)
-	w.mu.Lock()
-	defer w.mu.Unlock()
+	w.metaMu.Lock()
+	defer w.metaMu.Unlock()
 	w.feeds = append(w.feeds, f)
 }
 
-// Stats returns a copy of the activity counters.
+// Stats sums the activity counters over all shards. Each shard is read
+// under its own lock, so the total is per-shard consistent: counters from
+// a request in flight on another shard may or may not be included, exactly
+// as with any monitoring snapshot.
 func (w *Warehouse) Stats() Stats {
-	w.mu.RLock()
-	defer w.mu.RUnlock()
-	return w.stats
+	var total Stats
+	for _, sh := range w.shards {
+		sh.mu.RLock()
+		s := sh.stats
+		sh.mu.RUnlock()
+		total.Requests += s.Requests
+		total.Hits += s.Hits
+		total.MemoryHits += s.MemoryHits
+		total.OriginFetches += s.OriginFetches
+		total.Revalidations += s.Revalidations
+		total.Refetches += s.Refetches
+		total.Prefetches += s.Prefetches
+		total.Rejected += s.Rejected
+		total.StaleServes += s.StaleServes
+		total.LatencyTotal += s.LatencyTotal
+	}
+	total.IndexMemoryProbes = int(w.indexMemProbes.Load())
+	total.IndexDiskProbes = int(w.indexDiskProbes.Load())
+	return total
 }
 
 // Clock exposes the warehouse clock (examples print times).
