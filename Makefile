@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench tables serve faults soak fuzz examples clean
+.PHONY: all build test race cover bench bench-read tables serve faults soak fuzz examples clean
 
 all: build test
 
@@ -22,6 +22,12 @@ cover:
 # One regeneration of every experiment under the bench harness.
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x .
+
+# Read-path microbenchmarks over the populated 5k-page world — the numbers
+# behind bench_tables.txt's "read path" table (event-driven hot index +
+# allocation-light top-k). Paste the output over the table when it moves.
+bench-read:
+	$(GO) test -bench Populated -benchmem -benchtime=2s -run '^$$' .
 
 # Paper tables via the CLI (same experiments, readable output).
 tables:

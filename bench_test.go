@@ -209,6 +209,123 @@ func BenchmarkWarehouseMinePaths(b *testing.B) {
 	}
 }
 
+// --- read-path benchmarks ---------------------------------------------
+
+// popWorld caches the large populated warehouse the read-path benchmarks
+// share: building it admits every page (each admission re-places the whole
+// storage population), so it is built once per process.
+var popWorld struct {
+	once  sync.Once
+	w     *warehouse.Warehouse
+	g     *workload.GeneratedWeb
+	clock *core.SimClock
+	term  string
+	err   error
+}
+
+// benchPopulatedWorld returns a warmed ≥5k-page warehouse plus a query term
+// guaranteed to match indexed content.
+func benchPopulatedWorld(b *testing.B) (*warehouse.Warehouse, *workload.GeneratedWeb, string) {
+	b.Helper()
+	popWorld.once.Do(func() {
+		clock := core.NewSimClock(0)
+		wcfg := workload.DefaultWebConfig()
+		wcfg.Sites, wcfg.PagesPerSite, wcfg.Seed = 100, 50, benchSeed
+		g, err := workload.GenerateWeb(clock, wcfg)
+		if err != nil {
+			popWorld.err = err
+			return
+		}
+		w, err := warehouse.New(warehouse.DefaultConfig(), clock, g.Web)
+		if err != nil {
+			popWorld.err = err
+			return
+		}
+		for _, u := range g.PageURLs {
+			if _, err := w.Get("warm", u); err != nil {
+				popWorld.err = err
+				return
+			}
+			clock.Advance(1)
+		}
+		snap, ok := w.Versions().Latest(g.PageURLs[0])
+		if !ok {
+			popWorld.err = fmt.Errorf("populated world: no content for %s", g.PageURLs[0])
+			return
+		}
+		popWorld.w, popWorld.g, popWorld.clock = w, g, clock
+		popWorld.term = firstWord(snap.Title)
+	})
+	if popWorld.err != nil {
+		b.Fatal(popWorld.err)
+	}
+	return popWorld.w, popWorld.g, popWorld.term
+}
+
+// BenchmarkSearchTieredPopulated measures ranked retrieval through the
+// index hierarchy on a populated (≥5k-page) warehouse — the read path the
+// hot-index maintenance strategy dominates.
+func BenchmarkSearchTieredPopulated(b *testing.B) {
+	w, _, term := benchPopulatedWorld(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := w.SearchTiered(term, 10)
+		if len(res.Scores) == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+// BenchmarkHotIndexSizePopulated measures the membership-size probe, which
+// shares the hot-index maintenance path with SearchTiered.
+func BenchmarkHotIndexSizePopulated(b *testing.B) {
+	w, _, _ := benchPopulatedWorld(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if w.HotIndexSize() < 0 {
+			b.Fatal("negative size")
+		}
+	}
+}
+
+// BenchmarkQueryMFUPopulated measures the popularity-ordered query path
+// (§4.3 modifiers) over ~5k physical pages.
+func BenchmarkQueryMFUPopulated(b *testing.B) {
+	w, _, _ := benchPopulatedWorld(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.Query("SELECT MFU 10 p.url FROM Physical_Page p"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkVectorCosinePopulated measures sparse-vector similarity between
+// two real document vectors from the populated corpus — the primitive under
+// clustering, recommendation, topic heat and admission priority.
+func BenchmarkVectorCosinePopulated(b *testing.B) {
+	w, g, _ := benchPopulatedWorld(b)
+	snapA, okA := w.Versions().Latest(g.PageURLs[0])
+	snapB, okB := w.Versions().Latest(g.PageURLs[1])
+	if !okA || !okB {
+		b.Fatal("no content")
+	}
+	va := w.Corpus().Vectorize(snapA.Title + "\n" + snapA.Body)
+	vb := w.Corpus().Vectorize(snapB.Title + "\n" + snapB.Body)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var acc float64
+	for i := 0; i < b.N; i++ {
+		acc += va.Cosine(vb)
+	}
+	if acc < 0 {
+		b.Fatal("negative similarity")
+	}
+}
+
 // --- shard-scaling benchmarks -----------------------------------------
 
 // slowOrigin adds real wall-clock latency to every body fetch, standing

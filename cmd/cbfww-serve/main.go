@@ -56,6 +56,9 @@ type options struct {
 	breakerThreshold int
 	breakerCooldown  time.Duration
 	faultRate        float64
+
+	// pprof mounts net/http/pprof under /debug/pprof/ on the gateway.
+	pprof bool
 }
 
 // daemon bundles the running pieces: the gateway server, the warehouse
@@ -158,6 +161,7 @@ func build(opts options) (*daemon, error) {
 		FetchTimeout: opts.fetchTimeout,
 		Resilient:    resilient,
 		Faults:       faults,
+		EnablePprof:  opts.pprof,
 	}, wh)
 	if err != nil {
 		return nil, err
@@ -224,6 +228,7 @@ func main() {
 	flag.IntVar(&opts.breakerThreshold, "breaker-threshold", 5, "consecutive host failures that open the circuit breaker (0 disables)")
 	flag.DurationVar(&opts.breakerCooldown, "breaker-cooldown", 30*time.Second, "open-breaker cool-down before a half-open probe")
 	flag.Float64Var(&opts.faultRate, "fault-rate", 0, "injected origin error probability (in-process origin only)")
+	flag.BoolVar(&opts.pprof, "pprof", false, "serve net/http/pprof profiles under /debug/pprof/ (do not expose publicly)")
 	grace := flag.Duration("grace", 15*time.Second, "graceful-shutdown drain budget")
 	flag.Parse()
 

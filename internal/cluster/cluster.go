@@ -121,8 +121,7 @@ func (o *Online) absorb(r *Region, p Point) {
 	r.weight++
 	// new_mean = mean + (x - mean)/n, done sparsely then re-normalized.
 	inv := 1 / r.weight
-	r.Centroid.Scale(1-inv).AddScaled(p.Vec, inv)
-	r.Centroid.Normalize()
+	r.Centroid = r.Centroid.Scale(1-inv).AddScaled(p.Vec, inv).Normalize()
 	if d := p.Vec.Distance(r.Centroid); d > r.Radius {
 		r.Radius = d
 	}
@@ -349,10 +348,10 @@ func assignAll(points []Point, cents []text.Vector, assign []int) (changed bool)
 }
 
 func recompute(points []Point, assign []int, cents []text.Vector) {
-	sums := make([]text.Vector, len(cents))
+	sums := make([]text.Builder, len(cents))
 	counts := make([]int, len(cents))
 	for i := range sums {
-		sums[i] = text.NewVector(0)
+		sums[i] = text.NewBuilder()
 	}
 	for i, p := range points {
 		sums[assign[i]].AddScaled(p.Vec, 1)
@@ -360,7 +359,7 @@ func recompute(points []Point, assign []int, cents []text.Vector) {
 	}
 	for c := range cents {
 		if counts[c] > 0 {
-			cents[c] = sums[c].Scale(1 / float64(counts[c])).Normalize()
+			cents[c] = sums[c].Vector().Scale(1 / float64(counts[c])).Normalize()
 		}
 	}
 }

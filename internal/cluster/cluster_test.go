@@ -81,15 +81,14 @@ func TestOnlineMaxRegionsForcesAssignment(t *testing.T) {
 
 func TestOnlineRegionBookkeeping(t *testing.T) {
 	o, _ := NewOnline(0.5, 0)
-	v1 := text.Vector{0: 1}
-	v2 := text.Vector{0: 0.9, 1: 0.1}
-	v2.Normalize()
+	v1 := text.Builder{0: 1}.Vector()
+	v2 := text.Builder{0: 0.9, 1: 0.1}.Vector().Normalize()
 	i1 := o.Assign(Point{ID: 1, Vec: v1})
 	i2 := o.Assign(Point{ID: 2, Vec: v2})
 	if i1 != i2 {
 		t.Fatalf("similar vectors split: %d vs %d", i1, i2)
 	}
-	v3 := text.Vector{5: 1}
+	v3 := text.Builder{5: 1}.Vector()
 	i3 := o.Assign(Point{ID: 3, Vec: v3})
 	if i3 == i1 {
 		t.Fatal("orthogonal vector joined region")
@@ -115,21 +114,23 @@ func TestOnlineRegionBookkeeping(t *testing.T) {
 		t.Errorf("centroid norm = %v", n)
 	}
 	// Snapshot isolation: mutating the copy must not affect the clusterer.
-	regs[i1].Centroid[0] = 99
+	// (Centroid vectors are immutable values; the Members slice is the
+	// mutable part of the snapshot.)
+	regs[i1].Members[0] = 999
 	regs2 := o.Regions()
-	if regs2[i1].Centroid[0] == 99 {
+	if regs2[i1].Members[0] == 999 {
 		t.Error("Regions snapshot aliases internal state")
 	}
 }
 
 func TestOnlineNearestDoesNotMutate(t *testing.T) {
 	o, _ := NewOnline(0.5, 0)
-	if _, _, ok := o.Nearest(text.Vector{0: 1}); ok {
+	if _, _, ok := o.Nearest(text.Builder{0: 1}.Vector()); ok {
 		t.Error("Nearest on empty clusterer returned ok")
 	}
-	o.Assign(Point{ID: 1, Vec: text.Vector{0: 1}})
+	o.Assign(Point{ID: 1, Vec: text.Builder{0: 1}.Vector()})
 	before := o.Len()
-	idx, sim, ok := o.Nearest(text.Vector{0: 1})
+	idx, sim, ok := o.Nearest(text.Builder{0: 1}.Vector())
 	if !ok || idx != 0 || sim < 0.99 {
 		t.Errorf("Nearest = %d, %v, %v", idx, sim, ok)
 	}
@@ -201,7 +202,7 @@ func TestKMedianEdgeCases(t *testing.T) {
 	if _, err := KMedian(nil, 3, rand.New(rand.NewSource(1)), 5, 0); err == nil {
 		t.Error("no points accepted")
 	}
-	pts := []Point{{ID: 1, Vec: text.Vector{0: 1}}}
+	pts := []Point{{ID: 1, Vec: text.Builder{0: 1}.Vector()}}
 	if _, err := KMedian(pts, 0, rand.New(rand.NewSource(1)), 5, 0); err == nil {
 		t.Error("k=0 accepted")
 	}
@@ -215,9 +216,9 @@ func TestKMedianEdgeCases(t *testing.T) {
 	}
 	// Identical points: seeding must not loop forever.
 	same := []Point{
-		{ID: 1, Vec: text.Vector{0: 1}},
-		{ID: 2, Vec: text.Vector{0: 1}},
-		{ID: 3, Vec: text.Vector{0: 1}},
+		{ID: 1, Vec: text.Builder{0: 1}.Vector()},
+		{ID: 2, Vec: text.Builder{0: 1}.Vector()},
+		{ID: 3, Vec: text.Builder{0: 1}.Vector()},
 	}
 	res2, err := KMedian(same, 3, rand.New(rand.NewSource(1)), 5, 2)
 	if err != nil {
@@ -229,10 +230,10 @@ func TestKMedianEdgeCases(t *testing.T) {
 }
 
 func TestSSQ(t *testing.T) {
-	c := text.Vector{0: 1}
+	c := text.Builder{0: 1}.Vector()
 	pts := []Point{
-		{ID: 1, Vec: text.Vector{0: 1}},
-		{ID: 2, Vec: text.Vector{1: 1}},
+		{ID: 1, Vec: text.Builder{0: 1}.Vector()},
+		{ID: 2, Vec: text.Builder{1: 1}.Vector()},
 	}
 	got := SSQ(pts, func(Point) text.Vector { return c })
 	if math.Abs(got-2) > 1e-9 { // 0 + (sqrt(2))^2
@@ -258,7 +259,7 @@ func TestPurity(t *testing.T) {
 func TestTopTerms(t *testing.T) {
 	dict := text.NewDictionary()
 	a, b := dict.ID("kyoto"), dict.ID("station")
-	r := Region{Centroid: text.Vector{a: 0.9, b: 0.4}}
+	r := Region{Centroid: text.Builder{a: 0.9, b: 0.4}.Vector()}
 	got := TopTerms(r, dict, 2)
 	if len(got) != 2 || got[0] != "kyoto" || got[1] != "station" {
 		t.Errorf("TopTerms = %v", got)
@@ -274,7 +275,7 @@ func TestOnlineAssignTotalProperty(t *testing.T) {
 			return false
 		}
 		for i, s := range seeds {
-			v := text.Vector{text.TermID(s % 8): 1}
+			v := text.Builder{text.TermID(s % 8): 1}.Vector()
 			o.Assign(Point{ID: core.ObjectID(i + 1), Vec: v})
 		}
 		total := 0

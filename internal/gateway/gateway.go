@@ -35,6 +35,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"net/url"
 	"strconv"
 	"strings"
@@ -66,6 +67,10 @@ type Config struct {
 	// Faults, when the origin path includes a fault-injecting simweb
 	// origin, surfaces its injection counters at /stats (nil is fine).
 	Faults *simweb.FaultyOrigin
+	// EnablePprof mounts net/http/pprof's profiling endpoints under
+	// /debug/pprof/. Off by default: the profiles expose internals
+	// (goroutine stacks, heap contents) no public daemon should serve.
+	EnablePprof bool
 }
 
 // DefaultConfig returns production-ish defaults.
@@ -138,6 +143,16 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /recommend", s.instrument("recommend", s.handleRecommend))
 	mux.HandleFunc("GET /stats", s.instrument("stats", s.handleStats))
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	if s.cfg.EnablePprof {
+		// net/http/pprof registers on DefaultServeMux as an import side
+		// effect; route the same handlers here without touching the
+		// default mux (Index dispatches /debug/pprof/{heap,goroutine,...}).
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 

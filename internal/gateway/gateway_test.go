@@ -550,3 +550,47 @@ func TestConcurrentMixedTraffic(t *testing.T) {
 		t.Fatal("no warehouse requests recorded under mixed traffic")
 	}
 }
+
+// TestPprofEndpoints: /debug/pprof is mounted only when EnablePprof is set.
+func TestPprofEndpoints(t *testing.T) {
+	g := testWeb(t)
+	wh, err := warehouse.New(warehouse.DefaultConfig(), core.NewSimClock(0), g.Web)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, cfg := range map[string]Config{
+		"enabled":  {EnablePprof: true},
+		"disabled": {},
+	} {
+		s, err := New(cfg, wh)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(s.Handler())
+		resp, err := ts.Client().Get(ts.URL + "/debug/pprof/")
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		want := http.StatusNotFound
+		if cfg.EnablePprof {
+			want = http.StatusOK
+		}
+		if resp.StatusCode != want {
+			t.Errorf("%s: GET /debug/pprof/ = %d, want %d", name, resp.StatusCode, want)
+		}
+		if cfg.EnablePprof {
+			resp, err = ts.Client().Get(ts.URL + "/debug/pprof/goroutine?debug=1")
+			if err != nil {
+				t.Fatal(err)
+			}
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "goroutine") {
+				t.Errorf("goroutine profile: status %d", resp.StatusCode)
+			}
+		}
+		ts.Close()
+	}
+}

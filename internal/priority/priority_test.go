@@ -153,7 +153,7 @@ func TestNilEvidenceSources(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	p, exp := m.AdmissionPriority(text.Vector{0: 1})
+	p, exp := m.AdmissionPriority(text.Builder{0: 1}.Vector())
 	if p != cfg.Default || exp.Region != -1 {
 		t.Errorf("nil sources: p=%v exp=%+v", p, exp)
 	}

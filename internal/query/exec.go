@@ -47,6 +47,25 @@ func RunString(s string, src Source) ([]Row, error) {
 
 type executor struct {
 	src Source
+	// rowsCache holds the Rows result per kind for the life of one Run. A
+	// correlated sub-query (EXISTS, IN) re-scans its class once per outer
+	// row; without the cache each re-scan pays a full snapshot of the
+	// hierarchy.
+	rowsCache map[object.Kind][]*object.Object
+}
+
+// rows returns the objects of a kind, snapshotting the source only on the
+// first request per Run.
+func (ex *executor) rows(kind object.Kind) []*object.Object {
+	if objs, ok := ex.rowsCache[kind]; ok {
+		return objs
+	}
+	if ex.rowsCache == nil {
+		ex.rowsCache = make(map[object.Kind][]*object.Object)
+	}
+	objs := ex.src.Rows(kind)
+	ex.rowsCache[kind] = objs
+	return objs
 }
 
 // env binds aliases to the row objects of enclosing queries.
@@ -69,7 +88,7 @@ func (e *env) lookup(alias string) (*object.Object, bool) {
 // ordered by the modifier and truncated to the limit. outer is the
 // enclosing binding environment for correlated sub-queries.
 func (ex *executor) evalFrom(q *Query, outer *env) ([]*object.Object, error) {
-	rows := ex.src.Rows(q.Class)
+	rows := ex.rows(q.Class)
 	var kept []*object.Object
 	for _, o := range rows {
 		if q.Where == nil {
@@ -87,50 +106,104 @@ func (ex *executor) evalFrom(q *Query, outer *env) ([]*object.Object, error) {
 			kept = append(kept, o)
 		}
 	}
-	ex.order(q.Modifier, kept)
+	kept = ex.order(q.Modifier, kept, q.Limit)
 	if q.Modifier != ModNone && q.Limit > 0 && q.Limit < len(kept) {
 		kept = kept[:q.Limit]
 	}
 	return kept, nil
 }
 
-// order sorts objects per the usage modifier; ties break by ID so results
-// are deterministic. ModNone keeps Rows order.
-func (ex *executor) order(m Modifier, objs []*object.Object) {
-	if m == ModNone {
-		return
+// orderEntry decorates an object with its usage sort keys so each key is
+// computed exactly once per object, not once per comparison.
+type orderEntry struct {
+	o       *object.Object
+	recency core.Time
+	freq    float64
+}
+
+// order ranks objects per the usage modifier and returns the best limit of
+// them in order (all of them when limit <= 0); ties break by ID so results
+// are deterministic. ModNone keeps Rows order. When limit is smaller than
+// the population, a bounded min-heap selects the winners in
+// O(n·log limit) instead of sorting everything.
+func (ex *executor) order(m Modifier, objs []*object.Object, limit int) []*object.Object {
+	if m == ModNone || len(objs) == 0 {
+		return objs
 	}
-	key := func(o *object.Object) (recency core.Time, freq float64) {
+	entries := make([]orderEntry, len(objs))
+	for i, o := range objs {
+		e := orderEntry{o: o, recency: core.TimeNever}
 		if s, ok := ex.src.UsageOf(o.ID); ok {
-			recency = s.LastRef
-		} else {
-			recency = core.TimeNever
+			e.recency = s.LastRef
 		}
-		return recency, ex.src.FrequencyOf(o.ID)
+		e.freq = ex.src.FrequencyOf(o.ID)
+		entries[i] = e
 	}
-	sort.SliceStable(objs, func(i, j int) bool {
-		ri, fi := key(objs[i])
-		rj, fj := key(objs[j])
+	better := orderBetter(m)
+	if limit > 0 && limit < len(entries) {
+		// Min-heap over the first limit entries, worst kept at the root.
+		h := entries[:limit]
+		for i := limit/2 - 1; i >= 0; i-- {
+			orderSiftDown(h, i, better)
+		}
+		for i := limit; i < len(entries); i++ {
+			if better(entries[i], h[0]) {
+				h[0] = entries[i]
+				orderSiftDown(h, 0, better)
+			}
+		}
+		entries = h
+	}
+	sort.Slice(entries, func(i, j int) bool { return better(entries[i], entries[j]) })
+	out := objs[:len(entries)]
+	for i, e := range entries {
+		out[i] = e.o
+	}
+	return out
+}
+
+// orderBetter returns the strict ranking predicate of a modifier.
+func orderBetter(m Modifier) func(a, b orderEntry) bool {
+	return func(a, b orderEntry) bool {
 		switch m {
 		case ModMRU:
-			if ri != rj {
-				return ri > rj
+			if a.recency != b.recency {
+				return a.recency > b.recency
 			}
 		case ModLRU:
-			if ri != rj {
-				return ri < rj
+			if a.recency != b.recency {
+				return a.recency < b.recency
 			}
 		case ModMFU:
-			if fi != fj {
-				return fi > fj
+			if a.freq != b.freq {
+				return a.freq > b.freq
 			}
 		case ModLFU:
-			if fi != fj {
-				return fi < fj
+			if a.freq != b.freq {
+				return a.freq < b.freq
 			}
 		}
-		return objs[i].ID < objs[j].ID
-	})
+		return a.o.ID < b.o.ID
+	}
+}
+
+// orderSiftDown restores the min-heap property (worst entry at the root)
+// below index i.
+func orderSiftDown(h []orderEntry, i int, better func(a, b orderEntry) bool) {
+	for {
+		worst := i
+		if l := 2*i + 1; l < len(h) && better(h[worst], h[l]) {
+			worst = l
+		}
+		if r := 2*i + 2; r < len(h) && better(h[worst], h[r]) {
+			worst = r
+		}
+		if worst == i {
+			return
+		}
+		h[i], h[worst] = h[worst], h[i]
+		i = worst
+	}
 }
 
 // project builds result rows from the SELECT field list (or the canonical

@@ -76,8 +76,7 @@ func (m *Manager) ObserveVisit(user string, id core.ObjectID, vec text.Vector) {
 	if !ok {
 		m.profiles[user] = vec.Clone()
 	} else {
-		p.Scale(1-m.profileBlend).AddScaled(vec, m.profileBlend)
-		p.Normalize()
+		m.profiles[user] = p.Scale(1-m.profileBlend).AddScaled(vec, m.profileBlend).Normalize()
 	}
 	v := m.visited[user]
 	if v == nil {
@@ -93,7 +92,7 @@ func (m *Manager) Profile(user string) (text.Vector, bool) {
 	defer m.mu.RUnlock()
 	p, ok := m.profiles[user]
 	if !ok {
-		return nil, false
+		return text.Vector{}, false
 	}
 	return p.Clone(), true
 }

@@ -25,9 +25,12 @@ func (m *Manager) DropTier(t Tier) error {
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	for _, o := range m.objects {
+	for id, o := range m.objects {
 		if o.copies[t].present {
 			o.copies[t] = copyState{}
+			if t == Memory {
+				m.noteMemLocked(id)
+			}
 		}
 	}
 	m.used[t] = 0
@@ -56,6 +59,9 @@ func (m *Manager) Recover() RecoveryReport {
 			// No full copy survived anywhere.
 			for t := Memory; t < numTiers; t++ {
 				m.used[t] -= o.footprint(t, m.cfg.SummaryRatio)
+			}
+			if o.copies[Memory].present {
+				m.noteMemLocked(id)
 			}
 			delete(m.objects, id)
 			rep.Lost++

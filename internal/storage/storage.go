@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"cbfww/internal/core"
 )
@@ -159,6 +160,12 @@ type Manager struct {
 	objects map[core.ObjectID]*object
 	used    [numTiers]core.Bytes
 	stats   Stats
+	// memGen counts memory-residency changes; memDirty is the coalesced set
+	// of objects whose memory-tier copy changed since the last drain. The
+	// hierarchy-of-indices layer polls these instead of sweeping ResidentIDs
+	// on every read.
+	memGen   atomic.Uint64
+	memDirty map[core.ObjectID]struct{}
 }
 
 // NewManager returns an empty manager. Capacities must be positive and
@@ -176,7 +183,54 @@ func NewManager(cfg Config) (*Manager, error) {
 	if cfg.SummaryThreshold == 0 {
 		cfg.SummaryThreshold = 0.25
 	}
-	return &Manager{cfg: cfg, objects: make(map[core.ObjectID]*object)}, nil
+	return &Manager{
+		cfg:      cfg,
+		objects:  make(map[core.ObjectID]*object),
+		memDirty: make(map[core.ObjectID]struct{}),
+	}, nil
+}
+
+// noteMemLocked records that id's memory-tier copy changed. Requires m.mu.
+func (m *Manager) noteMemLocked(id core.ObjectID) {
+	m.memDirty[id] = struct{}{}
+	m.memGen.Add(1)
+}
+
+// MemoryResidencyGen returns a counter that advances whenever any object's
+// memory-tier copy changes. Readers compare it against a remembered value
+// to skip reconciliation entirely when nothing moved; it is lock-free.
+func (m *Manager) MemoryResidencyGen() uint64 {
+	return m.memGen.Load()
+}
+
+// DrainMemoryChanges returns the IDs whose memory-tier copy changed since
+// the previous drain (ascending, for determinism) and the generation the
+// drain reflects, clearing the pending set. The events are coalesced and
+// idempotent: consumers re-check current residency per ID rather than
+// replaying individual transitions.
+func (m *Manager) DrainMemoryChanges() ([]core.ObjectID, uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	gen := m.memGen.Load()
+	if len(m.memDirty) == 0 {
+		return nil, gen
+	}
+	ids := make([]core.ObjectID, 0, len(m.memDirty))
+	for id := range m.memDirty {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	m.memDirty = make(map[core.ObjectID]struct{})
+	return ids, gen
+}
+
+// ResidentAt reports whether id currently has a copy (full or summary) at
+// tier t.
+func (m *Manager) ResidentAt(id core.ObjectID, t Tier) bool {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	o, ok := m.objects[id]
+	return ok && t >= Memory && t < numTiers && o.copies[t].present
 }
 
 // latency returns the access latency of tier t.
@@ -261,6 +315,9 @@ func (m *Manager) Remove(id core.ObjectID) error {
 	}
 	for t := Memory; t < numTiers; t++ {
 		m.used[t] -= o.footprint(t, m.cfg.SummaryRatio)
+	}
+	if o.copies[Memory].present {
+		m.noteMemLocked(id)
 	}
 	delete(m.objects, id)
 	return nil
@@ -455,14 +512,17 @@ func (m *Manager) applyPlacement(o *object, t Tier, want, summaryOnly bool) {
 	switch {
 	case want && !c.present:
 		*c = copyState{present: true, version: o.version, summaryOnly: summaryOnly}
-		m.stats.Migrations++
 	case want && c.present && c.summaryOnly != summaryOnly:
 		c.summaryOnly = summaryOnly
 		c.version = o.version
-		m.stats.Migrations++
 	case !want && c.present:
 		*c = copyState{}
-		m.stats.Migrations++
+	default:
+		return // no change: nothing to count or note
+	}
+	m.stats.Migrations++
+	if t == Memory {
+		m.noteMemLocked(o.id)
 	}
 }
 

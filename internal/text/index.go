@@ -158,9 +158,40 @@ func (ix *InvertedIndex) Search(query string, n int) []Score {
 	if len(terms) == 0 {
 		return nil
 	}
+	return SelectTop(ix.AppendSearch(nil, terms), n)
+}
+
+// AppendSearch scores the pre-canonicalized terms against the index and
+// appends one Score per matching document to dst, unranked. Callers
+// probing several index segments (the sharded hot index) parse the query
+// once, stream every segment's matches into one buffer, and rank the
+// union with SelectTop — instead of paying a parse, an accumulator and a
+// result slice per segment.
+func (ix *InvertedIndex) AppendSearch(dst []Score, terms []string) []Score {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
 	numDocs := len(ix.docLen)
+	if len(terms) == 1 {
+		// Single-term fast path: the posting list already holds one entry
+		// per document, so scores stream straight out with no map.
+		tid, ok := ix.dict.Lookup(terms[0])
+		if !ok {
+			return dst
+		}
+		list := ix.postings[tid]
+		if len(list) == 0 {
+			return dst
+		}
+		idf := idfFor(numDocs, len(list))
+		for _, p := range list {
+			s := float64(p.TF) * idf
+			if l := ix.docLen[p.Doc]; l > 0 {
+				s /= float64(l)
+			}
+			dst = append(dst, Score{Doc: p.Doc, Value: s})
+		}
+		return dst
+	}
 	scores := make(map[core.ObjectID]float64)
 	for _, t := range terms {
 		tid, ok := ix.dict.Lookup(t)
@@ -176,23 +207,85 @@ func (ix *InvertedIndex) Search(query string, n int) []Score {
 			scores[p.Doc] += float64(p.TF) * idf
 		}
 	}
-	out := make([]Score, 0, len(scores))
 	for id, s := range scores {
 		if l := ix.docLen[id]; l > 0 {
 			s /= float64(l)
 		}
-		out = append(out, Score{Doc: id, Value: s})
+		dst = append(dst, Score{Doc: id, Value: s})
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Value != out[j].Value {
-			return out[i].Value > out[j].Value
+	return dst
+}
+
+// SelectTop keeps the n best scores (Value descending, Doc ascending on
+// ties) of s, in that order, selecting in place with a bounded min-heap —
+// O(len·log n) instead of the O(len·log len) full sort — and returns the
+// truncated slice. n < 0 means all. The tail of s beyond the result is left
+// in unspecified order.
+func SelectTop(s []Score, n int) []Score {
+	if n == 0 {
+		return s[:0]
+	}
+	if n < 0 || n >= len(s) {
+		sortScores(s)
+		return s
+	}
+	// Min-heap over the first n entries: the worst kept score sits at the
+	// root, and every remaining entry either displaces it or is skipped.
+	h := s[:n]
+	for i := n/2 - 1; i >= 0; i-- {
+		scoreSiftDown(h, i)
+	}
+	for i := n; i < len(s); i++ {
+		if scoreBetter(s[i], h[0]) {
+			h[0] = s[i]
+			scoreSiftDown(h, 0)
 		}
-		return out[i].Doc < out[j].Doc
-	})
-	if n >= 0 && n < len(out) {
-		out = out[:n]
 	}
-	return out
+	sortScores(h)
+	return h
+}
+
+// sortScores orders s best-first by heapsort — allocation-free, unlike
+// sort.Slice, whose reflective closure shows up on the tiered-search hot
+// path. The comparator is a total order (ties break on Doc), so the
+// result is deterministic despite heapsort's instability.
+func sortScores(s []Score) {
+	for i := len(s)/2 - 1; i >= 0; i-- {
+		scoreSiftDown(s, i)
+	}
+	// Popping the min-heap's root (the worst score) to the shrinking tail
+	// leaves the slice best-first.
+	for end := len(s) - 1; end > 0; end-- {
+		s[0], s[end] = s[end], s[0]
+		scoreSiftDown(s[:end], 0)
+	}
+}
+
+// scoreBetter reports whether a ranks above b.
+func scoreBetter(a, b Score) bool {
+	if a.Value != b.Value {
+		return a.Value > b.Value
+	}
+	return a.Doc < b.Doc
+}
+
+// scoreSiftDown restores the min-heap property (worst score at the root)
+// below index i.
+func scoreSiftDown(h []Score, i int) {
+	for {
+		worst := i
+		if l := 2*i + 1; l < len(h) && scoreBetter(h[worst], h[l]) {
+			worst = l
+		}
+		if r := 2*i + 2; r < len(h) && scoreBetter(h[worst], h[r]) {
+			worst = r
+		}
+		if worst == i {
+			return
+		}
+		h[i], h[worst] = h[worst], h[i]
+		i = worst
+	}
 }
 
 // idfFor is ln((1+N)/(1+df)) floored at 0 so extremely common terms don't

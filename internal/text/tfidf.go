@@ -51,13 +51,13 @@ func (c *Corpus) Add(content string) Vector {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.numDocs++
-	v := NewVector(len(counts))
+	b := NewBuilder()
 	for term, n := range counts {
 		id := c.dict.ID(term)
 		c.docFreq[id]++
-		v[id] = float64(n)
+		b.Set(id, float64(n))
 	}
-	return v
+	return b.Vector()
 }
 
 // idfLocked returns the smoothed inverse document frequency of id. Must be
@@ -87,14 +87,18 @@ func (c *Corpus) IDF(term string) float64 {
 func (c *Corpus) TFIDF(tf Vector) Vector {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	out := NewVector(len(tf))
-	for id, f := range tf {
+	// tf is already id-sorted, so the output can be built in place without
+	// a map round trip.
+	ids := make([]TermID, 0, tf.Len())
+	ws := make([]float64, 0, tf.Len())
+	tf.ForEach(func(id TermID, f float64) {
 		if f <= 0 {
-			continue
+			return
 		}
-		out[id] = (1 + math.Log(f)) * c.idfLocked(id)
-	}
-	return out.Normalize()
+		ids = append(ids, id)
+		ws = append(ws, (1+math.Log(f))*c.idfLocked(id))
+	})
+	return makeVector(ids, ws).Normalize()
 }
 
 // VectorizeNew adds content to the corpus and returns its TF-IDF vector in
@@ -111,12 +115,12 @@ func (c *Corpus) Vectorize(content string) Vector {
 	counts := TermCounts(content)
 	c.mu.Lock() // dict.ID may grow the dictionary
 	defer c.mu.Unlock()
-	v := NewVector(len(counts))
+	b := NewBuilder()
 	for term, n := range counts {
 		id := c.dict.ID(term)
-		v[id] = (1 + math.Log(float64(n))) * c.idfLocked(id)
+		b.Set(id, (1+math.Log(float64(n)))*c.idfLocked(id))
 	}
-	return v.Normalize()
+	return b.Vector().Normalize()
 }
 
 // WeightedVector builds the comprehensive feature vector of a logical
@@ -132,8 +136,5 @@ func (c *Corpus) WeightedVector(title, body string, omega float64) Vector {
 	}
 	vt := c.Vectorize(title)
 	vb := c.Vectorize(body)
-	out := NewVector(len(vt) + len(vb))
-	out.AddScaled(vt, omega)
-	out.AddScaled(vb, 1)
-	return out.Normalize()
+	return vb.AddScaled(vt, omega).Normalize()
 }

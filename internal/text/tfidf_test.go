@@ -47,8 +47,8 @@ func TestTFIDFNormalized(t *testing.T) {
 	// kyoto appears twice: its weight must exceed station's despite equal IDF.
 	kid, _ := c.Dict().Lookup("kyoto")
 	sid, _ := c.Dict().Lookup("station")
-	if v[kid] <= v[sid] {
-		t.Errorf("tf dampening broken: kyoto=%v station=%v", v[kid], v[sid])
+	if v.Get(kid) <= v.Get(sid) {
+		t.Errorf("tf dampening broken: kyoto=%v station=%v", v.Get(kid), v.Get(sid))
 	}
 }
 
@@ -57,21 +57,21 @@ func TestVectorizeNewMatchesAddPlusTFIDF(t *testing.T) {
 	doc := "data stream systems process data"
 	v1 := c1.VectorizeNew(doc)
 	v2 := c2.TFIDF(c2.Add(doc))
-	if len(v1) != len(v2) {
-		t.Fatalf("different support: %d vs %d", len(v1), len(v2))
+	if v1.Len() != v2.Len() {
+		t.Fatalf("different support: %d vs %d", v1.Len(), v2.Len())
 	}
 	// TermIDs are assigned in map-iteration order and differ between the
 	// two corpora; compare weights by term name instead.
-	for k, x := range v1 {
+	v1.ForEach(func(k TermID, x float64) {
 		term := c1.Dict().Term(k)
 		k2, ok := c2.Dict().Lookup(term)
 		if !ok {
 			t.Fatalf("term %q missing from second corpus", term)
 		}
-		if math.Abs(x-v2[k2]) > 1e-12 {
-			t.Errorf("mismatch at %q: %v vs %v", term, x, v2[k2])
+		if math.Abs(x-v2.Get(k2)) > 1e-12 {
+			t.Errorf("mismatch at %q: %v vs %v", term, x, v2.Get(k2))
 		}
-	}
+	})
 }
 
 func TestVectorizeDoesNotCount(t *testing.T) {
@@ -100,13 +100,13 @@ func TestWeightedVectorStressesTitle(t *testing.T) {
 	}
 	kid, _ := c.Dict().Lookup("kyoto")
 	bid, _ := c.Dict().Lookup("busi")
-	if v[kid] <= v[bid] {
-		t.Errorf("title term kyoto (%v) should outweigh body term business (%v)", v[kid], v[bid])
+	if v.Get(kid) <= v.Get(bid) {
+		t.Errorf("title term kyoto (%v) should outweigh body term business (%v)", v.Get(kid), v.Get(bid))
 	}
 	// omega < 1 is clamped to 1: title and body weigh equally then.
 	v2 := c.WeightedVector("kyoto", "osaka", 0.1)
 	oid, _ := c.Dict().Lookup("osaka")
-	kw, ow := v2[kid], v2[oid]
+	kw, ow := v2.Get(kid), v2.Get(oid)
 	// Equal tf, IDF may differ (osaka unseen has higher IDF), so just check
 	// the title did not get *less* than a fair share after clamping.
 	if kw <= 0 || ow <= 0 {

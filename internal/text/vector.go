@@ -76,42 +76,129 @@ func (d *Dictionary) Len() int {
 	return len(d.terms)
 }
 
-// Vector is a sparse term-weight vector in the vector space model. The zero
-// value is the empty vector and is ready to use with the package functions;
-// use make or NewVector before writing entries directly.
-type Vector map[TermID]float64
-
-// NewVector returns an empty vector with room for n entries.
-func NewVector(n int) Vector { return make(Vector, n) }
-
-// Clone returns an independent copy of v.
-func (v Vector) Clone() Vector {
-	out := make(Vector, len(v))
-	for k, x := range v {
-		out[k] = x
-	}
-	return out
+// Vector is a sparse term-weight vector in the vector space model, stored
+// as parallel slices sorted by TermID with a cached L2 norm. Vectors are
+// immutable values: every arithmetic method returns a new vector, so
+// sharing one across goroutines (centroids, profiles, page states) needs
+// no synchronization and Clone is free. Build one with a Builder; the zero
+// value is the empty vector.
+type Vector struct {
+	ids  []TermID
+	ws   []float64
+	norm float64
 }
 
-// Norm returns the Euclidean (L2) norm of v.
-func (v Vector) Norm() float64 {
+// makeVector wraps sorted parallel slices into a Vector, computing the
+// cached norm. The slices must be id-sorted and must not be mutated after.
+func makeVector(ids []TermID, ws []float64) Vector {
 	var s float64
-	for _, x := range v {
+	for _, x := range ws {
 		s += x * x
 	}
-	return math.Sqrt(s)
+	return Vector{ids: ids, ws: ws, norm: math.Sqrt(s)}
 }
 
-// Dot returns the inner product of v and u.
-func (v Vector) Dot(u Vector) float64 {
-	// Iterate the smaller map.
-	if len(u) < len(v) {
-		v, u = u, v
+// Builder is a construction-time accumulator for sparse vectors: a plain
+// map, so repeated additions stay O(1), converted once into the sorted
+// immutable Vector form. Not safe for concurrent use.
+type Builder map[TermID]float64
+
+// NewBuilder returns an empty builder.
+func NewBuilder() Builder { return make(Builder) }
+
+// Add accumulates w onto the term's weight.
+func (b Builder) Add(id TermID, w float64) { b[id] += w }
+
+// Set overwrites the term's weight.
+func (b Builder) Set(id TermID, w float64) { b[id] = w }
+
+// AddScaled accumulates a*v into the builder.
+func (b Builder) AddScaled(v Vector, a float64) {
+	for i, id := range v.ids {
+		b[id] += a * v.ws[i]
 	}
+}
+
+// Vector freezes the builder into a sorted sparse vector. Entries with
+// exactly zero weight are dropped. The builder remains usable afterwards.
+func (b Builder) Vector() Vector {
+	ids := make([]TermID, 0, len(b))
+	for id, w := range b {
+		if w != 0 {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	ws := make([]float64, len(ids))
+	for i, id := range ids {
+		ws[i] = b[id]
+	}
+	return makeVector(ids, ws)
+}
+
+// Top returns the n highest-weighted term IDs in the builder, in
+// descending weight order (ties broken by TermID for determinism).
+func (b Builder) Top(n int) []TermID {
+	ids := make([]TermID, 0, len(b))
+	for id := range b {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		wi, wj := b[ids[i]], b[ids[j]]
+		if wi != wj {
+			return wi > wj
+		}
+		return ids[i] < ids[j]
+	})
+	if n < len(ids) {
+		ids = ids[:n]
+	}
+	return ids
+}
+
+// Len returns the number of non-zero entries.
+func (v Vector) Len() int { return len(v.ids) }
+
+// Get returns the weight of id (0 for absent terms) by binary search.
+func (v Vector) Get(id TermID) float64 {
+	i := sort.Search(len(v.ids), func(i int) bool { return v.ids[i] >= id })
+	if i < len(v.ids) && v.ids[i] == id {
+		return v.ws[i]
+	}
+	return 0
+}
+
+// ForEach calls f for every (term, weight) entry in ascending TermID order.
+func (v Vector) ForEach(f func(TermID, float64)) {
+	for i, id := range v.ids {
+		f(id, v.ws[i])
+	}
+}
+
+// Clone returns an independent copy of v. Vectors are immutable, so this
+// shares the underlying storage and costs nothing; it survives for callers
+// that want to document ownership transfer.
+func (v Vector) Clone() Vector { return v }
+
+// Norm returns the Euclidean (L2) norm of v. It is cached at construction,
+// so calling it is free.
+func (v Vector) Norm() float64 { return v.norm }
+
+// Dot returns the inner product of v and u via a merge join over the two
+// sorted id slices.
+func (v Vector) Dot(u Vector) float64 {
 	var s float64
-	for k, x := range v {
-		if y, ok := u[k]; ok {
-			s += x * y
+	i, j := 0, 0
+	for i < len(v.ids) && j < len(u.ids) {
+		switch {
+		case v.ids[i] < u.ids[j]:
+			i++
+		case v.ids[i] > u.ids[j]:
+			j++
+		default:
+			s += v.ws[i] * u.ws[j]
+			i++
+			j++
 		}
 	}
 	return s
@@ -120,76 +207,122 @@ func (v Vector) Dot(u Vector) float64 {
 // Cosine returns the cosine similarity of v and u in [0,1] for non-negative
 // vectors. The cosine of anything with a zero vector is 0.
 func (v Vector) Cosine(u Vector) float64 {
-	nv, nu := v.Norm(), u.Norm()
-	if nv == 0 || nu == 0 {
+	if v.norm == 0 || u.norm == 0 {
 		return 0
 	}
-	c := v.Dot(u) / (nv * nu)
+	c := v.Dot(u) / (v.norm * u.norm)
 	// Guard against floating-point drift outside [-1, 1].
 	return math.Max(-1, math.Min(1, c))
 }
 
-// Distance returns the Euclidean distance between v and u.
+// Distance returns the Euclidean distance between v and u (merge join).
 func (v Vector) Distance(u Vector) float64 {
 	var s float64
-	for k, x := range v {
-		d := x - u[k]
-		s += d * d
-	}
-	for k, y := range u {
-		if _, ok := v[k]; !ok {
-			s += y * y
+	i, j := 0, 0
+	for i < len(v.ids) && j < len(u.ids) {
+		switch {
+		case v.ids[i] < u.ids[j]:
+			s += v.ws[i] * v.ws[i]
+			i++
+		case v.ids[i] > u.ids[j]:
+			s += u.ws[j] * u.ws[j]
+			j++
+		default:
+			d := v.ws[i] - u.ws[j]
+			s += d * d
+			i++
+			j++
 		}
+	}
+	for ; i < len(v.ids); i++ {
+		s += v.ws[i] * v.ws[i]
+	}
+	for ; j < len(u.ids); j++ {
+		s += u.ws[j] * u.ws[j]
 	}
 	return math.Sqrt(s)
 }
 
-// AddScaled adds a*u into v in place and returns v.
+// AddScaled returns v + a*u as a new vector (merge join).
 func (v Vector) AddScaled(u Vector, a float64) Vector {
-	for k, y := range u {
-		v[k] += a * y
-	}
-	return v
-}
-
-// Scale multiplies every entry of v by a in place and returns v.
-func (v Vector) Scale(a float64) Vector {
-	for k := range v {
-		v[k] *= a
-	}
-	return v
-}
-
-// Normalize scales v to unit L2 norm in place and returns v. The zero
-// vector is returned unchanged.
-func (v Vector) Normalize() Vector {
-	n := v.Norm()
-	if n == 0 {
-		return v
-	}
-	return v.Scale(1 / n)
-}
-
-// Prune removes entries with |weight| < eps, returning v. Pruning keeps
-// centroid vectors compact as they absorb many documents.
-func (v Vector) Prune(eps float64) Vector {
-	for k, x := range v {
-		if math.Abs(x) < eps {
-			delete(v, k)
+	ids := make([]TermID, 0, len(v.ids)+len(u.ids))
+	ws := make([]float64, 0, len(v.ids)+len(u.ids))
+	i, j := 0, 0
+	for i < len(v.ids) && j < len(u.ids) {
+		switch {
+		case v.ids[i] < u.ids[j]:
+			ids = append(ids, v.ids[i])
+			ws = append(ws, v.ws[i])
+			i++
+		case v.ids[i] > u.ids[j]:
+			ids = append(ids, u.ids[j])
+			ws = append(ws, a*u.ws[j])
+			j++
+		default:
+			ids = append(ids, v.ids[i])
+			ws = append(ws, v.ws[i]+a*u.ws[j])
+			i++
+			j++
 		}
 	}
-	return v
+	for ; i < len(v.ids); i++ {
+		ids = append(ids, v.ids[i])
+		ws = append(ws, v.ws[i])
+	}
+	for ; j < len(u.ids); j++ {
+		ids = append(ids, u.ids[j])
+		ws = append(ws, a*u.ws[j])
+	}
+	return makeVector(ids, ws)
+}
+
+// Scale returns a*v as a new vector.
+func (v Vector) Scale(a float64) Vector {
+	ws := make([]float64, len(v.ws))
+	for i, x := range v.ws {
+		ws[i] = a * x
+	}
+	return Vector{ids: v.ids, ws: ws, norm: math.Abs(a) * v.norm}
+}
+
+// Normalize returns v scaled to unit L2 norm. The zero vector is returned
+// unchanged.
+func (v Vector) Normalize() Vector {
+	if v.norm == 0 {
+		return v
+	}
+	return v.Scale(1 / v.norm)
+}
+
+// Prune returns v without entries of |weight| < eps. Pruning keeps
+// centroid vectors compact as they absorb many documents.
+func (v Vector) Prune(eps float64) Vector {
+	keep := 0
+	for _, x := range v.ws {
+		if math.Abs(x) >= eps {
+			keep++
+		}
+	}
+	if keep == len(v.ids) {
+		return v
+	}
+	ids := make([]TermID, 0, keep)
+	ws := make([]float64, 0, keep)
+	for i, x := range v.ws {
+		if math.Abs(x) >= eps {
+			ids = append(ids, v.ids[i])
+			ws = append(ws, x)
+		}
+	}
+	return makeVector(ids, ws)
 }
 
 // Top returns the n highest-weighted term IDs in descending weight order
 // (ties broken by TermID for determinism).
 func (v Vector) Top(n int) []TermID {
-	ids := make([]TermID, 0, len(v))
-	for k := range v {
-		ids = append(ids, k)
-	}
+	ids := append([]TermID(nil), v.ids...)
 	sort.Slice(ids, func(i, j int) bool {
-		wi, wj := v[ids[i]], v[ids[j]]
+		wi, wj := v.Get(ids[i]), v.Get(ids[j])
 		if wi != wj {
 			return wi > wj
 		}
@@ -210,7 +343,7 @@ func (v Vector) String(d *Dictionary, n int) string {
 		if i > 0 {
 			b.WriteByte(' ')
 		}
-		fmt.Fprintf(&b, "%s:%.2f", d.Term(id), v[id])
+		fmt.Fprintf(&b, "%s:%.2f", d.Term(id), v.Get(id))
 	}
 	b.WriteByte('}')
 	return b.String()
@@ -219,13 +352,13 @@ func (v Vector) String(d *Dictionary, n int) string {
 // Mean returns the centroid (arithmetic mean) of the given vectors. The
 // mean of no vectors is the empty vector.
 func Mean(vectors []Vector) Vector {
-	out := NewVector(0)
 	if len(vectors) == 0 {
-		return out
+		return Vector{}
 	}
+	b := NewBuilder()
 	inv := 1 / float64(len(vectors))
 	for _, v := range vectors {
-		out.AddScaled(v, inv)
+		b.AddScaled(v, inv)
 	}
-	return out
+	return b.Vector()
 }

@@ -4,6 +4,8 @@ import (
 	"math"
 	"testing"
 	"testing/quick"
+
+	"cbfww/internal/core"
 )
 
 func TestDictionaryRoundTrip(t *testing.T) {
@@ -41,11 +43,11 @@ func TestDictionaryTermPanics(t *testing.T) {
 }
 
 func vec(pairs ...float64) Vector {
-	v := NewVector(len(pairs) / 2)
+	b := NewBuilder()
 	for i := 0; i+1 < len(pairs); i += 2 {
-		v[TermID(pairs[i])] = pairs[i+1]
+		b.Set(TermID(pairs[i]), pairs[i+1])
 	}
-	return v
+	return b.Vector()
 }
 
 func TestVectorDotAndNorm(t *testing.T) {
@@ -62,6 +64,64 @@ func TestVectorDotAndNorm(t *testing.T) {
 	}
 }
 
+func TestVectorGet(t *testing.T) {
+	v := vec(3, 1.5, 9, 2.5)
+	if got := v.Get(3); got != 1.5 {
+		t.Errorf("Get(3) = %v", got)
+	}
+	if got := v.Get(9); got != 2.5 {
+		t.Errorf("Get(9) = %v", got)
+	}
+	if got := v.Get(4); got != 0 {
+		t.Errorf("Get(absent) = %v, want 0", got)
+	}
+	if v.Len() != 2 {
+		t.Errorf("Len = %d, want 2", v.Len())
+	}
+}
+
+func TestVectorForEachSorted(t *testing.T) {
+	v := vec(7, 1, 2, 2, 5, 3)
+	var ids []TermID
+	v.ForEach(func(id TermID, w float64) {
+		ids = append(ids, id)
+		if w != v.Get(id) {
+			t.Errorf("ForEach weight mismatch at %d", id)
+		}
+	})
+	for i := 1; i < len(ids); i++ {
+		if ids[i-1] >= ids[i] {
+			t.Fatalf("ForEach not in ascending TermID order: %v", ids)
+		}
+	}
+}
+
+func TestBuilderAccumulates(t *testing.T) {
+	b := NewBuilder()
+	b.Add(1, 2)
+	b.Add(1, 3)
+	b.Set(4, 7)
+	b.Add(9, 0) // exact zero must be dropped
+	b.AddScaled(vec(1, 1, 2, 10), 2)
+	v := b.Vector()
+	if got := v.Get(1); got != 7 {
+		t.Errorf("builder weight(1) = %v, want 7", got)
+	}
+	if got := v.Get(2); got != 20 {
+		t.Errorf("builder weight(2) = %v, want 20", got)
+	}
+	if got := v.Get(4); got != 7 {
+		t.Errorf("builder weight(4) = %v, want 7", got)
+	}
+	if v.Len() != 3 {
+		t.Errorf("Len = %d, want 3 (zero entry dropped)", v.Len())
+	}
+	top := b.Top(2)
+	if len(top) != 2 || top[0] != 2 {
+		t.Errorf("Builder.Top = %v", top)
+	}
+}
+
 func TestVectorCosine(t *testing.T) {
 	a := vec(0, 1)
 	if got := a.Cosine(a); math.Abs(got-1) > 1e-12 {
@@ -71,7 +131,7 @@ func TestVectorCosine(t *testing.T) {
 	if got := a.Cosine(b); got != 0 {
 		t.Errorf("orthogonal cosine = %v, want 0", got)
 	}
-	if got := a.Cosine(NewVector(0)); got != 0 {
+	if got := a.Cosine(Vector{}); got != 0 {
 		t.Errorf("cosine with zero vector = %v, want 0", got)
 	}
 }
@@ -90,32 +150,48 @@ func TestVectorDistance(t *testing.T) {
 	}
 }
 
-func TestVectorMutators(t *testing.T) {
+func TestVectorArithmetic(t *testing.T) {
 	v := vec(0, 1, 1, 2)
-	v.AddScaled(vec(1, 1, 2, 3), 2)
-	if v[0] != 1 || v[1] != 4 || v[2] != 6 {
-		t.Errorf("AddScaled = %v", v)
+	v = v.AddScaled(vec(1, 1, 2, 3), 2)
+	if v.Get(0) != 1 || v.Get(1) != 4 || v.Get(2) != 6 {
+		t.Errorf("AddScaled = %v/%v/%v", v.Get(0), v.Get(1), v.Get(2))
 	}
-	v.Scale(0.5)
-	if v[1] != 2 {
-		t.Errorf("Scale = %v", v)
+	v = v.Scale(0.5)
+	if v.Get(1) != 2 {
+		t.Errorf("Scale: weight(1) = %v", v.Get(1))
 	}
-	v.Normalize()
+	v = v.Normalize()
 	if math.Abs(v.Norm()-1) > 1e-12 {
 		t.Errorf("Normalize: norm = %v", v.Norm())
 	}
-	z := NewVector(0)
-	z.Normalize() // must not panic or NaN
+	z := Vector{}.Normalize() // must not panic or NaN
 	if z.Norm() != 0 {
 		t.Error("zero vector normalize changed norm")
 	}
 }
 
+// The arithmetic methods return new vectors; the receiver must be
+// unchanged (immutability is what makes sharing vectors across shards and
+// goroutines safe).
+func TestVectorImmutable(t *testing.T) {
+	v := vec(0, 1, 1, 2)
+	_ = v.AddScaled(vec(0, 5), 1)
+	_ = v.Scale(10)
+	_ = v.Normalize()
+	_ = v.Prune(10)
+	if v.Get(0) != 1 || v.Get(1) != 2 || math.Abs(v.Norm()-math.Sqrt(5)) > 1e-12 {
+		t.Errorf("receiver mutated: %v/%v norm %v", v.Get(0), v.Get(1), v.Norm())
+	}
+}
+
 func TestVectorPrune(t *testing.T) {
 	v := vec(0, 0.001, 1, 0.5, 2, -0.0001)
-	v.Prune(0.01)
-	if len(v) != 1 || v[1] != 0.5 {
-		t.Errorf("Prune = %v", v)
+	v = v.Prune(0.01)
+	if v.Len() != 1 || v.Get(1) != 0.5 {
+		t.Errorf("Prune: len %d, weight(1) %v", v.Len(), v.Get(1))
+	}
+	if math.Abs(v.Norm()-0.5) > 1e-12 {
+		t.Errorf("Prune must recompute the cached norm: %v", v.Norm())
 	}
 }
 
@@ -134,31 +210,22 @@ func TestVectorTopDeterministic(t *testing.T) {
 	}
 }
 
-func TestVectorClone(t *testing.T) {
-	v := vec(0, 1)
-	c := v.Clone()
-	c[0] = 99
-	if v[0] != 1 {
-		t.Error("Clone aliases original")
-	}
-}
-
 func TestMean(t *testing.T) {
 	m := Mean([]Vector{vec(0, 2), vec(0, 4, 1, 2)})
-	if m[0] != 3 || m[1] != 1 {
-		t.Errorf("Mean = %v", m)
+	if m.Get(0) != 3 || m.Get(1) != 1 {
+		t.Errorf("Mean = %v/%v", m.Get(0), m.Get(1))
 	}
-	if got := Mean(nil); len(got) != 0 {
-		t.Errorf("Mean(nil) = %v", got)
+	if got := Mean(nil); got.Len() != 0 {
+		t.Errorf("Mean(nil) has %d entries", got.Len())
 	}
 }
 
 func TestVectorString(t *testing.T) {
 	d := NewDictionary()
-	v := NewVector(2)
-	v[d.ID("kyoto")] = 0.8
-	v[d.ID("station")] = 0.4
-	got := v.String(d, 2)
+	b := NewBuilder()
+	b.Set(d.ID("kyoto"), 0.8)
+	b.Set(d.ID("station"), 0.4)
+	got := b.Vector().String(d, 2)
 	if got != "{kyoto:0.80 station:0.40}" {
 		t.Errorf("String = %q", got)
 	}
@@ -167,13 +234,14 @@ func TestVectorString(t *testing.T) {
 // Property: cosine similarity is always within [-1, 1] and symmetric.
 func TestCosineProperty(t *testing.T) {
 	f := func(xs, ys []uint8) bool {
-		a, b := NewVector(len(xs)), NewVector(len(ys))
+		ab, bb := NewBuilder(), NewBuilder()
 		for i, x := range xs {
-			a[TermID(i%17)] += float64(x)
+			ab.Add(TermID(i%17), float64(x))
 		}
 		for i, y := range ys {
-			b[TermID(i%17)] += float64(y)
+			bb.Add(TermID(i%17), float64(y))
 		}
+		a, b := ab.Vector(), bb.Vector()
 		c1, c2 := a.Cosine(b), b.Cosine(a)
 		return c1 >= -1 && c1 <= 1 && math.Abs(c1-c2) < 1e-9
 	}
@@ -186,16 +254,105 @@ func TestCosineProperty(t *testing.T) {
 func TestDistanceTriangleProperty(t *testing.T) {
 	f := func(xs, ys, zs []uint8) bool {
 		mk := func(s []uint8) Vector {
-			v := NewVector(len(s))
+			b := NewBuilder()
 			for i, x := range s {
-				v[TermID(i%11)] += float64(x)
+				b.Add(TermID(i%11), float64(x))
 			}
-			return v
+			return b.Vector()
 		}
 		a, b, c := mk(xs), mk(ys), mk(zs)
 		return a.Distance(c) <= a.Distance(b)+b.Distance(c)+1e-9
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Dot/Distance agree with a map-based reference implementation.
+func TestMergeJoinMatchesReference(t *testing.T) {
+	f := func(xs, ys []uint8) bool {
+		am, bm := map[TermID]float64{}, map[TermID]float64{}
+		ab, bb := NewBuilder(), NewBuilder()
+		for i, x := range xs {
+			if x == 0 {
+				continue
+			}
+			am[TermID(i%13)] += float64(x)
+			ab.Add(TermID(i%13), float64(x))
+		}
+		for i, y := range ys {
+			if y == 0 {
+				continue
+			}
+			bm[TermID(i%13)] += float64(y)
+			bb.Add(TermID(i%13), float64(y))
+		}
+		var dot, dist2 float64
+		for k, x := range am {
+			dot += x * bm[k]
+			d := x - bm[k]
+			dist2 += d * d
+		}
+		for k, y := range bm {
+			if _, ok := am[k]; !ok {
+				dist2 += y * y
+			}
+		}
+		a, b := ab.Vector(), bb.Vector()
+		return math.Abs(a.Dot(b)-dot) < 1e-6 &&
+			math.Abs(a.Distance(b)-math.Sqrt(dist2)) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSelectTop(t *testing.T) {
+	s := []Score{{Doc: 5, Value: 1}, {Doc: 1, Value: 3}, {Doc: 9, Value: 3}, {Doc: 2, Value: 0.5}, {Doc: 7, Value: 2}}
+	got := SelectTop(append([]Score(nil), s...), 3)
+	want := []Score{{Doc: 1, Value: 3}, {Doc: 9, Value: 3}, {Doc: 7, Value: 2}}
+	if len(got) != len(want) {
+		t.Fatalf("SelectTop len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("SelectTop[%d] = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	if got := SelectTop(append([]Score(nil), s...), 0); len(got) != 0 {
+		t.Errorf("SelectTop(0) len = %d", len(got))
+	}
+	all := SelectTop(append([]Score(nil), s...), -1)
+	if len(all) != len(s) || all[0].Doc != 1 || all[len(all)-1].Doc != 2 {
+		t.Errorf("SelectTop(-1) = %+v", all)
+	}
+	big := SelectTop(append([]Score(nil), s...), 100)
+	if len(big) != len(s) {
+		t.Errorf("SelectTop(100) len = %d", len(big))
+	}
+}
+
+// Property: bounded selection returns exactly the prefix of the full sort.
+func TestSelectTopMatchesSort(t *testing.T) {
+	f := func(vals []uint8, n uint8) bool {
+		s := make([]Score, len(vals))
+		for i, v := range vals {
+			s[i] = Score{Doc: core.ObjectID(i), Value: float64(v % 7)}
+		}
+		full := SelectTop(append([]Score(nil), s...), -1)
+		k := int(n) % (len(s) + 1)
+		got := SelectTop(append([]Score(nil), s...), k)
+		if len(got) != k {
+			return false
+		}
+		for i := range got {
+			if got[i] != full[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
 		t.Error(err)
 	}
 }

@@ -10,6 +10,7 @@
 package topic
 
 import (
+	"math"
 	"sort"
 	"sync"
 
@@ -29,8 +30,12 @@ type Manager struct {
 	mu   sync.RWMutex
 	dict *text.Dictionary
 	// weights is the importance of each term, accumulated from prioritized
-	// content and sensor bursts, decayed over time.
-	weights text.Vector
+	// content and sensor bursts, decayed over time. A mutable Builder (not
+	// an immutable Vector) because the model changes on every Learn.
+	weights text.Builder
+	// norm2 is the squared Euclidean norm of weights, maintained
+	// incrementally so Heat never has to scan the whole model.
+	norm2 float64
 	// cooc counts weighted co-occurrence between term pairs; kept sparse
 	// and pruned. Key is the lower TermID; value maps the higher TermID to
 	// accumulated weight.
@@ -45,9 +50,17 @@ func NewManager(dict *text.Dictionary) *Manager {
 	}
 	return &Manager{
 		dict:    dict,
-		weights: text.NewVector(0),
+		weights: text.NewBuilder(),
 		cooc:    make(map[text.TermID]map[text.TermID]float64),
 	}
+}
+
+// bump adds d to one term's weight and keeps norm2 in sync:
+// (w+d)² − w² = d·(2w + d).
+func (m *Manager) bump(id text.TermID, d float64) {
+	old := m.weights[id]
+	m.weights[id] = old + d
+	m.norm2 += d * (2*old + d)
 }
 
 // Learn folds a document vector into the term-importance model, weighted
@@ -60,7 +73,9 @@ func (m *Manager) Learn(vec text.Vector, priority core.Priority) {
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.weights.AddScaled(vec, float64(priority))
+	vec.ForEach(func(id text.TermID, w float64) {
+		m.bump(id, float64(priority)*w)
+	})
 	top := vec.Top(8)
 	for i := 0; i < len(top); i++ {
 		for j := i + 1; j < len(top); j++ {
@@ -71,7 +86,7 @@ func (m *Manager) Learn(vec text.Vector, priority core.Priority) {
 			if m.cooc[a] == nil {
 				m.cooc[a] = make(map[text.TermID]float64)
 			}
-			m.cooc[a][b] += float64(priority) * vec[top[i]] * vec[top[j]]
+			m.cooc[a][b] += float64(priority) * vec.Get(top[i]) * vec.Get(top[j])
 		}
 	}
 }
@@ -86,7 +101,7 @@ func (m *Manager) BoostTerm(term string, w float64) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for _, t := range terms {
-		m.weights[m.dict.ID(t)] += w
+		m.bump(m.dict.ID(t), w)
 	}
 }
 
@@ -96,11 +111,14 @@ func (m *Manager) BoostTerm(term string, w float64) {
 func (m *Manager) Heat(vec text.Vector) float64 {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
-	n := m.weights.Norm()
-	if n == 0 {
+	if m.norm2 <= 0 {
 		return 0
 	}
-	return vec.Dot(m.weights) / n
+	var dot float64
+	vec.ForEach(func(id text.TermID, w float64) {
+		dot += w * m.weights[id]
+	})
+	return dot / math.Sqrt(m.norm2)
 }
 
 // Decay multiplies all weights by factor in (0,1], dropping negligible
@@ -112,7 +130,18 @@ func (m *Manager) Decay(factor float64) {
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.weights.Scale(factor).Prune(1e-9)
+	for id, w := range m.weights {
+		w *= factor
+		if math.Abs(w) < 1e-9 {
+			delete(m.weights, id)
+		} else {
+			m.weights[id] = w
+		}
+	}
+	m.norm2 = 0
+	for _, w := range m.weights {
+		m.norm2 += w * w
+	}
 	for a, row := range m.cooc {
 		for b := range row {
 			row[b] *= factor

@@ -242,7 +242,13 @@ func (w *Warehouse) refetch(ctx context.Context, sh *shard, user, url string, st
 	st.anchors = anchorMap(p.Anchors)
 
 	// Content changed: re-index, capture version, refresh storage copy.
+	// A page already in the hot segment keeps its membership but needs the
+	// new content; no residency event fires for an in-place rewrite, so
+	// re-index it here (the shard lock is held).
 	w.index.Index(st.physID, p.Title+"\n"+p.Body)
+	if st.inHotIndex {
+		sh.hotIndex.Index(st.physID, p.Title+"\n"+p.Body)
+	}
 	if err := w.history.Capture(url, version.Snapshot{
 		Version: p.Version, Time: w.clock.Now(),
 		Title: p.Title, Body: p.Body, Size: p.Size,
@@ -314,7 +320,11 @@ func (w *Warehouse) admitNew(sh *shard, user, url string, fr simweb.FetchResult,
 	// Storage: container + components enter with the page's priority. The
 	// page is published to the shard map only afterwards, so cross-shard
 	// sweeps (tertiary clustering, priority application) never see a page
-	// whose container the Storage Manager does not know yet.
+	// whose container the Storage Manager does not know yet. The event
+	// route is registered first — Admit's placement pass emits the first
+	// residency events, and the shard lock held here parks their
+	// application until the page is published below.
+	w.pageOfContainer.Store(container.ID, url)
 	if err := w.store.Admit(container.ID, sizeOrOne(p.Size), p.Version, prio); err != nil && !errors.Is(err, core.ErrExists) {
 		return GetResult{}, err
 	}

@@ -1,8 +1,6 @@
 package warehouse
 
 import (
-	"sort"
-
 	"cbfww/internal/core"
 	"cbfww/internal/storage"
 	"cbfww/internal/text"
@@ -17,12 +15,24 @@ import (
 // cannot satisfy the request.
 //
 // The hot index is segmented by shard: each stripe maintains the segment
-// covering its own pages, so membership sync takes one shard lock at a
+// covering its own pages, so membership updates take one shard lock at a
 // time and a search fans out over the segments and merges. Scores come
 // from per-segment statistics (each segment computes IDF over its own
 // document population), so a merged ranking can deviate slightly from a
 // single unified index — an accepted property of every sharded search
 // system; the full disk index still provides globally consistent scoring.
+//
+// Membership is maintained event-driven rather than by sweeping: the
+// Storage Manager coalesces every memory-tier residency change into a
+// dirty set stamped with a generation counter, and the warehouse drains
+// that set — touching only the affected pages' shards — before serving a
+// tiered read. When nothing moved since the last drain, the generation
+// comparison alone (two atomic loads) proves the segments current and the
+// read proceeds with no locks and no page sweep at all. Events are
+// idempotent "re-check this object" notices: the drain re-reads current
+// residency per ID, so coalesced, reordered or repeated notices all
+// converge on the same membership a from-scratch re-derivation would
+// produce.
 
 // TieredSearchResult reports how a search was served.
 type TieredSearchResult struct {
@@ -33,34 +43,62 @@ type TieredSearchResult struct {
 	Latency core.Duration
 }
 
-// syncHotIndex re-derives every shard's hot-segment membership from the
-// memory tier's current residents, one shard lock at a time.
-func (w *Warehouse) syncHotIndex() {
-	resident := make(map[core.ObjectID]bool)
-	for _, id := range w.store.ResidentIDs(storage.Memory) {
-		resident[id] = true
+// maintainHotIndex brings every shard's hot segment up to date with the
+// memory tier by applying the pending residency events. The fast path —
+// nothing changed — is two atomic loads.
+func (w *Warehouse) maintainHotIndex() {
+	if w.hotGen.Load() == w.store.MemoryResidencyGen() {
+		return
 	}
-	for _, sh := range w.shards {
-		sh.mu.Lock()
-		for url, st := range sh.pages {
-			hot := resident[st.container]
-			if hot == st.inHotIndex {
-				continue
-			}
-			if hot {
-				if snap, ok := w.history.Latest(url); ok {
-					if m, err := w.history.Materialize(snap); err == nil {
-						snap = m
-					}
-					sh.hotIndex.Index(st.physID, snap.Title+"\n"+snap.Body)
-					st.inHotIndex = true
-				}
-			} else {
-				sh.hotIndex.Remove(st.physID)
-				st.inHotIndex = false
-			}
+	w.hotMaintMu.Lock()
+	defer w.hotMaintMu.Unlock()
+	if w.hotGen.Load() == w.store.MemoryResidencyGen() {
+		return // another reader drained while we waited
+	}
+	ids, gen := w.store.DrainMemoryChanges()
+	for _, id := range ids {
+		w.applyHotEvent(id)
+	}
+	// Changes that raced past the drain re-raise the generation and are
+	// picked up by the next maintenance pass.
+	w.hotGen.Store(gen)
+}
+
+// applyHotEvent reconciles one object's hot-segment membership with its
+// current memory residency. Only page containers are indexed; events for
+// component objects (images, scripts) fall out at the routing lookup.
+func (w *Warehouse) applyHotEvent(id core.ObjectID) {
+	v, ok := w.pageOfContainer.Load(id)
+	if !ok {
+		return
+	}
+	url := v.(string)
+	sh := w.shardOf(url)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	st := sh.pages[url]
+	if st == nil || st.container != id {
+		// The mapping is registered before the page is published to the
+		// shard map, and admission holds the shard lock across both, so a
+		// nil entry here means the admission failed after storage had
+		// already placed the object; nothing to index.
+		return
+	}
+	hot := w.store.ResidentAt(id, storage.Memory)
+	if hot == st.inHotIndex {
+		return
+	}
+	if !hot {
+		sh.hotIndex.Remove(st.physID)
+		st.inHotIndex = false
+		return
+	}
+	if snap, ok := w.history.Latest(url); ok {
+		if m, err := w.history.Materialize(snap); err == nil {
+			snap = m
 		}
-		sh.mu.Unlock()
+		sh.hotIndex.Index(st.physID, snap.Title+"\n"+snap.Body)
+		st.inHotIndex = true
 	}
 }
 
@@ -70,25 +108,28 @@ func (w *Warehouse) syncHotIndex() {
 // results. The returned latency uses the storage configuration's tier
 // costs.
 func (w *Warehouse) SearchTiered(query string, n int) TieredSearchResult {
-	w.syncHotIndex()
+	w.maintainHotIndex()
 
 	var merged []text.Score
-	for _, sh := range w.shards {
-		// The segment indexes are internally synchronized; no shard lock
-		// is needed to search them.
-		merged = append(merged, sh.hotIndex.Search(query, n)...)
-	}
-	sort.Slice(merged, func(i, j int) bool {
-		if merged[i].Value != merged[j].Value {
-			return merged[i].Value > merged[j].Value
+	if terms := text.Terms(query); len(terms) > 0 {
+		// Each segment contributes at most one Score per document it
+		// holds, so the total hot-document count sizes the candidate
+		// buffer exactly once.
+		hint := 0
+		for _, sh := range w.shards {
+			hint += sh.hotIndex.NumDocs()
 		}
-		return merged[i].Doc < merged[j].Doc
-	})
+		merged = make([]text.Score, 0, hint)
+		for _, sh := range w.shards {
+			// The segment indexes are internally synchronized; no shard
+			// lock is needed to search them. The query is parsed once and
+			// every segment appends into the same candidate buffer.
+			merged = sh.hotIndex.AppendSearch(merged, terms)
+		}
+	}
+	merged = text.SelectTop(merged, n)
 	if len(merged) >= n {
 		w.indexMemProbes.Add(1)
-		if n >= 0 && n < len(merged) {
-			merged = merged[:n]
-		}
 		return TieredSearchResult{
 			Scores:  merged,
 			Tier:    storage.Memory,
@@ -106,7 +147,7 @@ func (w *Warehouse) SearchTiered(query string, n int) TieredSearchResult {
 // HotIndexSize returns how many pages the memory-resident detailed index
 // currently covers, over all shard segments.
 func (w *Warehouse) HotIndexSize() int {
-	w.syncHotIndex()
+	w.maintainHotIndex()
 	n := 0
 	for _, sh := range w.shards {
 		n += sh.hotIndex.NumDocs()

@@ -277,6 +277,18 @@ type Warehouse struct {
 	// outside the shard sweeps.
 	indexMemProbes  atomic.Int64
 	indexDiskProbes atomic.Int64
+
+	// pageOfContainer routes storage residency events (container object ID)
+	// back to the owning page URL, and thus to the shard whose hot segment
+	// must change. Entries are registered before the container is admitted
+	// to storage so no event can precede its route.
+	pageOfContainer sync.Map // core.ObjectID -> string (URL)
+	// hotGen is the storage memory-residency generation the hot segments
+	// currently reflect; when it matches the Storage Manager's counter the
+	// segments are provably current and tiered reads skip maintenance
+	// entirely. hotMaintMu serializes the drain itself.
+	hotGen     atomic.Uint64
+	hotMaintMu sync.Mutex
 }
 
 // New assembles a warehouse over the given (simulated) web.
