@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench bench-read tables serve faults soak fuzz examples clean
+.PHONY: all build test race cover bench bench-read bench-store test-disk tables serve faults soak fuzz examples clean
 
 all: build test
 
@@ -28,6 +28,17 @@ bench:
 # allocation-light top-k). Paste the output over the table when it moves.
 bench-read:
 	$(GO) test -bench Populated -benchmem -benchtime=2s -run '^$$' .
+
+# Storage-tier microbenchmarks: Fetch cost per serving tier, for both the
+# all-in-heap backends and the real file-backed ones — the numbers behind
+# bench_tables.txt's "storage engine" table.
+bench-store:
+	$(GO) test -bench AccessByTier -benchmem -benchtime=2s -run '^$$' ./internal/storage/
+
+# The storage and warehouse suites against real file-backed tiers (what
+# the storage-disk CI job runs).
+test-disk:
+	CBFWW_DISK_TIER=1 $(GO) test -race ./internal/storage/... ./internal/warehouse/...
 
 # Paper tables via the CLI (same experiments, readable output).
 tables:

@@ -12,9 +12,16 @@
 //
 //	cbfww-serve -origin 127.0.0.1:9000
 //
-// Endpoints: GET /fetch?url=, POST /query, GET /search, GET /recommend,
-// GET /stats, GET /healthz. SIGINT/SIGTERM shut down gracefully, draining
-// in-flight requests.
+// With -data-dir the storage tiers are file-backed and durable: shutdown
+// checkpoints the placement manifest, version history and page catalog,
+// and the next start rehydrates them, serving previously admitted pages
+// without contacting the origin:
+//
+//	cbfww-serve -data-dir /var/tmp/cbfww
+//
+// Endpoints: GET /fetch?url=, GET /body?url=, POST /query, GET /search,
+// GET /recommend, GET /stats, GET /healthz. SIGINT/SIGTERM shut down
+// gracefully, draining in-flight requests and flushing durable state.
 package main
 
 import (
@@ -44,6 +51,7 @@ type options struct {
 	sites, pages  int
 	seed          int64
 	schemaFile    string
+	dataDir       string
 	origin        string
 	workers       int
 	shards        int
@@ -84,6 +92,10 @@ func build(opts options) (*daemon, error) {
 	cfg := warehouse.DefaultConfig()
 	cfg.Miner.MinSupport = 2
 	cfg.Shards = opts.shards
+	// -data-dir makes the tiers real: disk and tertiary bytes live under
+	// it, and the daemon checkpoints on shutdown / rehydrates on start.
+	// Empty keeps every tier in the heap (the simulation shape).
+	cfg.DataDir = opts.dataDir
 	if opts.schemaFile != "" {
 		text, err := os.ReadFile(opts.schemaFile)
 		if err != nil {
@@ -155,6 +167,11 @@ func build(opts options) (*daemon, error) {
 	if err != nil {
 		return nil, err
 	}
+	if restored, err := wh.Rehydrate(); err != nil {
+		return nil, err
+	} else if restored > 0 {
+		log.Printf("rehydrated %d pages from %s", restored, opts.dataDir)
+	}
 	srv, err := gateway.New(gateway.Config{
 		Addr:         opts.addr,
 		FetchWorkers: opts.workers,
@@ -202,14 +219,24 @@ func (d *daemon) start() error {
 	return nil
 }
 
-// shutdown drains in-flight requests and stops the maintenance loop.
+// shutdown drains in-flight requests, stops the maintenance loop, then
+// flushes the warehouse's durable state: a final backup pass plus the
+// storage manifest, version history and page catalog (Checkpoint), and a
+// sync/close of the file-backed tiers. A daemon without -data-dir has
+// nothing durable; Checkpoint and Close are then no-ops.
 func (d *daemon) shutdown(ctx context.Context) error {
 	if d.stopMaintain != nil {
 		close(d.stopMaintain)
 		<-d.maintainDone
 		d.stopMaintain = nil
 	}
-	return d.srv.Shutdown(ctx)
+	if err := d.srv.Shutdown(ctx); err != nil {
+		return err
+	}
+	if err := d.wh.Checkpoint(); err != nil {
+		return err
+	}
+	return d.wh.Close()
 }
 
 func main() {
@@ -219,6 +246,7 @@ func main() {
 	flag.IntVar(&opts.pages, "pages", 25, "pages per site (in-process origin)")
 	flag.Int64Var(&opts.seed, "seed", 1, "random seed for the synthetic web")
 	flag.StringVar(&opts.schemaFile, "schema", "", "storage schema definition file (see internal/schema)")
+	flag.StringVar(&opts.dataDir, "data-dir", "", "root for durable state (file-backed disk/tertiary tiers, checkpoints); empty = all tiers in heap")
 	flag.StringVar(&opts.origin, "origin", "", "fetch through real HTTP, resolving all hosts to this host:port")
 	flag.IntVar(&opts.workers, "workers", 32, "max concurrent origin fetches")
 	flag.IntVar(&opts.shards, "shards", 0, "warehouse lock stripes (0 = GOMAXPROCS)")

@@ -178,3 +178,100 @@ func TestServeMaintenanceLoop(t *testing.T) {
 		t.Fatal("maintenance loop not cleared after shutdown")
 	}
 }
+
+// TestServeRestartSmoke proves the durability story over a real socket:
+// a daemon with -data-dir admits a page, shuts down (checkpointing its
+// durable state), and a second daemon over the same directory serves the
+// same page as a warehouse hit — no origin fetch.
+func TestServeRestartSmoke(t *testing.T) {
+	opts := options{
+		addr:         "127.0.0.1:0",
+		sites:        3,
+		pages:        8,
+		seed:         1,
+		workers:      4,
+		dataDir:      t.TempDir(),
+		fetchTimeout: 5 * time.Second,
+	}
+	d, err := build(opts)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	if err := d.start(); err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	client := &http.Client{Timeout: 10 * time.Second}
+	url := d.urls[0]
+
+	type fetchView struct {
+		Body   string `json:"body"`
+		Hit    bool   `json:"hit"`
+		Source string `json:"source"`
+	}
+	fetchOnce := func(d *daemon) fetchView {
+		t.Helper()
+		resp, err := client.Get("http://" + d.srv.Addr() + "/fetch?url=" + url)
+		if err != nil {
+			t.Fatalf("fetch: %v", err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("fetch = %d (%s)", resp.StatusCode, body)
+		}
+		var fr fetchView
+		if err := json.Unmarshal(body, &fr); err != nil {
+			t.Fatalf("fetch decode: %v (%q)", err, body)
+		}
+		return fr
+	}
+
+	first := fetchOnce(d)
+	if first.Source != "origin" || first.Body == "" {
+		t.Fatalf("cold fetch: %+v", first)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := d.shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+
+	// Second life over the same directory: the page must be served from
+	// the warehouse tiers, never the origin.
+	d2, err := build(opts)
+	if err != nil {
+		t.Fatalf("rebuild: %v", err)
+	}
+	if err := d2.start(); err != nil {
+		t.Fatalf("restart: %v", err)
+	}
+	second := fetchOnce(d2)
+	if !second.Hit || second.Source == "origin" {
+		t.Errorf("restarted fetch: Hit=%v Source=%q, want a warehouse hit", second.Hit, second.Source)
+	}
+	if second.Body != first.Body {
+		t.Errorf("restarted body differs from admitted body")
+	}
+	if n := d2.wh.Stats().OriginFetches; n != 0 {
+		t.Errorf("restarted daemon performed %d origin fetches", n)
+	}
+
+	// The /body endpoint streams the same bytes with tier metadata.
+	resp, err := client.Get("http://" + d2.srv.Addr() + "/body?url=" + url)
+	if err != nil {
+		t.Fatalf("body: %v", err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || string(raw) != first.Body {
+		t.Fatalf("body = %d %q", resp.StatusCode, raw)
+	}
+	if src := resp.Header.Get("X-CBFWW-Source"); src == "" || src == "origin" {
+		t.Errorf("body X-CBFWW-Source = %q, want a tier name", src)
+	}
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel2()
+	if err := d2.shutdown(ctx2); err != nil {
+		t.Fatalf("shutdown 2: %v", err)
+	}
+}

@@ -39,6 +39,17 @@ func NewIDAllocator() *IDAllocator { return &IDAllocator{} }
 // Next returns a fresh, never-before-returned ObjectID.
 func (a *IDAllocator) Next() ObjectID { return ObjectID(a.last.Add(1)) }
 
+// Bump raises the allocator's high-water mark to at least id, so that
+// objects restored with persisted IDs never collide with fresh ones.
+func (a *IDAllocator) Bump(id ObjectID) {
+	for {
+		cur := a.last.Load()
+		if cur >= uint64(id) || a.last.CompareAndSwap(cur, uint64(id)) {
+			return
+		}
+	}
+}
+
 // Time is a point on the simulation timeline. The unit is abstract "ticks";
 // workload generators conventionally use one tick per second so that a
 // month-long trace spans ~2.6 million ticks, but nothing in the system

@@ -129,7 +129,7 @@ func F6LogicalContent() Table {
 			Body: "platform schedule transfer gates", Size: 1},
 	}
 	for _, p := range pages {
-		if _, err := b.AddPhysicalPage(p); err != nil {
+		if _, err := b.AddPhysicalPage(p, nil); err != nil {
 			panic(err)
 		}
 	}
@@ -161,8 +161,8 @@ func F6LogicalContent() Table {
 	for _, p := range pages {
 		corpus.Add(p.Title + "\n" + p.Body)
 	}
-	vt := corpus.WeightedVector(tourist.Title, tourist.Body, 3)
-	vb := corpus.WeightedVector(business.Title, business.Body, 3)
+	vt := corpus.WeightedVector(tourist.Title, tourist.BodyText(), 3)
+	vb := corpus.WeightedVector(business.Title, business.BodyText(), 3)
 	cross := vt.Cosine(vb)
 
 	t := Table{
@@ -171,7 +171,7 @@ func F6LogicalContent() Table {
 	}
 	t.AddRow("tourist path", tourist.Title)
 	t.AddRow("business path", business.Title)
-	t.AddNote("both paths share terminal body %q", tourist.Body)
+	t.AddNote("both paths share terminal body %q", tourist.BodyText())
 	t.AddNote("cosine(tourist, business) = %.3f — same terminal, distinguishable perspectives (omega=3)", cross)
 	return t
 }

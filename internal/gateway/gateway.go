@@ -20,6 +20,7 @@
 // Endpoints:
 //
 //	GET  /fetch?url=U[&user=X]   fetch-through with admission
+//	GET  /body?url=U[&user=X]    fetch-through, raw body streamed (metadata in headers)
 //	POST /query                  popularity-aware query (§4.3); body = query text or form q=
 //	GET  /search?q=T[&n=K]       ranked retrieval through the index hierarchy
 //	GET  /recommend?user=X[&n=K] content suggestions
@@ -138,6 +139,7 @@ func New(cfg Config, wh *warehouse.Warehouse) (*Server, error) {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /fetch", s.instrument("fetch", s.handleFetch))
+	mux.HandleFunc("GET /body", s.instrument("body", s.handleBody))
 	mux.HandleFunc("POST /query", s.instrument("query", s.handleQuery))
 	mux.HandleFunc("GET /search", s.instrument("search", s.handleSearch))
 	mux.HandleFunc("GET /recommend", s.instrument("recommend", s.handleRecommend))
@@ -345,6 +347,36 @@ func (s *Server) handleFetch(w http.ResponseWriter, r *http.Request) {
 		Priority:     float64(res.Priority),
 		Stale:        res.Stale,
 	})
+}
+
+// handleBody streams the page body itself — the bytes the storage tiers
+// hold — instead of a JSON envelope. Serving metadata rides in headers:
+// X-CBFWW-Source (tier name or "origin"), X-CBFWW-Version, and
+// X-CBFWW-Stale on degraded serves. It shares /fetch's full fetch-through
+// path, so a cold URL is admitted exactly as if fetched.
+func (s *Server) handleBody(w http.ResponseWriter, r *http.Request) {
+	url := r.URL.Query().Get("url")
+	if url == "" {
+		writeError(w, fmt.Errorf("gateway: %w: missing url parameter", core.ErrInvalid))
+		return
+	}
+	res, err := s.wh.GetCtx(r.Context(), r.URL.Query().Get("user"), url)
+	if err != nil {
+		var open *resilience.BreakerOpenError
+		if errors.As(err, &open) {
+			w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(open.RetryAfter)))
+		}
+		writeError(w, err)
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", "text/plain; charset=utf-8")
+	h.Set("X-CBFWW-Source", res.Source)
+	h.Set("X-CBFWW-Version", strconv.Itoa(res.Page.Version))
+	if res.Stale {
+		h.Set("X-CBFWW-Stale", "1")
+	}
+	io.WriteString(w, res.Page.Body)
 }
 
 // QueryRow is one /query result row: the projected values in SELECT order,

@@ -23,10 +23,21 @@ func NewBuilder(h *Hierarchy) *Builder { return &Builder{H: h} }
 // Concurrent builders may race a ByKey miss against each other; the loser's
 // Add fails with ErrExists, in which case the winner's object is returned.
 func (b *Builder) getOrAdd(kind Kind, key string, size core.Bytes, title, body string) (*Object, error) {
+	return b.getOrAddLoaded(kind, key, size, title, body, nil)
+}
+
+// getOrAddLoaded is getOrAdd with an optional lazy body loader.
+func (b *Builder) getOrAddLoaded(kind Kind, key string, size core.Bytes, title, body string, loader BodyLoader) (*Object, error) {
 	if existing, ok := b.H.ByKey(kind, key); ok {
 		return existing, nil
 	}
-	o, err := b.H.Add(kind, key, size, title, body)
+	var o *Object
+	var err error
+	if loader != nil {
+		o, err = b.H.AddWithLoader(kind, key, size, title, loader)
+	} else {
+		o, err = b.H.Add(kind, key, size, title, body)
+	}
 	if err == nil {
 		return o, nil
 	}
@@ -42,18 +53,27 @@ func (b *Builder) getOrAdd(kind Kind, key string, size core.Bytes, title, body s
 // with its container and component raw objects, linking them. Re-adding an
 // existing page returns the existing object (idempotent admission), but
 // newly appearing components are still linked.
-func (b *Builder) AddPhysicalPage(p *simweb.Page) (*Object, error) {
+//
+// With a non-nil loader, the physical page and its container raw object
+// resolve their bodies through it (the storage hierarchy) rather than
+// pinning the fetched string in the heap; a nil loader keeps the body
+// inline, preserving the fully-in-heap shape.
+func (b *Builder) AddPhysicalPage(p *simweb.Page, loader BodyLoader) (*Object, error) {
 	if existing, ok := b.H.ByKey(KindPhysical, p.URL); ok {
 		return existing, nil
 	}
+	body := p.Body
+	if loader != nil {
+		body = ""
+	}
 	// The physical page's size is the whole visual unit: container plus
 	// components (the paper's queries filter on p.size).
-	phys, err := b.getOrAdd(KindPhysical, p.URL, p.TotalSize(), p.Title, p.Body)
+	phys, err := b.getOrAddLoaded(KindPhysical, p.URL, p.TotalSize(), p.Title, body, loader)
 	if err != nil {
 		return nil, err
 	}
 	// Container raw object carries the page's own size and content.
-	container, err := b.getOrAdd(KindRaw, p.URL, p.Size, p.Title, p.Body)
+	container, err := b.getOrAddLoaded(KindRaw, p.URL, p.Size, p.Title, body, loader)
 	if err != nil {
 		return nil, err
 	}
@@ -127,7 +147,7 @@ func (b *Builder) AddLogicalPage(steps []PathStep) (*Object, error) {
 	titleParts = append(titleParts, terminal.Title)
 	title := strings.Join(titleParts, ", ")
 
-	logical, err := b.getOrAdd(KindLogical, key, 0, title, terminal.Body)
+	logical, err := b.getOrAdd(KindLogical, key, 0, title, terminal.BodyText())
 	if err != nil {
 		return nil, err
 	}

@@ -54,6 +54,13 @@ func (k Kind) String() string {
 // Valid reports whether k names a real level.
 func (k Kind) Valid() bool { return k >= KindRaw && k < numKinds }
 
+// BodyLoader resolves an object's body on demand — the handle pages carry
+// instead of an inline string once payload bytes live in the Storage
+// Manager's tier backends rather than the heap. Loaders must be safe for
+// concurrent use and must not call back into the Hierarchy that owns the
+// object's shard-level locks.
+type BodyLoader func() (string, error)
+
 // Object is one node of the hierarchy.
 type Object struct {
 	ID   core.ObjectID
@@ -64,21 +71,39 @@ type Object struct {
 	Key string
 	// Title and Body hold the indexable content. For a logical page they
 	// are the §5.3 assembly (anchor texts + terminal title; terminal body).
+	// Objects created with a loader keep Body empty and resolve it lazily
+	// through BodyText.
 	Title, Body string
 	// Size is the storage footprint of the object itself (container file
 	// for physical pages — component sizes live on the components).
 	Size core.Bytes
+	// loader, when set, resolves the body from the storage hierarchy.
+	// Immutable after creation, so reads need no lock.
+	loader BodyLoader
+}
+
+// BodyText returns the object's body, resolving the lazy loader when one
+// is set (falling back to the inline Body if the load fails — callers on
+// degraded paths prefer stale text over none).
+func (o *Object) BodyText() string {
+	if o.loader != nil {
+		if body, err := o.loader(); err == nil {
+			return body
+		}
+	}
+	return o.Body
 }
 
 // Content returns the indexable text of the object.
 func (o *Object) Content() string {
+	body := o.BodyText()
 	if o.Title == "" {
-		return o.Body
+		return body
 	}
-	if o.Body == "" {
+	if body == "" {
 		return o.Title
 	}
-	return o.Title + "\n" + o.Body
+	return o.Title + "\n" + body
 }
 
 // Hierarchy is the containment graph over objects. Safe for concurrent
@@ -111,6 +136,29 @@ func NewHierarchy() *Hierarchy {
 // Add inserts a new object of the given kind and returns it. The key must
 // be unique within the kind.
 func (h *Hierarchy) Add(kind Kind, key string, size core.Bytes, title, body string) (*Object, error) {
+	return h.add(kind, key, core.InvalidID, size, title, body, nil)
+}
+
+// AddWithLoader inserts a new object whose body is resolved lazily
+// through loader instead of being held inline — the shape the warehouse
+// uses for pages whose payload lives in the storage tiers.
+func (h *Hierarchy) AddWithLoader(kind Kind, key string, size core.Bytes, title string, loader BodyLoader) (*Object, error) {
+	return h.add(kind, key, core.InvalidID, size, title, "", loader)
+}
+
+// Restore re-inserts an object under its persisted ID — the rehydration
+// path after a process restart, where storage placements and catalogs
+// reference the IDs of a previous life. The allocator's high-water mark
+// is bumped past the ID so future fresh objects cannot collide. An ID or
+// key already in use is an error.
+func (h *Hierarchy) Restore(kind Kind, key string, id core.ObjectID, size core.Bytes, title string, loader BodyLoader) (*Object, error) {
+	if !id.Valid() {
+		return nil, fmt.Errorf("object: restore %s %q: %w: invalid id", kind, key, core.ErrInvalid)
+	}
+	return h.add(kind, key, id, size, title, "", loader)
+}
+
+func (h *Hierarchy) add(kind Kind, key string, id core.ObjectID, size core.Bytes, title, body string, loader BodyLoader) (*Object, error) {
 	if !kind.Valid() {
 		return nil, fmt.Errorf("object: %w: kind %d", core.ErrInvalid, int(kind))
 	}
@@ -125,13 +173,22 @@ func (h *Hierarchy) Add(kind Kind, key string, size core.Bytes, title, body stri
 	if _, dup := h.byKey[kind][key]; dup {
 		return nil, fmt.Errorf("object: %s %q: %w", kind, key, core.ErrExists)
 	}
+	if id == core.InvalidID {
+		id = h.alloc.Next()
+	} else {
+		if _, taken := h.objects[id]; taken {
+			return nil, fmt.Errorf("object: restore %s %q: id %v: %w", kind, key, id, core.ErrExists)
+		}
+		h.alloc.Bump(id)
+	}
 	o := &Object{
-		ID:    h.alloc.Next(),
-		Kind:  kind,
-		Key:   key,
-		Title: title,
-		Body:  body,
-		Size:  size,
+		ID:     id,
+		Kind:   kind,
+		Key:    key,
+		Title:  title,
+		Body:   body,
+		Size:   size,
+		loader: loader,
 	}
 	h.objects[o.ID] = o
 	h.byKey[kind][key] = o.ID

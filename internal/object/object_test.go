@@ -237,7 +237,7 @@ func TestBuilderAddPhysicalPage(t *testing.T) {
 			{URL: "http://a/map.png", Size: 30 * core.KB},
 		},
 	}
-	phys, err := b.AddPhysicalPage(page)
+	phys, err := b.AddPhysicalPage(page, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -253,7 +253,7 @@ func TestBuilderAddPhysicalPage(t *testing.T) {
 		t.Errorf("container = %+v", container)
 	}
 	// Idempotent re-add.
-	again, err := b.AddPhysicalPage(page)
+	again, err := b.AddPhysicalPage(page, nil)
 	if err != nil || again.ID != phys.ID {
 		t.Errorf("re-add = %+v, %v", again, err)
 	}
@@ -266,7 +266,7 @@ func TestBuilderAddPhysicalPage(t *testing.T) {
 		URL: "http://a/y.html", Title: "Y", Body: "b", Size: core.KB,
 		Components: []simweb.Component{{URL: "http://a/img.png", Size: 20 * core.KB}},
 	}
-	if _, err := b.AddPhysicalPage(page2); err != nil {
+	if _, err := b.AddPhysicalPage(page2, nil); err != nil {
 		t.Fatal(err)
 	}
 	img, _ := h.ByKey(KindRaw, "http://a/img.png")
@@ -286,7 +286,7 @@ func TestBuilderAddLogicalPageKyotoExample(t *testing.T) {
 		{URL: "http://k/station.html", Title: "Access to the Shinkansen superexpress", Body: "platform 11 schedule", Size: core.KB},
 	}
 	for _, p := range pages {
-		if _, err := b.AddPhysicalPage(p); err != nil {
+		if _, err := b.AddPhysicalPage(p, nil); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -340,7 +340,7 @@ func TestBuilderAddRegion(t *testing.T) {
 	h := NewHierarchy()
 	b := NewBuilder(h)
 	p := &simweb.Page{URL: "http://a/x", Title: "T", Body: "B", Size: core.KB}
-	if _, err := b.AddPhysicalPage(p); err != nil {
+	if _, err := b.AddPhysicalPage(p, nil); err != nil {
 		t.Fatal(err)
 	}
 	logi, err := b.AddLogicalPage([]PathStep{{URL: "http://a/x"}})

@@ -242,7 +242,7 @@ func (ex *executor) fieldValue(o *object.Object, field string) (Value, error) {
 	case "title":
 		return Value{Kind: ValStr, Str: o.Title}, nil
 	case "body":
-		return Value{Kind: ValStr, Str: o.Body}, nil
+		return Value{Kind: ValStr, Str: o.BodyText()}, nil
 	case "size":
 		return Value{Kind: ValNum, Num: int64(o.Size)}, nil
 	case "url":

@@ -24,7 +24,7 @@ func builderSource(t *testing.T) *fakeSource {
 		{URL: "http://s/c", Title: "Gamma notes", Body: "gamma", Size: 500},
 	}
 	for _, p := range pages {
-		if _, err := b.AddPhysicalPage(p); err != nil {
+		if _, err := b.AddPhysicalPage(p, nil); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -1,0 +1,166 @@
+package storage
+
+import (
+	"fmt"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"cbfww/internal/core"
+)
+
+// BlobKey names one stored blob: an object's content at a specific
+// version, either the full body or its levels-of-detail summary. A tier
+// backend may hold several versions of the same object transiently (the
+// manager deletes superseded keys as it goes), so the version is part of
+// the identity, not an attribute.
+type BlobKey struct {
+	ID      core.ObjectID
+	Version int
+	Summary bool
+}
+
+// String renders the key the way the disk store names its files.
+func (k BlobKey) String() string {
+	s := fmt.Sprintf("%d-v%d", uint64(k.ID), k.Version)
+	if k.Summary {
+		s += ".s"
+	}
+	return s
+}
+
+// BlobStore is one tier's byte store. Implementations are safe for
+// concurrent use; the manager serializes placement but lets reads overlap.
+//
+// Get and Put transfer ownership conservatively: Put may retain the slice
+// it is given (callers must not mutate it afterwards) and callers must not
+// mutate a slice returned by Get.
+type BlobStore interface {
+	// Put stores data under k, replacing any previous blob with that key.
+	Put(k BlobKey, data []byte) error
+	// Get returns the blob stored under k, or core.ErrNotFound.
+	Get(k BlobKey) ([]byte, error)
+	// Delete removes k. Deleting an absent key is a no-op.
+	Delete(k BlobKey) error
+	// Contains reports whether k is stored.
+	Contains(k BlobKey) bool
+	// Keys lists every stored key in unspecified order.
+	Keys() []BlobKey
+	// Len returns the number of stored blobs.
+	Len() int
+	// Sync flushes buffered state to stable storage.
+	Sync() error
+	// Close releases file handles. The store is unusable afterwards.
+	Close() error
+}
+
+// compacter is implemented by backends that reclaim garbage (the segment
+// store); the manager pokes it from Backup, the paper's periodic process.
+type compacter interface {
+	MaybeCompact() error
+}
+
+// memStore is the in-heap BlobStore: a mutex-guarded map. It backs the
+// memory tier always, and every tier in all-in-heap mode (empty DataDir).
+type memStore struct {
+	mu sync.RWMutex
+	m  map[BlobKey][]byte
+}
+
+func newMemStore() *memStore {
+	return &memStore{m: make(map[BlobKey][]byte)}
+}
+
+func (s *memStore) Put(k BlobKey, data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m[k] = data
+	return nil
+}
+
+func (s *memStore) Get(k BlobKey) ([]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	data, ok := s.m[k]
+	if !ok {
+		return nil, fmt.Errorf("storage: mem get %v: %w", k, core.ErrNotFound)
+	}
+	return data, nil
+}
+
+func (s *memStore) Delete(k BlobKey) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.m, k)
+	return nil
+}
+
+func (s *memStore) Contains(k BlobKey) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.m[k]
+	return ok
+}
+
+func (s *memStore) Keys() []BlobKey {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	keys := make([]BlobKey, 0, len(s.m))
+	for k := range s.m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func (s *memStore) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.m)
+}
+
+func (s *memStore) Sync() error  { return nil }
+func (s *memStore) Close() error { return nil }
+
+// openBackends builds the three tier stores for the configuration: all
+// in-heap when DataDir is empty, otherwise heap + file-per-blob disk +
+// segment-log tertiary rooted under the data directory.
+func openBackends(cfg Config) ([numTiers]BlobStore, error) {
+	var b [numTiers]BlobStore
+	if cfg.DataDir == "" {
+		for t := Memory; t < numTiers; t++ {
+			b[t] = newMemStore()
+		}
+		return b, nil
+	}
+	disk, err := OpenDiskStore(filepath.Join(cfg.DataDir, "disk"))
+	if err != nil {
+		return b, err
+	}
+	segSize := cfg.SegmentSize
+	if segSize <= 0 {
+		segSize = 4 * core.MB
+	}
+	tert, err := OpenSegmentStore(filepath.Join(cfg.DataDir, "tertiary"), segSize)
+	if err != nil {
+		disk.Close()
+		return b, err
+	}
+	b[Memory] = newMemStore()
+	b[Disk] = disk
+	b[Tertiary] = tert
+	return b, nil
+}
+
+// sortKeys orders keys by (ID, Version, Summary) for deterministic walks.
+func sortKeys(keys []BlobKey) {
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.ID != b.ID {
+			return a.ID < b.ID
+		}
+		if a.Version != b.Version {
+			return a.Version < b.Version
+		}
+		return !a.Summary && b.Summary
+	})
+}

@@ -1,0 +1,473 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cbfww/internal/core"
+)
+
+// payloadFixture builds a manager over real file-backed disk and tertiary
+// tiers in a tempdir (same shape as newTestManager, but always on disk —
+// these tests are about the bytes).
+func payloadFixture(t *testing.T) (*Manager, string) {
+	t.Helper()
+	dir := t.TempDir()
+	cfg := Config{
+		MemCapacity:  100,
+		DiskCapacity: 1000,
+		MemLatency:   0, DiskLatency: 10, TertiaryLatency: 100,
+		SummaryRatio:     0.1,
+		SummaryThreshold: 0.5,
+		DataDir:          dir,
+	}
+	m, err := NewManager(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { m.Close() })
+	return m, dir
+}
+
+func mustInvariants(t *testing.T, m *Manager) {
+	t.Helper()
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAdmitBytesMovesBytes: an admitted payload lands in tertiary and is
+// copied — not just labeled — into every tier its priority earns.
+func TestAdmitBytesMovesBytes(t *testing.T) {
+	m, _ := payloadFixture(t)
+	body := []byte("the quick brown fox jumps over the lazy dog")
+	if err := m.AdmitBytes(1, 40, 1, 0.9, body); err != nil {
+		t.Fatal(err)
+	}
+	mustInvariants(t, m)
+
+	k := BlobKey{ID: 1, Version: 1}
+	for tier := Memory; tier < numTiers; tier++ {
+		got, err := m.Backend(tier).Get(k)
+		if err != nil {
+			t.Fatalf("%v backend: %v", tier, err)
+		}
+		if !bytes.Equal(got, body) {
+			t.Fatalf("%v bytes = %q, want %q", tier, got, body)
+		}
+	}
+	res, data, err := m.Fetch(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tier != Memory || !bytes.Equal(data, body) {
+		t.Fatalf("Fetch tier=%v data=%q", res.Tier, data)
+	}
+}
+
+// TestSummaryBlobsMaterialized: a large document's memory summary is a
+// real stored blob of roughly SummaryRatio the size, not a flag.
+func TestSummaryBlobsMaterialized(t *testing.T) {
+	m, _ := payloadFixture(t)
+	body := bytes.Repeat([]byte("x"), 80) // 80 > 0.5 * 100: a "large document"
+	if err := m.AdmitBytes(7, 80, 1, 0.9, body); err != nil {
+		t.Fatal(err)
+	}
+	mustInvariants(t, m)
+	sk := BlobKey{ID: 7, Version: 1, Summary: true}
+	got, err := m.Backend(Memory).Get(sk)
+	if err != nil {
+		t.Fatalf("summary blob missing from memory backend: %v", err)
+	}
+	want := body[:8] // summarySize = 0.1 * 80
+	if !bytes.Equal(got, want) {
+		t.Fatalf("summary bytes = %q, want %q", got, want)
+	}
+	// The full body sits one level down, byte for byte.
+	if got, err := m.Backend(Disk).Get(BlobKey{ID: 7, Version: 1}); err != nil || !bytes.Equal(got, body) {
+		t.Fatalf("disk full copy = %q, %v", got, err)
+	}
+}
+
+// TestDemotionDeletesBytes: dropping an object's priority removes its
+// fast-tier blobs, not just the copy flags.
+func TestDemotionDeletesBytes(t *testing.T) {
+	m, _ := payloadFixture(t)
+	if err := m.AdmitBytes(1, 40, 1, 0.9, []byte("payload-one")); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetPriority(1, 0.0001); err != nil {
+		t.Fatal(err)
+	}
+	mustInvariants(t, m)
+	// Priority alone doesn't demote while capacity is free; crowd it out.
+	for i := 2; i <= 30; i++ {
+		if err := m.AdmitBytes(core.ObjectID(i), 40, 1, 0.5, []byte(fmt.Sprintf("filler-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustInvariants(t, m)
+	tier, ok := m.Contains(1)
+	if !ok || tier != Tertiary {
+		t.Fatalf("object 1 at %v (ok=%v), want tertiary-only", tier, ok)
+	}
+	k := BlobKey{ID: 1, Version: 1}
+	if m.Backend(Memory).Contains(k) || m.Backend(Disk).Contains(k) {
+		t.Fatal("demoted object still has fast-tier bytes")
+	}
+	if _, err := m.Backend(Tertiary).Get(k); err != nil {
+		t.Fatalf("tertiary lost the payload: %v", err)
+	}
+}
+
+// TestRecoverAfterDiskDropRestoresExactCopies is the direct test of the
+// copy-control invariant "data in main memory have exact copies on disk":
+// when the disk tier fails wholesale, Recover must rebuild the disk copies
+// of every memory-resident object from the memory bytes, byte for byte.
+func TestRecoverAfterDiskDropRestoresExactCopies(t *testing.T) {
+	m, _ := payloadFixture(t)
+	want := map[core.ObjectID][]byte{}
+	for i := 1; i <= 2; i++ {
+		id := core.ObjectID(i)
+		body := []byte(fmt.Sprintf("memory-resident body %d", i))
+		if err := m.AdmitBytes(id, 40, 1, 0.9, body); err != nil {
+			t.Fatal(err)
+		}
+		want[id] = body
+	}
+	if got := m.ResidentIDs(Memory); len(got) != 2 {
+		t.Fatalf("memory residents = %v, want both objects", got)
+	}
+	if err := m.DropTier(Disk); err != nil {
+		t.Fatal(err)
+	}
+	if m.Backend(Disk).Len() != 0 {
+		t.Fatal("dropped disk tier still holds blobs")
+	}
+	rep := m.Recover()
+	if rep.Lost != 0 {
+		t.Fatalf("recover lost %d objects despite memory copies", rep.Lost)
+	}
+	mustInvariants(t, m)
+	for id, body := range want {
+		if !m.ResidentAt(id, Memory) {
+			t.Fatalf("%v no longer memory-resident after recover", id)
+		}
+		got, err := m.Backend(Disk).Get(BlobKey{ID: id, Version: 1})
+		if err != nil {
+			t.Fatalf("%v disk copy not restored: %v", id, err)
+		}
+		if !bytes.Equal(got, body) {
+			t.Fatalf("%v restored disk bytes = %q, want %q", id, got, body)
+		}
+	}
+}
+
+// TestBackupVersionDriftStaleRecover: a tertiary backup older than the
+// current version (Backup ran, then the content changed, then both fast
+// tiers died) must surface as Stale from Recover and on access, serving
+// the old bytes — the warehouse's cue to refetch.
+func TestBackupVersionDriftStaleRecover(t *testing.T) {
+	m, _ := payloadFixture(t)
+	v1 := []byte("version one content")
+	v2 := []byte("version two content, never backed up")
+	if err := m.AdmitBytes(1, 40, 1, 0.9, v1); err != nil {
+		t.Fatal(err)
+	}
+	m.Backup() // tertiary now holds v1 exactly
+	if err := m.UpdateBytes(1, 2, v2); err != nil {
+		t.Fatal(err)
+	}
+	// Fast copies carry v2; the backup lags at v1.
+	if got, err := m.Backend(Tertiary).Get(BlobKey{ID: 1, Version: 1}); err != nil || !bytes.Equal(got, v1) {
+		t.Fatalf("tertiary backup = %q, %v; want v1 bytes", got, err)
+	}
+	if err := m.DropTier(Memory); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.DropTier(Disk); err != nil {
+		t.Fatal(err)
+	}
+	rep := m.Recover()
+	if rep.Stale != 1 {
+		t.Fatalf("recover stale = %d, want 1", rep.Stale)
+	}
+	mustInvariants(t, m)
+	res, data, err := m.Fetch(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Version != 1 || !bytes.Equal(data, v1) {
+		t.Fatalf("recovered fetch = v%d %q, want the v1 backup", res.Version, data)
+	}
+	// Recover reverted the authoritative version to the survivor, so the
+	// copy is current again from storage's point of view; the warehouse
+	// notices the drift through the version number it gets back.
+	if res.Stale {
+		t.Fatal("recovered copy still marked stale after version reversion")
+	}
+}
+
+// TestUpdateRequiresBytesForPayloadObjects: the metadata-only Update path
+// must refuse payload objects rather than strand version labels without
+// matching bytes.
+func TestUpdateRequiresBytesForPayloadObjects(t *testing.T) {
+	m, _ := payloadFixture(t)
+	if err := m.AdmitBytes(1, 40, 1, 0.9, []byte("content")); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Update(1, 2); !errors.Is(err, core.ErrInvalid) {
+		t.Fatalf("Update on payload object err = %v, want ErrInvalid", err)
+	}
+	if err := m.UpdateBytes(1, 2, []byte("new content")); err != nil {
+		t.Fatal(err)
+	}
+	mustInvariants(t, m)
+	if _, data, err := m.Fetch(1); err != nil || string(data) != "new content" {
+		t.Fatalf("after UpdateBytes: %q, %v", data, err)
+	}
+}
+
+// TestDiskStoreReopen: the disk store's index is the filesystem — a
+// reopened store sees exactly the blobs that were renamed into place,
+// and sweeps crashed writers' temp files.
+func TestDiskStoreReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := []BlobKey{
+		{ID: 1, Version: 1},
+		{ID: 1, Version: 2, Summary: true},
+		{ID: 300, Version: 7},
+	}
+	for i, k := range keys {
+		if err := s.Put(k, []byte(fmt.Sprintf("blob-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Delete(keys[1]); err != nil {
+		t.Fatal(err)
+	}
+	// A crashed writer leaves a temp file behind.
+	if err := os.WriteFile(filepath.Join(dir, ".blob-crashed"), []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	r, err := OpenDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Len() != 2 {
+		t.Fatalf("reopened Len = %d, want 2 (keys: %v)", r.Len(), r.Keys())
+	}
+	if got, err := r.Get(keys[0]); err != nil || string(got) != "blob-0" {
+		t.Fatalf("reopened get = %q, %v", got, err)
+	}
+	if r.Contains(keys[1]) {
+		t.Fatal("deleted key survived reopen")
+	}
+	if _, err := os.Stat(filepath.Join(dir, ".blob-crashed")); !os.IsNotExist(err) {
+		t.Fatal("crashed temp file not swept on open")
+	}
+}
+
+// TestSegmentStoreReplayRotationCompaction exercises the tertiary log end
+// to end: rotation under a tiny segment size, overwrite and tombstone
+// garbage, replay after reopen, tail-corruption truncation, compaction.
+func TestSegmentStoreReplayRotationCompaction(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenSegmentStore(dir, 256) // force rotation quickly
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob := func(i, v int) []byte { return bytes.Repeat([]byte{byte('a' + i%26)}, 40+v) }
+	for i := 0; i < 8; i++ {
+		if err := s.Put(BlobKey{ID: core.ObjectID(i + 1), Version: 1}, blob(i, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Overwrites and deletes pile up garbage.
+	for i := 0; i < 4; i++ {
+		if err := s.Put(BlobKey{ID: core.ObjectID(i + 1), Version: 2}, blob(i, 2)); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Delete(BlobKey{ID: core.ObjectID(i + 1), Version: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := len(s.segs); n < 2 {
+		t.Fatalf("no rotation happened: %d segments", n)
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	// Reopen replays the log; a torn tail on the newest segment is cut.
+	names, _ := filepath.Glob(filepath.Join(dir, "seg-*.seg"))
+	last := names[len(names)-1]
+	f, err := os.OpenFile(last, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte{segMagic, segKindPut, 0, 0, 0}) // half a header
+	f.Close()
+
+	r, err := OpenSegmentStore(dir, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 8 {
+		t.Fatalf("replayed Len = %d, want 8", r.Len())
+	}
+	for i := 0; i < 8; i++ {
+		v := 1
+		if i < 4 {
+			v = 2
+		}
+		k := BlobKey{ID: core.ObjectID(i + 1), Version: v}
+		got, err := r.Get(k)
+		if err != nil || !bytes.Equal(got, blob(i, v)) {
+			t.Fatalf("replayed %v = %q, %v", k, got, err)
+		}
+	}
+	// Appends continue cleanly past the truncated tail.
+	if err := r.Put(BlobKey{ID: 99, Version: 1}, []byte("after-truncate")); err != nil {
+		t.Fatal(err)
+	}
+
+	if g := r.GarbageRatio(); g <= 0.3 {
+		t.Fatalf("garbage ratio = %v, expected substantial garbage", g)
+	}
+	if err := r.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if r.Compactions != 1 {
+		t.Fatalf("Compactions = %d", r.Compactions)
+	}
+	if g := r.GarbageRatio(); g != 0 {
+		t.Fatalf("garbage ratio after compaction = %v", g)
+	}
+	if r.Len() != 9 {
+		t.Fatalf("post-compaction Len = %d, want 9", r.Len())
+	}
+	for i := 0; i < 8; i++ {
+		v := 1
+		if i < 4 {
+			v = 2
+		}
+		k := BlobKey{ID: core.ObjectID(i + 1), Version: v}
+		if got, err := r.Get(k); err != nil || !bytes.Equal(got, blob(i, v)) {
+			t.Fatalf("post-compaction %v = %q, %v", k, got, err)
+		}
+	}
+	r.Close()
+
+	// And the compacted log replays.
+	r2, err := OpenSegmentStore(dir, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	if r2.Len() != 9 {
+		t.Fatalf("compacted replay Len = %d, want 9", r2.Len())
+	}
+}
+
+// TestManifestRoundTripRecoverFromDisk is process-restart crash recovery
+// at the storage layer: save a manifest, build a fresh manager over the
+// same data directory, and the restored placement serves the same bytes —
+// including an object whose only current copy was on the (surviving)
+// disk tier, and excluding the memory tier, which died with the process.
+func TestManifestRoundTripRecoverFromDisk(t *testing.T) {
+	m, dir := payloadFixture(t)
+	if err := m.AdmitBytes(1, 40, 1, 0.9, []byte("hot object")); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AdmitBytes(2, 40, 1, 0.5, []byte("warm object")); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Admit(3, 10, 1, 0.4); err != nil { // metadata-only rides along
+		t.Fatal(err)
+	}
+	m.Backup()
+	if err := m.UpdateBytes(1, 2, []byte("hot object v2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SaveManifest(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := Config{
+		MemCapacity:  100,
+		DiskCapacity: 1000,
+		MemLatency:   0, DiskLatency: 10, TertiaryLatency: 100,
+		SummaryRatio:     0.1,
+		SummaryThreshold: 0.5,
+		DataDir:          dir,
+	}
+	m2, err := NewManager(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	n, rep, err := m2.RecoverFromDisk()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("restored %d objects, want 3", n)
+	}
+	if rep.Lost != 0 {
+		t.Fatalf("lost %d objects across restart", rep.Lost)
+	}
+	mustInvariants(t, m2)
+	// Object 1's v2 bytes lived on disk (tertiary backup lagged at v1):
+	// recovery must adopt the surviving v2 disk copy, not the stale backup.
+	res, data, err := m2.Fetch(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Version != 2 || string(data) != "hot object v2" {
+		t.Fatalf("restart fetch = v%d %q, want v2 bytes", res.Version, data)
+	}
+	if _, data, err := m2.Fetch(2); err != nil || string(data) != "warm object" {
+		t.Fatalf("restart fetch 2 = %q, %v", data, err)
+	}
+	if _, ok := m2.Contains(3); !ok {
+		t.Fatal("metadata-only object lost across restart")
+	}
+	if p, ok := m2.Priority(2); !ok || p != 0.5 {
+		t.Fatalf("priority not restored: %v %v", p, ok)
+	}
+	// A fresh directory is a fresh start, not an error.
+	m3, err := NewManager(Config{
+		MemCapacity: 100, DiskCapacity: 1000,
+		DiskLatency: 10, TertiaryLatency: 100,
+		DataDir: t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m3.Close()
+	if n, _, err := m3.RecoverFromDisk(); err != nil || n != 0 {
+		t.Fatalf("fresh dir recover = %d, %v", n, err)
+	}
+}

@@ -1,24 +1,3 @@
-// Package storage implements the Storage Manager of §4.4 and Figure 3: the
-// mapping of the object hierarchy onto a storage hierarchy of main memory,
-// disk and tertiary storage.
-//
-// The warehouse is capacity bound-free in aggregate — the tertiary level
-// never refuses data — but the fast levels are finite, so placement is the
-// whole game: objects are ranked by priority and water-filled top-down
-// (highest priorities into memory until its capacity target, next into
-// disk, the rest to tertiary).
-//
-// The manager also implements the paper's copy-control rules:
-//
-//   - data in main memory have exact copies on disk;
-//   - data on disk have backup copies in tertiary storage "which may not
-//     be exact copies due to the periodical back-up process";
-//   - downgrading a priority just invalidates the fast copy; upgrading
-//     copies data upward.
-//
-// and the "levels of details" rule of §4.1: an object too large for the
-// tier its priority deserves keeps a small summary (B′) at that tier while
-// the full body stays one level down.
 package storage
 
 import (
@@ -30,136 +9,15 @@ import (
 	"cbfww/internal/core"
 )
 
-// Tier is one level of the storage hierarchy.
-type Tier int
-
-// The three levels of Figure 3. Smaller is faster.
-const (
-	Memory Tier = iota
-	Disk
-	Tertiary
-	numTiers
-)
-
-// String names the tier.
-func (t Tier) String() string {
-	switch t {
-	case Memory:
-		return "memory"
-	case Disk:
-		return "disk"
-	case Tertiary:
-		return "tertiary"
-	default:
-		return fmt.Sprintf("tier(%d)", int(t))
-	}
-}
-
-// Config sizes the hierarchy. Capacities are *targets* for the finite
-// tiers: placement fills them in priority order. Tertiary is unbounded.
-type Config struct {
-	MemCapacity  core.Bytes
-	DiskCapacity core.Bytes
-	// Latencies per access, in ticks.
-	MemLatency, DiskLatency, TertiaryLatency core.Duration
-	// SummaryRatio is the size of a levels-of-detail summary relative to
-	// the full object (e.g. 0.05). Zero disables summaries.
-	SummaryRatio float64
-	// SummaryThreshold: objects larger than this fraction of the memory
-	// capacity are "large documents" (§4.3 problem (3)) and are stored in
-	// memory as summaries only. Zero defaults to 0.25.
-	SummaryThreshold float64
-}
-
-// DefaultConfig models the 2003-era ratios the paper argues from: memory
-// is thousands of times faster than a web fetch, disk tens of times.
-func DefaultConfig() Config {
-	return Config{
-		MemCapacity:     64 * core.MB,
-		DiskCapacity:    2 * core.GB,
-		MemLatency:      0,
-		DiskLatency:     10,
-		TertiaryLatency: 100,
-		SummaryRatio:    0.05,
-	}
-}
-
-// copyState describes one tier's copy of an object.
-type copyState struct {
-	present bool
-	// version of the content this copy holds.
-	version int
-	// summaryOnly marks a levels-of-detail abstract rather than the body.
-	summaryOnly bool
-}
-
-// object is the manager's record of one stored object.
-type object struct {
-	id       core.ObjectID
-	size     core.Bytes
-	version  int // current (latest known) content version
-	priority core.Priority
-	copies   [numTiers]copyState
-	// tertiaryPos is the object's position on the linear tertiary medium
-	// (§4.4 locality of reference); meaningful only while a tertiary copy
-	// exists.
-	tertiaryPos int
-}
-
-// summarySize returns the levels-of-detail footprint of the object.
-func (o *object) summarySize(ratio float64) core.Bytes {
-	s := core.Bytes(float64(o.size) * ratio)
-	if s < 1 {
-		s = 1
-	}
-	return s
-}
-
-// footprint returns the bytes the object occupies at tier t.
-func (o *object) footprint(t Tier, ratio float64) core.Bytes {
-	c := o.copies[t]
-	if !c.present {
-		return 0
-	}
-	if c.summaryOnly {
-		return o.summarySize(ratio)
-	}
-	return o.size
-}
-
-// AccessResult reports how an access was served.
-type AccessResult struct {
-	// Tier that served the full object.
-	Tier Tier
-	// Latency of serving the full object.
-	Latency core.Duration
-	// PreviewTier/PreviewLatency are set when a faster tier held a
-	// summary: the user sees an abstract at PreviewLatency while the body
-	// arrives at Latency (§4.3's "fast preview even [when] the original
-	// document is currently not available").
-	PreviewTier    Tier
-	PreviewLatency core.Duration
-	HasPreview     bool
-	// Stale marks a copy older than the object's current version.
-	Stale bool
-}
-
-// Stats counts manager activity.
-type Stats struct {
-	Accesses   int
-	Migrations int
-	Backups    int
-	// CostTotal accumulates access latency, the E-F3 metric.
-	CostTotal core.Duration
-}
-
 // Manager is the storage manager. Safe for concurrent use.
 type Manager struct {
 	mu      sync.RWMutex
 	cfg     Config
 	objects map[core.ObjectID]*object
-	used    [numTiers]core.Bytes
-	stats   Stats
+	// backends hold the actual payload bytes, one store per tier.
+	backends [numTiers]BlobStore
+	used     [numTiers]core.Bytes
+	stats    Stats
 	// memGen counts memory-residency changes; memDirty is the coalesced set
 	// of objects whose memory-tier copy changed since the last drain. The
 	// hierarchy-of-indices layer polls these instead of sweeping ResidentIDs
@@ -169,7 +27,9 @@ type Manager struct {
 }
 
 // NewManager returns an empty manager. Capacities must be positive and
-// latencies non-decreasing down the hierarchy.
+// latencies non-decreasing down the hierarchy. With cfg.DataDir set, the
+// disk and tertiary backends are opened (created) under it; RecoverFromDisk
+// re-adopts whatever a previous process left there.
 func NewManager(cfg Config) (*Manager, error) {
 	if cfg.MemCapacity <= 0 || cfg.DiskCapacity <= 0 {
 		return nil, fmt.Errorf("storage: %w: capacities must be positive", core.ErrInvalid)
@@ -183,11 +43,23 @@ func NewManager(cfg Config) (*Manager, error) {
 	if cfg.SummaryThreshold == 0 {
 		cfg.SummaryThreshold = 0.25
 	}
+	backends, err := openBackends(cfg)
+	if err != nil {
+		return nil, err
+	}
 	return &Manager{
 		cfg:      cfg,
 		objects:  make(map[core.ObjectID]*object),
+		backends: backends,
 		memDirty: make(map[core.ObjectID]struct{}),
 	}, nil
+}
+
+// Backend exposes the blob store behind one tier (read-mostly: tests and
+// benchmarks inspect it; mutating it behind the manager's back breaks the
+// placement invariants).
+func (m *Manager) Backend(t Tier) BlobStore {
+	return m.backends[t]
 }
 
 // noteMemLocked records that id's memory-tier copy changed. Requires m.mu.
@@ -248,8 +120,21 @@ func (m *Manager) latency(t Tier) core.Duration {
 // Admit stores a new object with the given size, content version and
 // priority, placing it according to the current population. Admitting an
 // existing ID is an error; use Update for content changes and SetPriority
-// for reprioritization.
+// for reprioritization. Objects admitted this way carry no payload bytes
+// — only placement metadata moves; use AdmitBytes for real content.
 func (m *Manager) Admit(id core.ObjectID, size core.Bytes, version int, prio core.Priority) error {
+	return m.admit(id, size, version, prio, nil, false)
+}
+
+// AdmitBytes admits an object together with its content. The payload
+// lands in the tertiary backend first (the unbounded level), then the
+// placement pass copies it upward as far as its priority earns. The
+// manager owns the slice afterwards.
+func (m *Manager) AdmitBytes(id core.ObjectID, size core.Bytes, version int, prio core.Priority, payload []byte) error {
+	return m.admit(id, size, version, prio, payload, true)
+}
+
+func (m *Manager) admit(id core.ObjectID, size core.Bytes, version int, prio core.Priority, payload []byte, hasPayload bool) error {
 	if size <= 0 {
 		return fmt.Errorf("storage: admit %v: %w: size %v", id, core.ErrInvalid, size)
 	}
@@ -261,9 +146,14 @@ func (m *Manager) Admit(id core.ObjectID, size core.Bytes, version int, prio cor
 	if _, dup := m.objects[id]; dup {
 		return fmt.Errorf("storage: admit %v: %w", id, core.ErrExists)
 	}
-	o := &object{id: id, size: size, version: version, priority: prio}
+	o := &object{id: id, size: size, version: version, priority: prio, hasPayload: hasPayload}
 	// Everything lands in tertiary first (the unbounded level), then the
 	// placement pass promotes it as far as its priority earns.
+	if hasPayload {
+		if err := m.backends[Tertiary].Put(BlobKey{ID: id, Version: version}, payload); err != nil {
+			return fmt.Errorf("storage: admit %v: %w", id, err)
+		}
+	}
 	o.copies[Tertiary] = copyState{present: true, version: version}
 	m.objects[id] = o
 	m.used[Tertiary] += size
@@ -277,6 +167,9 @@ type Admission struct {
 	Size     core.Bytes
 	Version  int
 	Priority core.Priority
+	// Payload, when non-nil, admits the entry with content (AdmitBytes
+	// semantics); nil admits metadata only.
+	Payload []byte
 }
 
 // AdmitAll admits a batch with a single placement pass — O(n log n) total
@@ -295,7 +188,12 @@ func (m *Manager) AdmitAll(batch []Admission) error {
 		if v < 1 {
 			v = 1
 		}
-		o := &object{id: a.ID, size: a.Size, version: v, priority: a.Priority}
+		o := &object{id: a.ID, size: a.Size, version: v, priority: a.Priority, hasPayload: a.Payload != nil}
+		if o.hasPayload {
+			if err := m.backends[Tertiary].Put(BlobKey{ID: a.ID, Version: v}, a.Payload); err != nil {
+				return fmt.Errorf("storage: admit %v: %w", a.ID, err)
+			}
+		}
 		o.copies[Tertiary] = copyState{present: true, version: v}
 		m.objects[a.ID] = o
 		m.used[Tertiary] += a.Size
@@ -305,7 +203,8 @@ func (m *Manager) AdmitAll(batch []Admission) error {
 }
 
 // Remove deletes the object from all tiers (admission-constraint
-// enforcement path). Removing an unknown ID is an error.
+// enforcement path), including its stored bytes. Removing an unknown ID
+// is an error.
 func (m *Manager) Remove(id core.ObjectID) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -315,6 +214,9 @@ func (m *Manager) Remove(id core.ObjectID) error {
 	}
 	for t := Memory; t < numTiers; t++ {
 		m.used[t] -= o.footprint(t, m.cfg.SummaryRatio)
+		if o.hasPayload && o.copies[t].present {
+			m.backends[t].Delete(o.copies[t].key(id))
+		}
 	}
 	if o.copies[Memory].present {
 		m.noteMemLocked(id)
@@ -328,9 +230,68 @@ func (m *Manager) Remove(id core.ObjectID) error {
 func (m *Manager) Access(id core.ObjectID) (AccessResult, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	res, _, err := m.accessLocked(id)
+	return res, err
+}
+
+// Fetch serves the object like Access and additionally returns its
+// payload bytes, read from the backend of the serving tier. Fetching an
+// object admitted without payload returns nil bytes.
+func (m *Manager) Fetch(id core.ObjectID) (AccessResult, []byte, error) {
+	m.mu.Lock()
+	res, o, err := m.accessLocked(id)
+	m.mu.Unlock()
+	if err != nil || !o.hasPayload {
+		return res, nil, err
+	}
+	// The backend read happens outside the manager lock: the blob stores
+	// are internally synchronized, and a concurrent placement that deletes
+	// the copy between unlock and read surfaces as ErrNotFound, which the
+	// caller handles like a miss.
+	data, err := m.backends[res.Tier].Get(BlobKey{ID: id, Version: res.Version})
+	if err != nil {
+		return res, nil, err
+	}
+	return res, data, nil
+}
+
+// Peek returns the payload bytes and content version of the fastest full
+// copy without touching the access stats — the rehydration and index-feed
+// read path. Objects without payload return core.ErrNotFound.
+func (m *Manager) Peek(id core.ObjectID) ([]byte, int, error) {
+	m.mu.RLock()
+	o, ok := m.objects[id]
+	if !ok || !o.hasPayload {
+		m.mu.RUnlock()
+		return nil, 0, fmt.Errorf("storage: peek %v: %w", id, core.ErrNotFound)
+	}
+	var (
+		tier  Tier
+		ver   int
+		found bool
+	)
+	for t := Memory; t < numTiers; t++ {
+		if c := o.copies[t]; c.present && !c.summaryOnly {
+			tier, ver, found = t, c.version, true
+			break
+		}
+	}
+	m.mu.RUnlock()
+	if !found {
+		return nil, 0, fmt.Errorf("storage: peek %v: no full copy resident: %w", id, core.ErrNotFound)
+	}
+	data, err := m.backends[tier].Get(BlobKey{ID: id, Version: ver})
+	if err != nil {
+		return nil, 0, err
+	}
+	return data, ver, nil
+}
+
+// accessLocked is the shared body of Access and Fetch. Requires m.mu.
+func (m *Manager) accessLocked(id core.ObjectID) (AccessResult, *object, error) {
 	o, ok := m.objects[id]
 	if !ok {
-		return AccessResult{}, fmt.Errorf("storage: access %v: %w", id, core.ErrNotFound)
+		return AccessResult{}, nil, fmt.Errorf("storage: access %v: %w", id, core.ErrNotFound)
 	}
 	var res AccessResult
 	served := false
@@ -350,15 +311,16 @@ func (m *Manager) Access(id core.ObjectID) (AccessResult, error) {
 		res.Tier = t
 		res.Latency = m.latency(t)
 		res.Stale = c.version < o.version
+		res.Version = c.version
 		served = true
 		break
 	}
 	if !served {
-		return AccessResult{}, fmt.Errorf("storage: access %v: no full copy resident: %w", id, core.ErrNotFound)
+		return AccessResult{}, nil, fmt.Errorf("storage: access %v: no full copy resident: %w", id, core.ErrNotFound)
 	}
 	m.stats.Accesses++
 	m.stats.CostTotal += res.Latency
-	return res, nil
+	return res, o, nil
 }
 
 // Contains reports whether id is stored at all, and at which fastest tier.
@@ -405,9 +367,11 @@ func (m *Manager) ApplyPriorities(prios map[core.ObjectID]core.Priority) {
 	m.placeLocked()
 }
 
-// Update records a new content version: the fast copies (memory, disk) are
-// rewritten in place; the tertiary copy goes stale until the next Backup.
-// An object resident only in tertiary is updated there directly.
+// Update records a new content version: the fast copies (memory, disk)
+// are rewritten in place; the tertiary copy goes stale until the next
+// Backup. An object resident only in tertiary is updated there directly.
+// Payload-carrying objects must use UpdateBytes so the rewritten copies
+// have the bytes their new version label claims.
 func (m *Manager) Update(id core.ObjectID, newVersion int) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -415,115 +379,140 @@ func (m *Manager) Update(id core.ObjectID, newVersion int) error {
 	if !ok {
 		return fmt.Errorf("storage: update %v: %w", id, core.ErrNotFound)
 	}
+	if o.hasPayload {
+		return fmt.Errorf("storage: update %v: %w: payload object requires UpdateBytes", id, core.ErrInvalid)
+	}
+	return m.updateLocked(o, newVersion, nil)
+}
+
+// UpdateBytes records a new content version together with its bytes,
+// rewriting the fast copies in place per the copy-control rule. The
+// manager owns the slice afterwards.
+func (m *Manager) UpdateBytes(id core.ObjectID, newVersion int, payload []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	o, ok := m.objects[id]
+	if !ok {
+		return fmt.Errorf("storage: update %v: %w", id, core.ErrNotFound)
+	}
+	return m.updateLocked(o, newVersion, payload)
+}
+
+// updateLocked applies a version bump, moving payload bytes when the
+// object carries them. Requires m.mu.
+func (m *Manager) updateLocked(o *object, newVersion int, payload []byte) error {
 	if newVersion <= o.version {
-		return fmt.Errorf("storage: update %v: %w: version %d <= current %d", id, core.ErrInvalid, newVersion, o.version)
+		return fmt.Errorf("storage: update %v: %w: version %d <= current %d", o.id, core.ErrInvalid, newVersion, o.version)
 	}
 	o.version = newVersion
 	fastCopy := false
 	for t := Memory; t < Tertiary; t++ {
-		if o.copies[t].present {
-			o.copies[t].version = newVersion
-			fastCopy = true
+		c := &o.copies[t]
+		if !c.present {
+			continue
 		}
+		if o.hasPayload {
+			m.backends[t].Delete(c.key(o.id))
+			data := payload
+			if c.summaryOnly {
+				data = m.summarize(payload, o.summarySize(m.cfg.SummaryRatio))
+			}
+			if err := m.backends[t].Put(BlobKey{ID: o.id, Version: newVersion, Summary: c.summaryOnly}, data); err != nil {
+				return fmt.Errorf("storage: update %v: %w", o.id, err)
+			}
+		}
+		c.version = newVersion
+		fastCopy = true
 	}
 	if !fastCopy {
-		o.copies[Tertiary].version = newVersion
+		c := &o.copies[Tertiary]
+		if o.hasPayload {
+			m.backends[Tertiary].Delete(c.key(o.id))
+			if err := m.backends[Tertiary].Put(BlobKey{ID: o.id, Version: newVersion}, payload); err != nil {
+				return fmt.Errorf("storage: update %v: %w", o.id, err)
+			}
+		}
+		c.version = newVersion
 	}
 	return nil
 }
 
+// summarize produces the levels-of-detail abstract of payload at roughly
+// the target size, via the configured hook or prefix truncation.
+func (m *Manager) summarize(payload []byte, target core.Bytes) []byte {
+	if m.cfg.Summarize != nil {
+		return m.cfg.Summarize(payload, target)
+	}
+	if core.Bytes(len(payload)) <= target {
+		return payload
+	}
+	return payload[:target]
+}
+
 // Backup refreshes every stale or missing tertiary copy from the current
-// content — the periodic process the paper's copy-control rule assumes.
+// content — the periodic process the paper's copy-control rule assumes —
+// and then offers the tertiary backend a compaction pass. For an object
+// whose current bytes no longer exist on a fast tier (demotion already
+// dropped them), the stale tertiary copy is left as-is: backup copies
+// data, it does not invent it.
 func (m *Manager) Backup() {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	for _, o := range m.objects {
-		if !o.copies[Tertiary].present {
-			o.copies[Tertiary] = copyState{present: true, version: o.version}
+		ct := &o.copies[Tertiary]
+		if ct.present && ct.version >= o.version {
+			continue
+		}
+		if o.hasPayload {
+			data, ver, ok := m.readFullLocked(o)
+			if !ok || (ct.present && ver <= ct.version) {
+				continue // nothing fresher to copy from
+			}
+			if ct.present {
+				m.backends[Tertiary].Delete(ct.key(o.id))
+			}
+			if err := m.backends[Tertiary].Put(BlobKey{ID: o.id, Version: ver}, data); err != nil {
+				continue // leave the old copy standing; retried next sweep
+			}
+			if !ct.present {
+				m.used[Tertiary] += o.size
+			}
+			*ct = copyState{present: true, version: ver}
+			continue
+		}
+		if !ct.present {
+			*ct = copyState{present: true, version: o.version}
 			m.used[Tertiary] += o.size
-		} else if o.copies[Tertiary].version < o.version {
-			o.copies[Tertiary].version = o.version
+		} else {
+			ct.version = o.version
 		}
 	}
 	m.stats.Backups++
+	m.mu.Unlock()
+	if c, ok := m.backends[Tertiary].(compacter); ok {
+		c.MaybeCompact()
+	}
 }
 
-// placeLocked recomputes the whole placement: objects sorted by priority
-// (descending; ties by ID for determinism) water-fill memory then disk;
-// everyone keeps/earns copies per the copy-control rules. Requires m.mu.
-func (m *Manager) placeLocked() {
-	ids := make([]core.ObjectID, 0, len(m.objects))
-	for id := range m.objects {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool {
-		a, b := m.objects[ids[i]], m.objects[ids[j]]
-		if a.priority != b.priority {
-			return a.priority > b.priority
-		}
-		return a.id < b.id
-	})
-
-	var memUsed, diskUsed core.Bytes
-	for _, id := range ids {
-		o := m.objects[id]
-		wantMem := false
-		memAsSummary := false
-		// Memory placement: a large document (§4.3 problem (3)) keeps only
-		// its summary in memory; a normal one gets a full copy if it fits.
-		// Small objects that simply don't fit go to disk — summaries are a
-		// levels-of-detail device for big documents, not a universal
-		// fallback.
-		big := float64(o.size) > m.cfg.SummaryThreshold*float64(m.cfg.MemCapacity)
-		switch {
-		case big && m.cfg.SummaryRatio > 0 &&
-			memUsed+o.summarySize(m.cfg.SummaryRatio) <= m.cfg.MemCapacity:
-			wantMem, memAsSummary = true, true
-		case !big && memUsed+o.size <= m.cfg.MemCapacity:
-			wantMem = true
-		}
-		// Disk fills by the same priority order until capacity. The disk
-		// copy carries the full body even when memory holds a summary.
-		wantDisk := diskUsed+o.size <= m.cfg.DiskCapacity
-		if wantMem && !wantDisk {
-			// Cannot satisfy the exact-copy invariant: demote from memory.
-			wantMem, memAsSummary = false, false
-		}
-
-		m.applyPlacement(o, Memory, wantMem, memAsSummary)
-		m.applyPlacement(o, Disk, wantDisk, false)
-		if wantMem {
-			memUsed += o.footprint(Memory, m.cfg.SummaryRatio)
-		}
-		if wantDisk {
-			diskUsed += o.size
+// Sync flushes every backend to stable storage.
+func (m *Manager) Sync() error {
+	for t := Memory; t < numTiers; t++ {
+		if err := m.backends[t].Sync(); err != nil {
+			return err
 		}
 	}
-	m.used[Memory] = memUsed
-	m.used[Disk] = diskUsed
+	return nil
 }
 
-// applyPlacement transitions one object's copy at tier t to the desired
-// state, counting migrations and maintaining version semantics: a copy
-// created by promotion carries the current version (upgrade copies data);
-// an invalidated copy simply disappears (downgrade is free).
-func (m *Manager) applyPlacement(o *object, t Tier, want, summaryOnly bool) {
-	c := &o.copies[t]
-	switch {
-	case want && !c.present:
-		*c = copyState{present: true, version: o.version, summaryOnly: summaryOnly}
-	case want && c.present && c.summaryOnly != summaryOnly:
-		c.summaryOnly = summaryOnly
-		c.version = o.version
-	case !want && c.present:
-		*c = copyState{}
-	default:
-		return // no change: nothing to count or note
+// Close releases the backends' file handles. The manager is unusable
+// afterwards.
+func (m *Manager) Close() error {
+	var first error
+	for t := Memory; t < numTiers; t++ {
+		if err := m.backends[t].Close(); err != nil && first == nil {
+			first = err
+		}
 	}
-	m.stats.Migrations++
-	if t == Memory {
-		m.noteMemLocked(o.id)
-	}
+	return first
 }
 
 // Used returns the bytes resident at tier t.

@@ -1,0 +1,140 @@
+package storage
+
+import (
+	"sort"
+
+	"cbfww/internal/core"
+)
+
+// placeLocked recomputes the whole placement: objects sorted by priority
+// (descending; ties by ID for determinism) water-fill memory then disk;
+// everyone keeps/earns copies per the copy-control rules. Requires m.mu.
+func (m *Manager) placeLocked() {
+	ids := make([]core.ObjectID, 0, len(m.objects))
+	for id := range m.objects {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		a, b := m.objects[ids[i]], m.objects[ids[j]]
+		if a.priority != b.priority {
+			return a.priority > b.priority
+		}
+		return a.id < b.id
+	})
+
+	var memUsed, diskUsed core.Bytes
+	for _, id := range ids {
+		o := m.objects[id]
+		wantMem := false
+		memAsSummary := false
+		// Memory placement: a large document (§4.3 problem (3)) keeps only
+		// its summary in memory; a normal one gets a full copy if it fits.
+		// Small objects that simply don't fit go to disk — summaries are a
+		// levels-of-detail device for big documents, not a universal
+		// fallback.
+		big := float64(o.size) > m.cfg.SummaryThreshold*float64(m.cfg.MemCapacity)
+		switch {
+		case big && m.cfg.SummaryRatio > 0 &&
+			memUsed+o.summarySize(m.cfg.SummaryRatio) <= m.cfg.MemCapacity:
+			wantMem, memAsSummary = true, true
+		case !big && memUsed+o.size <= m.cfg.MemCapacity:
+			wantMem = true
+		}
+		// Disk fills by the same priority order until capacity. The disk
+		// copy carries the full body even when memory holds a summary.
+		wantDisk := diskUsed+o.size <= m.cfg.DiskCapacity
+		if wantMem && !wantDisk {
+			// Cannot satisfy the exact-copy invariant: demote from memory.
+			wantMem, memAsSummary = false, false
+		}
+
+		m.applyPlacement(o, Memory, wantMem, memAsSummary)
+		m.applyPlacement(o, Disk, wantDisk, false)
+		// footprint, not the wanted state, feeds the accounting: a payload
+		// promotion that found no source bytes leaves the copy absent.
+		memUsed += o.footprint(Memory, m.cfg.SummaryRatio)
+		diskUsed += o.footprint(Disk, m.cfg.SummaryRatio)
+	}
+	m.used[Memory] = memUsed
+	m.used[Disk] = diskUsed
+}
+
+// applyPlacement transitions one object's copy at tier t to the desired
+// state, counting migrations and maintaining version semantics: a copy
+// created by promotion carries its source's version (upgrade copies
+// data, so a copy promoted from a stale backup is honestly stale too);
+// an invalidated copy simply disappears (downgrade is free, its bytes
+// are deleted). For metadata-only objects there are no bytes to move and
+// the promoted copy is labeled with the current version, as before.
+func (m *Manager) applyPlacement(o *object, t Tier, want, summaryOnly bool) {
+	c := &o.copies[t]
+	switch {
+	case want && !c.present:
+		ver := o.version
+		if o.hasPayload {
+			srcVer, ok := m.copyBlobLocked(o, t, summaryOnly)
+			if !ok {
+				return // no source bytes anywhere: the copy cannot exist
+			}
+			ver = srcVer
+		}
+		*c = copyState{present: true, version: ver, summaryOnly: summaryOnly}
+	case want && c.present && c.summaryOnly != summaryOnly:
+		ver := o.version
+		if o.hasPayload {
+			old := c.key(o.id)
+			srcVer, ok := m.copyBlobLocked(o, t, summaryOnly)
+			if !ok {
+				return
+			}
+			if old != (BlobKey{ID: o.id, Version: srcVer, Summary: summaryOnly}) {
+				m.backends[t].Delete(old)
+			}
+			ver = srcVer
+		}
+		c.summaryOnly = summaryOnly
+		c.version = ver
+	case !want && c.present:
+		if o.hasPayload {
+			m.backends[t].Delete(c.key(o.id))
+		}
+		*c = copyState{}
+	default:
+		return // no change: nothing to count or note
+	}
+	m.stats.Migrations++
+	if t == Memory {
+		m.noteMemLocked(o.id)
+	}
+}
+
+// copyBlobLocked materializes o's bytes at tier t — the full body or its
+// levels-of-detail summary — sourcing from the fastest tier holding a
+// full copy. Returns the version the written blob carries. Requires m.mu.
+func (m *Manager) copyBlobLocked(o *object, t Tier, summaryOnly bool) (int, bool) {
+	data, srcVer, ok := m.readFullLocked(o)
+	if !ok {
+		return 0, false
+	}
+	if summaryOnly {
+		data = m.summarize(data, o.summarySize(m.cfg.SummaryRatio))
+	}
+	if err := m.backends[t].Put(BlobKey{ID: o.id, Version: srcVer, Summary: summaryOnly}, data); err != nil {
+		return 0, false
+	}
+	return srcVer, true
+}
+
+// readFullLocked reads the bytes of o's fastest full copy. Requires m.mu.
+func (m *Manager) readFullLocked(o *object) ([]byte, int, bool) {
+	for t := Memory; t < numTiers; t++ {
+		c := o.copies[t]
+		if !c.present || c.summaryOnly {
+			continue
+		}
+		if data, err := m.backends[t].Get(c.key(o.id)); err == nil {
+			return data, c.version, true
+		}
+	}
+	return nil, 0, false
+}

@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"bytes"
 	"fmt"
 
 	"cbfww/internal/core"
@@ -17,8 +18,9 @@ type RecoveryReport struct {
 	Lost int
 }
 
-// DropTier simulates the failure of one tier: every copy there vanishes.
-// Dropping Tertiary is allowed (a tape library can burn down too).
+// DropTier simulates the failure of one tier: every copy there vanishes,
+// metadata and bytes both. Dropping Tertiary is allowed (a tape library
+// can burn down too).
 func (m *Manager) DropTier(t Tier) error {
 	if t < Memory || t >= numTiers {
 		return fmt.Errorf("storage: drop: %w: tier %d", core.ErrInvalid, int(t))
@@ -33,6 +35,10 @@ func (m *Manager) DropTier(t Tier) error {
 			}
 		}
 	}
+	// A failed tier has no surviving blobs either.
+	for _, k := range m.backends[t].Keys() {
+		m.backends[t].Delete(k)
+	}
 	m.used[t] = 0
 	return nil
 }
@@ -45,9 +51,30 @@ func (m *Manager) DropTier(t Tier) error {
 func (m *Manager) Recover() RecoveryReport {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	return m.recoverLocked()
+}
+
+// recoverLocked is the shared body of Recover and RecoverFromDisk.
+// Requires m.mu.
+func (m *Manager) recoverLocked() RecoveryReport {
 	var rep RecoveryReport
 
 	for id, o := range m.objects {
+		if o.hasPayload {
+			// A copy whose bytes are gone is no copy at all: trust the
+			// backends over the metadata (the metadata may have outlived a
+			// crash the bytes did not).
+			for t := Memory; t < numTiers; t++ {
+				c := &o.copies[t]
+				if c.present && !m.backends[t].Contains(c.key(id)) {
+					m.used[t] -= o.footprint(t, m.cfg.SummaryRatio)
+					*c = copyState{}
+					if t == Memory {
+						m.noteMemLocked(id)
+					}
+				}
+			}
+		}
 		bestVersion := -1
 		for t := Memory; t < numTiers; t++ {
 			c := o.copies[t]
@@ -59,6 +86,9 @@ func (m *Manager) Recover() RecoveryReport {
 			// No full copy survived anywhere.
 			for t := Memory; t < numTiers; t++ {
 				m.used[t] -= o.footprint(t, m.cfg.SummaryRatio)
+				if o.hasPayload && o.copies[t].present {
+					m.backends[t].Delete(o.copies[t].key(id))
+				}
 			}
 			if o.copies[Memory].present {
 				m.noteMemLocked(id)
@@ -71,17 +101,40 @@ func (m *Manager) Recover() RecoveryReport {
 			rep.Stale++
 			// The stale replica becomes the authoritative content: the
 			// newer version is gone. Surviving summaries of the lost newer
-			// content are refreshed from the restored body.
+			// content are dropped (payload: their bytes describe content
+			// that no longer exists) or refreshed from the restored body.
 			o.version = bestVersion
 			for t := Memory; t < numTiers; t++ {
-				if c := &o.copies[t]; c.present && c.version > bestVersion {
+				c := &o.copies[t]
+				if !c.present || c.version <= bestVersion {
+					continue
+				}
+				if o.hasPayload {
+					m.used[t] -= o.footprint(t, m.cfg.SummaryRatio)
+					m.backends[t].Delete(c.key(id))
+					*c = copyState{}
+					if t == Memory {
+						m.noteMemLocked(id)
+					}
+				} else {
 					c.version = bestVersion
 				}
 			}
 		}
 		// Ensure the tertiary anchor exists so placement invariants hold.
 		if !o.copies[Tertiary].present {
-			o.copies[Tertiary] = copyState{present: true, version: bestVersion}
+			if o.hasPayload {
+				data, ver, ok := m.readFullLocked(o)
+				if !ok {
+					continue // unreachable: bestVersion proved a readable copy
+				}
+				if err := m.backends[Tertiary].Put(BlobKey{ID: id, Version: ver}, data); err != nil {
+					continue
+				}
+				o.copies[Tertiary] = copyState{present: true, version: ver}
+			} else {
+				o.copies[Tertiary] = copyState{present: true, version: bestVersion}
+			}
 			rep.Restored++
 		}
 	}
@@ -103,7 +156,10 @@ func (m *Manager) Recover() RecoveryReport {
 
 // CheckInvariants verifies the copy-control and capacity invariants; it
 // returns nil when all hold. Tests and property checks call this after
-// every mutation sequence.
+// every mutation sequence. For payload-carrying objects it additionally
+// verifies that every advertised copy's bytes exist in its tier backend
+// and that the memory tier's full copies are byte-exact duplicates of
+// their disk copies.
 func (m *Manager) CheckInvariants() error {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
@@ -126,6 +182,23 @@ func (m *Manager) CheckInvariants() error {
 		}
 		if !cm.present && !cd.present && !ct.present {
 			return fmt.Errorf("storage: %v resident nowhere", id)
+		}
+		if o.hasPayload {
+			for t := Memory; t < numTiers; t++ {
+				if c := o.copies[t]; c.present && !m.backends[t].Contains(c.key(id)) {
+					return fmt.Errorf("storage: %v copy at %v has no bytes (%v)", id, t, c.key(id))
+				}
+			}
+			if cm.present && !cm.summaryOnly {
+				a, err1 := m.backends[Memory].Get(cm.key(id))
+				b, err2 := m.backends[Disk].Get(cd.key(id))
+				if err1 != nil || err2 != nil {
+					return fmt.Errorf("storage: %v exact-copy bytes unreadable: %v / %v", id, err1, err2)
+				}
+				if !bytes.Equal(a, b) {
+					return fmt.Errorf("storage: %v memory bytes differ from disk bytes (exact-copy rule)", id)
+				}
+			}
 		}
 		mem += o.footprint(Memory, m.cfg.SummaryRatio)
 		disk += o.footprint(Disk, m.cfg.SummaryRatio)

@@ -1,0 +1,384 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"cbfww/internal/core"
+)
+
+// SegmentStore is the append-only BlobStore backing the tertiary tier: a
+// linear medium in the paper's sense, written front to back. Blobs are
+// appended as self-describing records to numbered segment files
+// (seg-000000.seg, seg-000001.seg, ...), the active segment rotating once
+// it exceeds the configured size. Overwrites and deletes never touch old
+// bytes — a Put of an existing key appends a fresh record, a Delete
+// appends a tombstone — so the live data slowly drowns in garbage, and
+// Compact rewrites the live set into fresh segments when the dead
+// fraction crosses half. MaybeCompact is driven from Manager.Backup, the
+// paper's periodic background process.
+//
+// Record layout (big-endian):
+//
+//	magic(1)=0xC5 kind(1) summary(1) id(8) version(4) length(4) payload crc32(4)
+//
+// where kind is 1 (put) or 2 (tombstone, length 0), and the CRC covers
+// header + payload. On Open, segments are replayed in order; the first
+// record that fails to parse or checksum ends the usable data in that
+// segment (a crashed writer only damages the tail), and a damaged tail in
+// the newest segment is truncated away so appends resume cleanly.
+type SegmentStore struct {
+	dir     string
+	maxSize core.Bytes
+
+	mu    sync.RWMutex
+	index map[BlobKey]segLoc
+	files map[int]*os.File // open segment handles, by segment number
+	segs  []int            // segment numbers, ascending; last is active
+	// active append state.
+	activeSize int64
+	// live/dead record bytes (including headers), for the garbage ratio.
+	liveBytes, deadBytes int64
+	// Compactions counts completed compaction passes (for tests/stats).
+	Compactions int
+}
+
+type segLoc struct {
+	seg int
+	off int64 // payload offset within the segment
+	n   int   // payload length
+}
+
+const (
+	segMagic      = 0xC5
+	segKindPut    = 1
+	segKindDelete = 2
+	segHeaderLen  = 1 + 1 + 1 + 8 + 4 + 4
+	segTrailerLen = 4 // crc32
+)
+
+func segName(n int) string { return fmt.Sprintf("seg-%06d.seg", n) }
+
+// OpenSegmentStore opens (creating if needed) a segment store in dir,
+// replaying every segment to rebuild the key index.
+func OpenSegmentStore(dir string, maxSize core.Bytes) (*SegmentStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("storage: open segment store: %w", err)
+	}
+	if maxSize <= 0 {
+		maxSize = 4 * core.MB
+	}
+	s := &SegmentStore{
+		dir:     dir,
+		maxSize: maxSize,
+		index:   make(map[BlobKey]segLoc),
+		files:   make(map[int]*os.File),
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("storage: open segment store: %w", err)
+	}
+	for _, e := range ents {
+		var n int
+		if _, err := fmt.Sscanf(e.Name(), "seg-%06d.seg", &n); err == nil {
+			s.segs = append(s.segs, n)
+		}
+	}
+	sort.Ints(s.segs)
+	for i, n := range s.segs {
+		if err := s.replaySegment(n, i == len(s.segs)-1); err != nil {
+			s.Close()
+			return nil, err
+		}
+	}
+	if len(s.segs) == 0 {
+		if err := s.rotateLocked(); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// replaySegment scans one segment file, applying its intact record prefix
+// to the index. When active (the newest segment), a damaged tail is
+// truncated so subsequent appends start from a clean offset.
+func (s *SegmentStore) replaySegment(n int, active bool) error {
+	f, err := os.OpenFile(filepath.Join(s.dir, segName(n)), os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("storage: replay segment %d: %w", n, err)
+	}
+	s.files[n] = f
+	var off int64
+	hdr := make([]byte, segHeaderLen)
+	for {
+		if _, err := io.ReadFull(f, hdr); err != nil {
+			break // clean EOF or truncated header: end of usable data
+		}
+		if hdr[0] != segMagic || (hdr[1] != segKindPut && hdr[1] != segKindDelete) {
+			break
+		}
+		k := BlobKey{
+			ID:      core.ObjectID(binary.BigEndian.Uint64(hdr[3:11])),
+			Version: int(binary.BigEndian.Uint32(hdr[11:15])),
+			Summary: hdr[2] == 1,
+		}
+		length := int(binary.BigEndian.Uint32(hdr[15:19]))
+		body := make([]byte, length+segTrailerLen)
+		if _, err := io.ReadFull(f, body); err != nil {
+			break
+		}
+		crc := crc32.NewIEEE()
+		crc.Write(hdr)
+		crc.Write(body[:length])
+		if binary.BigEndian.Uint32(body[length:]) != crc.Sum32() {
+			break
+		}
+		recLen := int64(segHeaderLen + length + segTrailerLen)
+		if old, ok := s.index[k]; ok {
+			oldRec := int64(segHeaderLen + old.n + segTrailerLen)
+			s.liveBytes -= oldRec
+			s.deadBytes += oldRec
+		}
+		switch hdr[1] {
+		case segKindPut:
+			s.index[k] = segLoc{seg: n, off: off + segHeaderLen, n: length}
+			s.liveBytes += recLen
+		case segKindDelete:
+			delete(s.index, k)
+			s.deadBytes += recLen // the tombstone itself is garbage
+		}
+		off += recLen
+	}
+	if active {
+		if err := f.Truncate(off); err != nil {
+			return fmt.Errorf("storage: replay segment %d: %w", n, err)
+		}
+		if _, err := f.Seek(off, io.SeekStart); err != nil {
+			return fmt.Errorf("storage: replay segment %d: %w", n, err)
+		}
+		s.activeSize = off
+	}
+	return nil
+}
+
+// rotateLocked opens the next segment file as the append target.
+func (s *SegmentStore) rotateLocked() error {
+	next := 0
+	if len(s.segs) > 0 {
+		next = s.segs[len(s.segs)-1] + 1
+	}
+	f, err := os.OpenFile(filepath.Join(s.dir, segName(next)), os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("storage: rotate segment: %w", err)
+	}
+	s.segs = append(s.segs, next)
+	s.files[next] = f
+	s.activeSize = 0
+	return nil
+}
+
+// appendLocked writes one record to the active segment, rotating first if
+// the segment is full. Returns the payload offset.
+func (s *SegmentStore) appendLocked(kind byte, k BlobKey, payload []byte) (seg int, off int64, err error) {
+	if s.activeSize >= int64(s.maxSize) {
+		if err := s.rotateLocked(); err != nil {
+			return 0, 0, err
+		}
+	}
+	seg = s.segs[len(s.segs)-1]
+	f := s.files[seg]
+	rec := make([]byte, segHeaderLen+len(payload)+segTrailerLen)
+	rec[0] = segMagic
+	rec[1] = kind
+	if k.Summary {
+		rec[2] = 1
+	}
+	binary.BigEndian.PutUint64(rec[3:11], uint64(k.ID))
+	binary.BigEndian.PutUint32(rec[11:15], uint32(k.Version))
+	binary.BigEndian.PutUint32(rec[15:19], uint32(len(payload)))
+	copy(rec[segHeaderLen:], payload)
+	crc := crc32.NewIEEE()
+	crc.Write(rec[:segHeaderLen+len(payload)])
+	binary.BigEndian.PutUint32(rec[segHeaderLen+len(payload):], crc.Sum32())
+	if _, err := f.Write(rec); err != nil {
+		return 0, 0, fmt.Errorf("storage: segment append %v: %w", k, err)
+	}
+	off = s.activeSize + segHeaderLen
+	s.activeSize += int64(len(rec))
+	return seg, off, nil
+}
+
+func (s *SegmentStore) Put(k BlobKey, data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if old, ok := s.index[k]; ok {
+		s.deadBytes += int64(segHeaderLen + old.n + segTrailerLen)
+		s.liveBytes -= int64(segHeaderLen + old.n + segTrailerLen)
+	}
+	seg, off, err := s.appendLocked(segKindPut, k, data)
+	if err != nil {
+		return err
+	}
+	s.index[k] = segLoc{seg: seg, off: off, n: len(data)}
+	s.liveBytes += int64(segHeaderLen + len(data) + segTrailerLen)
+	return nil
+}
+
+func (s *SegmentStore) Get(k BlobKey) ([]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	loc, ok := s.index[k]
+	if !ok {
+		return nil, fmt.Errorf("storage: segment get %v: %w", k, core.ErrNotFound)
+	}
+	data := make([]byte, loc.n)
+	if _, err := s.files[loc.seg].ReadAt(data, loc.off); err != nil {
+		return nil, fmt.Errorf("storage: segment get %v: %w", k, err)
+	}
+	return data, nil
+}
+
+func (s *SegmentStore) Delete(k BlobKey) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	loc, ok := s.index[k]
+	if !ok {
+		return nil
+	}
+	if _, _, err := s.appendLocked(segKindDelete, k, nil); err != nil {
+		return err
+	}
+	delete(s.index, k)
+	rec := int64(segHeaderLen + loc.n + segTrailerLen)
+	s.liveBytes -= rec
+	s.deadBytes += rec + segHeaderLen + segTrailerLen
+	return nil
+}
+
+func (s *SegmentStore) Contains(k BlobKey) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.index[k]
+	return ok
+}
+
+func (s *SegmentStore) Keys() []BlobKey {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	keys := make([]BlobKey, 0, len(s.index))
+	for k := range s.index {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func (s *SegmentStore) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.index)
+}
+
+// Sync fsyncs the active segment and the store directory.
+func (s *SegmentStore) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.segs) > 0 {
+		if err := s.files[s.segs[len(s.segs)-1]].Sync(); err != nil {
+			return fmt.Errorf("storage: segment sync: %w", err)
+		}
+	}
+	return syncDir(s.dir)
+}
+
+func (s *SegmentStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var first error
+	for _, f := range s.files {
+		if err := f.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	s.files = make(map[int]*os.File)
+	return first
+}
+
+// GarbageRatio reports the dead fraction of all record bytes written.
+func (s *SegmentStore) GarbageRatio() float64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	total := s.liveBytes + s.deadBytes
+	if total == 0 {
+		return 0
+	}
+	return float64(s.deadBytes) / float64(total)
+}
+
+// MaybeCompact compacts when at least half the written bytes are garbage.
+func (s *SegmentStore) MaybeCompact() error {
+	if s.GarbageRatio() > 0.5 {
+		return s.Compact()
+	}
+	return nil
+}
+
+// Compact rewrites the live records into fresh segments and deletes the
+// old files — stop-the-world, which is acceptable for a background medium
+// whose writer (Backup) already runs off the serving path.
+func (s *SegmentStore) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Read every live blob (ordered for a deterministic new layout).
+	keys := make([]BlobKey, 0, len(s.index))
+	for k := range s.index {
+		keys = append(keys, k)
+	}
+	sortKeys(keys)
+	blobs := make([][]byte, len(keys))
+	for i, k := range keys {
+		loc := s.index[k]
+		data := make([]byte, loc.n)
+		if _, err := s.files[loc.seg].ReadAt(data, loc.off); err != nil {
+			return fmt.Errorf("storage: compact read %v: %w", k, err)
+		}
+		blobs[i] = data
+	}
+	// Drop the old segments.
+	for n, f := range s.files {
+		f.Close()
+		if err := os.Remove(filepath.Join(s.dir, segName(n))); err != nil {
+			return fmt.Errorf("storage: compact remove segment %d: %w", n, err)
+		}
+	}
+	nextSeg := 0
+	if len(s.segs) > 0 {
+		nextSeg = s.segs[len(s.segs)-1] + 1 // never reuse numbers: replay order stays honest
+	}
+	s.files = make(map[int]*os.File)
+	s.segs = nil
+	s.index = make(map[BlobKey]segLoc)
+	s.liveBytes, s.deadBytes, s.activeSize = 0, 0, 0
+	// Rewrite the live set.
+	f, err := os.OpenFile(filepath.Join(s.dir, segName(nextSeg)), os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("storage: compact: %w", err)
+	}
+	s.segs = append(s.segs, nextSeg)
+	s.files[nextSeg] = f
+	for i, k := range keys {
+		seg, off, err := s.appendLocked(segKindPut, k, blobs[i])
+		if err != nil {
+			return err
+		}
+		s.index[k] = segLoc{seg: seg, off: off, n: len(blobs[i])}
+		s.liveBytes += int64(segHeaderLen + len(blobs[i]) + segTrailerLen)
+	}
+	s.Compactions++
+	return nil
+}

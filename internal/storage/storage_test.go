@@ -2,7 +2,7 @@ package storage
 
 import (
 	"errors"
-
+	"os"
 	"testing"
 	"testing/quick"
 
@@ -11,16 +11,23 @@ import (
 
 func newTestManager(t *testing.T) *Manager {
 	t.Helper()
-	m, err := NewManager(Config{
+	cfg := Config{
 		MemCapacity:  100,
 		DiskCapacity: 1000,
 		MemLatency:   0, DiskLatency: 10, TertiaryLatency: 100,
 		SummaryRatio:     0.1,
 		SummaryThreshold: 0.5, // objects > 50 bytes are "large documents"
-	})
+	}
+	// CBFWW_DISK_TIER=1 (the storage-disk CI job) runs the whole suite
+	// against real file-backed disk and tertiary tiers in a tempdir.
+	if os.Getenv("CBFWW_DISK_TIER") != "" {
+		cfg.DataDir = t.TempDir()
+	}
+	m, err := NewManager(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(func() { m.Close() })
 	return m
 }
 

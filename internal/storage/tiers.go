@@ -1,0 +1,185 @@
+// Package storage implements the Storage Manager of §4.4 and Figure 3: the
+// mapping of the object hierarchy onto a storage hierarchy of main memory,
+// disk and tertiary storage.
+//
+// The warehouse is capacity bound-free in aggregate — the tertiary level
+// never refuses data — but the fast levels are finite, so placement is the
+// whole game: objects are ranked by priority and water-filled top-down
+// (highest priorities into memory until its capacity target, next into
+// disk, the rest to tertiary).
+//
+// The manager also implements the paper's copy-control rules:
+//
+//   - data in main memory have exact copies on disk;
+//   - data on disk have backup copies in tertiary storage "which may not
+//     be exact copies due to the periodical back-up process";
+//   - downgrading a priority just invalidates the fast copy; upgrading
+//     copies data upward.
+//
+// and the "levels of details" rule of §4.1: an object too large for the
+// tier its priority deserves keeps a small summary (B′) at that tier while
+// the full body stays one level down.
+//
+// Each tier is backed by a BlobStore that holds the actual payload bytes:
+// an in-heap map, a file-per-blob directory tree, or an append-only
+// segment log (see backend.go, diskstore.go, segment.go). Placement moves
+// real bytes between the backends; the metadata in copyState is an index
+// over them, not a simulation.
+package storage
+
+import (
+	"fmt"
+
+	"cbfww/internal/core"
+)
+
+// Tier is one level of the storage hierarchy.
+type Tier int
+
+// The three levels of Figure 3. Smaller is faster.
+const (
+	Memory Tier = iota
+	Disk
+	Tertiary
+	numTiers
+)
+
+// String names the tier.
+func (t Tier) String() string {
+	switch t {
+	case Memory:
+		return "memory"
+	case Disk:
+		return "disk"
+	case Tertiary:
+		return "tertiary"
+	default:
+		return fmt.Sprintf("tier(%d)", int(t))
+	}
+}
+
+// Config sizes the hierarchy. Capacities are *targets* for the finite
+// tiers: placement fills them in priority order. Tertiary is unbounded.
+type Config struct {
+	MemCapacity  core.Bytes
+	DiskCapacity core.Bytes
+	// Latencies per access, in ticks.
+	MemLatency, DiskLatency, TertiaryLatency core.Duration
+	// SummaryRatio is the size of a levels-of-detail summary relative to
+	// the full object (e.g. 0.05). Zero disables summaries.
+	SummaryRatio float64
+	// SummaryThreshold: objects larger than this fraction of the memory
+	// capacity are "large documents" (§4.3 problem (3)) and are stored in
+	// memory as summaries only. Zero defaults to 0.25.
+	SummaryThreshold float64
+
+	// DataDir roots the persistent backends: the disk tier stores blobs
+	// under DataDir/disk, the tertiary tier appends to segment files under
+	// DataDir/tertiary, and SaveManifest writes DataDir/MANIFEST. Empty
+	// means all-in-heap mode: every tier is an in-memory store and nothing
+	// survives the process (today's test and benchmark behavior).
+	DataDir string
+	// Summarize produces the levels-of-detail abstract of a payload,
+	// targeting roughly the given size. Nil falls back to prefix
+	// truncation; the warehouse installs a content-aware hook.
+	Summarize func(payload []byte, target core.Bytes) []byte
+	// SegmentSize is the tertiary segment-file rotation threshold. Zero
+	// defaults to 4 MB.
+	SegmentSize core.Bytes
+}
+
+// DefaultConfig models the 2003-era ratios the paper argues from: memory
+// is thousands of times faster than a web fetch, disk tens of times.
+func DefaultConfig() Config {
+	return Config{
+		MemCapacity:     64 * core.MB,
+		DiskCapacity:    2 * core.GB,
+		MemLatency:      0,
+		DiskLatency:     10,
+		TertiaryLatency: 100,
+		SummaryRatio:    0.05,
+	}
+}
+
+// copyState describes one tier's copy of an object.
+type copyState struct {
+	present bool
+	// version of the content this copy holds.
+	version int
+	// summaryOnly marks a levels-of-detail abstract rather than the body.
+	summaryOnly bool
+}
+
+// key returns the blob key naming this copy's bytes in its tier's backend.
+func (c copyState) key(id core.ObjectID) BlobKey {
+	return BlobKey{ID: id, Version: c.version, Summary: c.summaryOnly}
+}
+
+// object is the manager's record of one stored object.
+type object struct {
+	id       core.ObjectID
+	size     core.Bytes
+	version  int // current (latest known) content version
+	priority core.Priority
+	copies   [numTiers]copyState
+	// hasPayload marks objects admitted with real bytes (AdmitBytes):
+	// placement moves their content between the tier backends. Objects
+	// admitted metadata-only (Admit) are tracked and placed identically
+	// but own no blobs — the experiments and benchmark harnesses use them
+	// to study placement without paying for payload I/O.
+	hasPayload bool
+	// tertiaryPos is the object's position on the linear tertiary medium
+	// (§4.4 locality of reference); meaningful only while a tertiary copy
+	// exists.
+	tertiaryPos int
+}
+
+// summarySize returns the levels-of-detail footprint of the object.
+func (o *object) summarySize(ratio float64) core.Bytes {
+	s := core.Bytes(float64(o.size) * ratio)
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// footprint returns the bytes the object occupies at tier t.
+func (o *object) footprint(t Tier, ratio float64) core.Bytes {
+	c := o.copies[t]
+	if !c.present {
+		return 0
+	}
+	if c.summaryOnly {
+		return o.summarySize(ratio)
+	}
+	return o.size
+}
+
+// AccessResult reports how an access was served.
+type AccessResult struct {
+	// Tier that served the full object.
+	Tier Tier
+	// Latency of serving the full object.
+	Latency core.Duration
+	// PreviewTier/PreviewLatency are set when a faster tier held a
+	// summary: the user sees an abstract at PreviewLatency while the body
+	// arrives at Latency (§4.3's "fast preview even [when] the original
+	// document is currently not available").
+	PreviewTier    Tier
+	PreviewLatency core.Duration
+	HasPreview     bool
+	// Stale marks a copy older than the object's current version.
+	Stale bool
+	// Version is the content version of the copy that served the access
+	// (older than the object's current version exactly when Stale).
+	Version int
+}
+
+// Stats counts manager activity.
+type Stats struct {
+	Accesses   int
+	Migrations int
+	Backups    int
+	// CostTotal accumulates access latency, the E-F3 metric.
+	CostTotal core.Duration
+}

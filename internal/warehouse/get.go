@@ -138,28 +138,22 @@ func (w *Warehouse) get(ctx context.Context, user, url string, prefetch bool) (G
 // serveResident serves a warehouse-resident page. Requires sh.mu (write),
 // where sh is the shard owning url.
 func (w *Warehouse) serveResident(ctx context.Context, sh *shard, user, url string, st *pageState, prefetch bool) (GetResult, error) {
-	res, err := w.store.Access(st.container)
+	res, data, err := w.store.Fetch(st.container)
 	if err != nil {
 		// The body was lost (tier failures without recovery); fall back to
 		// the origin path.
 		return w.refetch(ctx, sh, user, url, st, prefetch)
 	}
-	snap, ok := w.history.Latest(url)
-	if !ok {
-		return GetResult{}, fmt.Errorf("warehouse: %w: resident page %q has no stored content", core.ErrNotFound, url)
-	}
-	snap, err = w.history.Materialize(snap)
+	page, err := decodePagePayload(url, data)
 	if err != nil {
-		// The body blob is unreadable (disk corruption): refetch.
+		// The stored copy is unreadable (corruption): refetch.
 		return w.refetch(ctx, sh, user, url, st, prefetch)
 	}
-	page := simweb.Page{
-		URL:     url,
-		Title:   snap.Title,
-		Body:    snap.Body,
-		Size:    snap.Size,
-		Version: snap.Version,
-		LastMod: snap.Time,
+	if page.Version < st.version {
+		// The bytes lag what this warehouse already served — a tier loss
+		// was recovered from an older tertiary backup. Refetch current
+		// content (the origin failing degrades to the stale copy below).
+		return w.refetch(ctx, sh, user, url, st, prefetch)
 	}
 	out := GetResult{
 		Page:    page,
@@ -178,27 +172,16 @@ func (w *Warehouse) serveResident(ctx context.Context, sh *shard, user, url stri
 // admitted, content outlives its origin. Returns false when no readable
 // copy exists (lost tiers, corrupt blob). Requires sh.mu (write).
 func (w *Warehouse) serveStale(sh *shard, user, url string, st *pageState, prefetch bool) (GetResult, bool) {
-	res, err := w.store.Access(st.container)
+	res, data, err := w.store.Fetch(st.container)
 	if err != nil {
 		return GetResult{}, false
 	}
-	snap, ok := w.history.Latest(url)
-	if !ok {
-		return GetResult{}, false
-	}
-	snap, err = w.history.Materialize(snap)
+	page, err := decodePagePayload(url, data)
 	if err != nil {
 		return GetResult{}, false
 	}
 	out := GetResult{
-		Page: simweb.Page{
-			URL:     url,
-			Title:   snap.Title,
-			Body:    snap.Body,
-			Size:    snap.Size,
-			Version: snap.Version,
-			LastMod: snap.Time,
-		},
+		Page:    page,
 		Hit:     true,
 		Source:  res.Tier.String(),
 		Latency: res.Latency,
@@ -255,10 +238,21 @@ func (w *Warehouse) refetch(ctx context.Context, sh *shard, user, url string, st
 	}); err != nil {
 		return GetResult{}, err
 	}
-	if p.Version > oldVersion {
-		if err := w.store.Update(st.container, p.Version); err != nil && !errors.Is(err, core.ErrInvalid) {
+	payload := encodePagePayload(&p)
+	switch serr := w.store.UpdateBytes(st.container, p.Version, payload); {
+	case serr == nil:
+	case errors.Is(serr, core.ErrInvalid):
+		// Storage already holds this version or newer; its bytes stand.
+	case errors.Is(serr, core.ErrNotFound):
+		// The container was lost from storage outright (unrecovered tier
+		// failure): re-admit so the copy-control promise holds again.
+		if err := w.store.AdmitBytes(st.container, sizeOrOne(p.Size), p.Version, st.admissionPriority, payload); err != nil && !errors.Is(err, core.ErrExists) {
 			return GetResult{}, err
 		}
+	default:
+		return GetResult{}, serr
+	}
+	if p.Version > oldVersion {
 		w.tracker.Modify(st.physID)
 	}
 	out := GetResult{
@@ -298,8 +292,10 @@ func (w *Warehouse) admitNew(sh *shard, user, url string, fr simweb.FetchResult,
 	prio, exp := w.prios.AdmissionPriority(vec)
 	out.Priority, out.Explanation = prio, exp
 
-	// Object hierarchy: physical page + raw objects.
-	phys, err := w.builder.AddPhysicalPage(&p)
+	// Object hierarchy: physical page + raw objects. The body goes to the
+	// storage tiers, not the heap: hierarchy objects carry a lazy loader
+	// that reads it back from whatever tier holds the container's bytes.
+	phys, err := w.builder.AddPhysicalPage(&p, w.bodyLoader(url))
 	if err != nil {
 		return GetResult{}, err
 	}
@@ -325,7 +321,7 @@ func (w *Warehouse) admitNew(sh *shard, user, url string, fr simweb.FetchResult,
 	// residency events, and the shard lock held here parks their
 	// application until the page is published below.
 	w.pageOfContainer.Store(container.ID, url)
-	if err := w.store.Admit(container.ID, sizeOrOne(p.Size), p.Version, prio); err != nil && !errors.Is(err, core.ErrExists) {
+	if err := w.store.AdmitBytes(container.ID, sizeOrOne(p.Size), p.Version, prio, encodePagePayload(&p)); err != nil && !errors.Is(err, core.ErrExists) {
 		return GetResult{}, err
 	}
 	for _, c := range p.Components {

@@ -93,13 +93,18 @@ func (w *Warehouse) applyHotEvent(id core.ObjectID) {
 		st.inHotIndex = false
 		return
 	}
-	if snap, ok := w.history.Latest(url); ok {
-		if m, err := w.history.Materialize(snap); err == nil {
-			snap = m
-		}
-		sh.hotIndex.Index(st.physID, snap.Title+"\n"+snap.Body)
-		st.inHotIndex = true
+	// Index exactly what the tiers hold: the hot segment is built from the
+	// stored payload, so a copy that cannot be read back is not indexed.
+	data, _, err := w.store.Peek(id)
+	if err != nil {
+		return
 	}
+	page, err := decodePagePayload(url, data)
+	if err != nil {
+		return
+	}
+	sh.hotIndex.Index(st.physID, page.Title+"\n"+page.Body)
+	st.inHotIndex = true
 }
 
 // SearchTiered performs ranked retrieval through the index hierarchy: the

@@ -45,7 +45,7 @@ func (w *Warehouse) MinePaths() (MineReport, error) {
 		}
 		// §5.3: cluster the logical document's weighted vector into a
 		// semantic region, then reflect the region in the hierarchy.
-		vec := w.corpus.WeightedVector(logical.Title, logical.Body, w.cfg.Omega)
+		vec := w.corpus.WeightedVector(logical.Title, logical.BodyText(), w.cfg.Omega)
 		idx := w.regions.Assign(clusterPoint(logical.ID, vec))
 		name := fmt.Sprintf("region-%03d", idx)
 		if _, err := w.builder.AddRegion(name, []core.ObjectID{logical.ID}); err != nil {
@@ -62,7 +62,7 @@ func (w *Warehouse) MinePaths() (MineReport, error) {
 		w.metaMu.Unlock()
 
 		// Index the logical document so MENTION queries reach it.
-		w.index.Index(logical.ID, logical.Title+"\n"+logical.Body)
+		w.index.Index(logical.ID, logical.Title+"\n"+logical.BodyText())
 	}
 	rep.Regions = w.regions.Len()
 	w.social.SetPaths(paths)

@@ -18,6 +18,8 @@ package warehouse
 import (
 	"context"
 	"fmt"
+	"os"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -66,6 +68,13 @@ type Config struct {
 	Miner logmine.MinerConfig
 	// VersionDepth bounds stored versions per URL (0 = unlimited).
 	VersionDepth int
+	// DataDir, when non-empty, roots the warehouse's durable state: the
+	// storage tiers' file backends live under <DataDir>/store, version
+	// bodies under <DataDir>/blobs (unless BlobDir overrides it), and
+	// Checkpoint writes the page catalog and version index beside them so
+	// Rehydrate can resurrect admitted pages after a restart. Empty keeps
+	// every tier in the heap — the simulation shape.
+	DataDir string
 	// BlobDir, when non-empty, stores version bodies content-addressed on
 	// disk (internal/blob): shared and repeated content is stored once,
 	// and pruned versions are garbage-collected.
@@ -296,6 +305,29 @@ func New(cfg Config, clock core.Clock, web Origin) (*Warehouse, error) {
 	if clock == nil || web == nil {
 		return nil, fmt.Errorf("warehouse: %w: nil clock or web", core.ErrInvalid)
 	}
+	if cfg.DataDir == "" && os.Getenv("CBFWW_DISK_TIER") != "" {
+		// Test hook: the storage-disk CI job sets CBFWW_DISK_TIER so the
+		// whole warehouse suite runs against real file-backed tiers
+		// without threading a DataDir through every fixture.
+		dir, err := os.MkdirTemp("", "cbfww-disk-*")
+		if err != nil {
+			return nil, err
+		}
+		cfg.DataDir = dir
+	}
+	if cfg.DataDir != "" {
+		if cfg.Storage.DataDir == "" {
+			cfg.Storage.DataDir = filepath.Join(cfg.DataDir, "store")
+		}
+		if cfg.BlobDir == "" {
+			cfg.BlobDir = filepath.Join(cfg.DataDir, "blobs")
+		}
+	}
+	if cfg.Storage.Summarize == nil {
+		// Levels-of-detail summaries truncate the page body but stay
+		// decodable, so summary blobs remain servable previews.
+		cfg.Storage.Summarize = summarizePagePayload
+	}
 	store, err := storage.NewManager(cfg.Storage)
 	if err != nil {
 		return nil, err
@@ -392,6 +424,11 @@ func (w *Warehouse) Stats() Stats {
 	total.IndexDiskProbes = int(w.indexDiskProbes.Load())
 	return total
 }
+
+// Close releases file-backed resources (storage tier backends). It does
+// not checkpoint: call Checkpoint first for a shutdown that survives a
+// restart.
+func (w *Warehouse) Close() error { return w.store.Close() }
 
 // Clock exposes the warehouse clock (examples print times).
 func (w *Warehouse) Clock() core.Clock { return w.clock }
