@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench bench-read bench-store test-disk tables serve faults soak fuzz examples clean
+.PHONY: all build test race cover bench bench-read bench-store test-disk tables serve faults soak fuzz cluster examples clean
 
 all: build test
 
@@ -58,6 +58,13 @@ faults:
 soak:
 	$(GO) test -race -count=2 -run 'Oracle|Soak|Concurrent' \
 		./internal/warehouse ./internal/gateway
+
+# Multi-node drill: the peer ring's unit tests plus the three-daemon
+# integration test (real sockets, fault-injecting origin, owner killed
+# mid-test), all under the race detector.
+cluster:
+	$(GO) test -race -v -run 'Cluster|Ring|Peer|Proxy|Forwarded|Redirect' \
+		./internal/peers ./internal/gateway ./cmd/cbfww-serve
 
 # Native fuzzing of the query lexer/parser (30s per target; crank
 # FUZZTIME for a longer hunt).

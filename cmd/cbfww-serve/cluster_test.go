@@ -1,0 +1,339 @@
+package main
+
+// Multi-daemon integration: three cbfww-serve daemons federated with
+// -join semantics over real sockets, fetching through a real (and
+// fault-injecting) simweb origin socket. Asserts the cluster contract:
+// ownership routing with observable headers, a single origin fetch per
+// object cluster-wide, and node loss degrading to local fetch + peer
+// hits + stale serves — never to request failures.
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"cbfww/internal/core"
+	"cbfww/internal/peers"
+	"cbfww/internal/simweb"
+	"cbfww/internal/workload"
+)
+
+// clusterFixture is the running topology: one shared origin socket and
+// one daemon per member, all federated.
+type clusterFixture struct {
+	origin  *simweb.HTTPOrigin
+	daemons []*daemon
+	addrs   []string
+	urls    []string
+	client  *http.Client
+}
+
+// strongSchema writes a schema forcing strong consistency, so every
+// resident access revalidates against the origin — the lever that makes
+// stale-serve degradation observable when the origin goes dark.
+func strongSchema(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "strong.schema")
+	if err := os.WriteFile(path, []byte("consistency strong\n"), 0o644); err != nil {
+		t.Fatalf("write schema: %v", err)
+	}
+	return path
+}
+
+// startCluster brings up the origin plus n federated daemons. Membership
+// is configured after every listener binds (the ephemeral-port dance the
+// -join flag does for fixed addresses).
+func startCluster(t *testing.T, n int, redirect bool) *clusterFixture {
+	t.Helper()
+	g, err := workload.GenerateWeb(core.NewSimClock(0), func() workload.WebConfig {
+		cfg := workload.DefaultWebConfig()
+		cfg.Sites, cfg.PagesPerSite, cfg.Seed = 4, 10, 42
+		return cfg
+	}())
+	if err != nil {
+		t.Fatalf("GenerateWeb: %v", err)
+	}
+	// A mildly flaky origin: ~15% injected errors, absorbed by the
+	// daemons' retry budget, proving single-origin-fetch accounting
+	// survives faults (injections 503 before the fetch counter).
+	origin, err := simweb.NewHTTPOrigin(g.Web, &simweb.FaultConfig{Seed: 9, ErrorRate: 0.15})
+	if err != nil {
+		t.Fatalf("NewHTTPOrigin: %v", err)
+	}
+	f := &clusterFixture{origin: origin, urls: g.PageURLs, client: &http.Client{Timeout: 15 * time.Second}}
+	t.Cleanup(func() { origin.Close() })
+
+	schemaPath := strongSchema(t)
+	for i := 0; i < n; i++ {
+		d, err := build(options{
+			addr:             "127.0.0.1:0",
+			origin:           origin.Addr(),
+			schemaFile:       schemaPath,
+			workers:          8,
+			fetchTimeout:     5 * time.Second,
+			retry:            4,
+			breakerThreshold: 3,
+			breakerCooldown:  time.Minute,
+			redirect:         redirect,
+		})
+		if err != nil {
+			t.Fatalf("build daemon %d: %v", i, err)
+		}
+		if err := d.start(); err != nil {
+			t.Fatalf("start daemon %d: %v", i, err)
+		}
+		f.daemons = append(f.daemons, d)
+		f.addrs = append(f.addrs, d.srv.Addr())
+	}
+	for i, d := range f.daemons {
+		d.cluster.Configure(f.addrs[i], f.addrs)
+	}
+	t.Cleanup(func() {
+		for _, d := range f.daemons {
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			d.shutdown(ctx)
+			cancel()
+		}
+	})
+	return f
+}
+
+// fetchView is the slice of the /fetch response (plus routing headers)
+// the assertions care about.
+type fetchView struct {
+	status int
+	node   string
+	owner  string
+	stale  bool
+	Body   string `json:"body"`
+	Hit    bool   `json:"hit"`
+	Source string `json:"source"`
+}
+
+// fetchVia GETs pageURL through the daemon at via and fails the test on
+// any transport error — the cluster contract is "never fail a request".
+func (f *clusterFixture) fetchVia(t *testing.T, via, pageURL string) fetchView {
+	t.Helper()
+	resp, err := f.client.Get("http://" + via + "/fetch?url=" + url.QueryEscape(pageURL))
+	if err != nil {
+		t.Fatalf("fetch %s via %s: %v", pageURL, via, err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	v := fetchView{
+		status: resp.StatusCode,
+		node:   resp.Header.Get(peers.HeaderNode),
+		owner:  resp.Header.Get(peers.HeaderOwner),
+		stale:  resp.Header.Get("X-CBFWW-Stale") == "1",
+	}
+	if resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(body, &v); err != nil {
+			t.Fatalf("fetch %s via %s: decode: %v (%q)", pageURL, via, err, body)
+		}
+	}
+	return v
+}
+
+// urlOwnedBy picks a page URL the ring assigns to addrs[want].
+func urlOwnedBy(t *testing.T, ring *peers.Ring, urls []string, owner string) string {
+	t.Helper()
+	for _, u := range urls {
+		if ring.Owner(u) == owner {
+			return u
+		}
+	}
+	t.Fatalf("no URL owned by %s among %d pages", owner, len(urls))
+	return ""
+}
+
+func TestClusterOwnershipAndSingleOriginFetch(t *testing.T) {
+	f := startCluster(t, 3, false)
+	ring := peers.NewRing(peers.DefaultVNodes, f.addrs)
+
+	// Pick an object owned by the node we will later kill, and two
+	// bystander gateways.
+	ownerAddr := f.addrs[1]
+	u := urlOwnedBy(t, ring, f.urls, ownerAddr)
+	gwA, gwC := f.addrs[0], f.addrs[2]
+
+	// Admit via a non-owner gateway: the request must be proxied to the
+	// owner, which cold-misses, finds no peer copy, and fetches origin.
+	v := f.fetchVia(t, gwA, u)
+	if v.status != http.StatusOK || v.Body == "" {
+		t.Fatalf("admit via %s = %d %+v", gwA, v.status, v)
+	}
+	if v.owner != ownerAddr || v.node != ownerAddr {
+		t.Errorf("admit headers: node=%q owner=%q, want both %q (proxied to owner)", v.node, v.owner, ownerAddr)
+	}
+	if v.Source != "origin" || v.Hit {
+		t.Errorf("admit result: source=%q hit=%v, want a cold origin fetch", v.Source, v.Hit)
+	}
+	admittedBody := v.Body
+
+	// Served from every gateway: the owner hits locally; the other
+	// bystander proxies. Exactly one origin fetch total.
+	v = f.fetchVia(t, ownerAddr, u)
+	if v.status != http.StatusOK || !v.Hit || v.node != ownerAddr {
+		t.Errorf("owner serve: %+v, want a local hit on %s", v, ownerAddr)
+	}
+	v = f.fetchVia(t, gwC, u)
+	if v.status != http.StatusOK || !v.Hit || v.node != ownerAddr || v.Body != admittedBody {
+		t.Errorf("bystander serve: %+v, want the owner's copy proxied through %s", v, gwC)
+	}
+	if got := f.origin.Web().FetchCount(u); got != 1 {
+		t.Fatalf("origin fetches after cluster-wide serves = %d, want exactly 1", got)
+	}
+
+	// The proxying gateways' ledgers saw the traffic.
+	var proxied uint64
+	for _, p := range f.daemons[0].cluster.Stats().Peers {
+		proxied += p.Proxied
+	}
+	if proxied == 0 {
+		t.Error("gateway A proxied counter = 0 after routing to the owner")
+	}
+
+	// --- Node loss: kill the owner mid-test. ---
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	if err := f.daemons[1].shutdown(ctx); err != nil {
+		t.Fatalf("shutdown owner: %v", err)
+	}
+	cancel()
+
+	// Gateway A holds no copy: its proxy dies, it falls back locally,
+	// probes peers (owner dead, C empty), and re-fetches from origin —
+	// degraded locality, not a failed request.
+	v = f.fetchVia(t, gwA, u)
+	if v.status != http.StatusOK {
+		t.Fatalf("fetch with dead owner via %s = %d, want 200 (local fallback)", gwA, v.status)
+	}
+	if v.node != gwA || v.Source != "origin" {
+		t.Errorf("dead-owner fallback: node=%q source=%q, want %s serving its own origin fetch", v.node, v.Source, gwA)
+	}
+	if got := f.origin.Web().FetchCount(u); got != 2 {
+		t.Errorf("origin fetches after owner loss = %d, want 2 (one re-admission)", got)
+	}
+
+	// Gateway C also falls back — but now A holds a copy, so C's peer
+	// probe finds it: no third origin fetch.
+	v = f.fetchVia(t, gwC, u)
+	if v.status != http.StatusOK {
+		t.Fatalf("fetch with dead owner via %s = %d, want 200", gwC, v.status)
+	}
+	if v.Source != "peer" {
+		t.Errorf("bystander fallback source = %q, want \"peer\" (A's copy found before origin)", v.Source)
+	}
+	if got := f.origin.Web().FetchCount(u); got != 2 {
+		t.Errorf("origin fetches after peer-hit fallback = %d, want still 2", got)
+	}
+	if got := f.daemons[2].wh.Stats().PeerFetches; got == 0 {
+		t.Error("warehouse C peer-fetch counter = 0 after a peer admission")
+	}
+
+	// Repeated traffic opens the dead owner's breaker; requests keep
+	// succeeding, now routed around without proxy attempts.
+	for i := 0; i < 3; i++ {
+		if v := f.fetchVia(t, gwA, u); v.status != http.StatusOK {
+			t.Fatalf("fetch %d with open breaker = %d, want 200", i, v.status)
+		}
+	}
+	if got := f.daemons[0].cluster.BreakerState(ownerAddr); got != "open" {
+		t.Errorf("A's breaker for dead owner = %q, want open", got)
+	}
+	var around uint64
+	for _, p := range f.daemons[0].cluster.Stats().Peers {
+		around += p.RoutedAround
+	}
+	if around == 0 {
+		t.Error("routed_around = 0 after breaker opened")
+	}
+
+	// --- Origin loss: blackout the page's host. Strong consistency makes
+	// every resident serve revalidate; with the origin dark that fails,
+	// and the warehouse degrades to its admitted copy, flagged stale.
+	host := strings.TrimPrefix(u, "http://")
+	host = host[:strings.IndexByte(host, '/')]
+	f.origin.Blackout(host, true)
+	v = f.fetchVia(t, gwA, u)
+	if v.status != http.StatusOK || v.Body != admittedBody {
+		t.Fatalf("blackout serve = %d, want 200 with the admitted copy", v.status)
+	}
+	if !v.stale {
+		t.Error("blackout serve not flagged X-CBFWW-Stale")
+	}
+	if got := f.origin.Web().FetchCount(u); got != 2 {
+		t.Errorf("origin fetches after blackout serves = %d, want still 2", got)
+	}
+
+	// The /stats cluster section on a surviving node reflects the run.
+	resp, err := f.client.Get("http://" + gwA + "/stats")
+	if err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var stats struct {
+		Cluster peers.ClusterStats `json:"cluster"`
+	}
+	if err := json.Unmarshal(raw, &stats); err != nil {
+		t.Fatalf("stats decode: %v", err)
+	}
+	if !stats.Cluster.Enabled || stats.Cluster.Members != 3 || len(stats.Cluster.Peers) != 2 {
+		t.Errorf("cluster stats = %+v, want enabled with 3 members and 2 peers", stats.Cluster)
+	}
+	var openSeen bool
+	for _, p := range stats.Cluster.Peers {
+		if p.Addr == ownerAddr && p.Breaker == "open" {
+			openSeen = true
+		}
+	}
+	if !openSeen {
+		t.Errorf("stats does not show the dead owner's breaker open: %+v", stats.Cluster.Peers)
+	}
+}
+
+// TestClusterRedirectMode: with -redirect the non-owner answers 307
+// pointing at the owner instead of proxying, and a redirect-following
+// client lands on the owner's serve.
+func TestClusterRedirectMode(t *testing.T) {
+	f := startCluster(t, 2, true)
+	ring := peers.NewRing(peers.DefaultVNodes, f.addrs)
+	ownerAddr := f.addrs[1]
+	u := urlOwnedBy(t, ring, f.urls, ownerAddr)
+
+	noFollow := &http.Client{
+		Timeout: 15 * time.Second,
+		CheckRedirect: func(*http.Request, []*http.Request) error {
+			return http.ErrUseLastResponse
+		},
+	}
+	resp, err := noFollow.Get("http://" + f.addrs[0] + "/fetch?url=" + url.QueryEscape(u))
+	if err != nil {
+		t.Fatalf("redirect fetch: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTemporaryRedirect {
+		t.Fatalf("non-owner fetch = %d, want 307", resp.StatusCode)
+	}
+	loc := resp.Header.Get("Location")
+	if !strings.HasPrefix(loc, "http://"+ownerAddr+"/fetch") {
+		t.Fatalf("Location = %q, want the owner %s", loc, ownerAddr)
+	}
+
+	// Following the redirect (default client behavior) serves the page.
+	v := f.fetchVia(t, f.addrs[0], u)
+	if v.status != http.StatusOK || v.Body == "" || v.node != ownerAddr {
+		t.Fatalf("followed redirect = %d node=%q, want the owner's serve", v.status, v.node)
+	}
+	if got := f.origin.Web().FetchCount(u); got != 1 {
+		t.Errorf("origin fetches = %d, want 1", got)
+	}
+}

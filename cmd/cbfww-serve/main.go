@@ -19,9 +19,19 @@
 //
 //	cbfww-serve -data-dir /var/tmp/cbfww
 //
+// With -join the daemon becomes one node of a static peer ring: URLs hash
+// to an owner node, non-owners proxy (or, with -redirect, 307) to it, and
+// an owner's cold miss checks its peers before the origin, so an object
+// admitted anywhere in the cluster hits the origin once. List every
+// member (self included or not — it is added automatically):
+//
+//	cbfww-serve -addr 127.0.0.1:8642 -origin 127.0.0.1:9000 \
+//	    -join 127.0.0.1:8642,127.0.0.1:8643,127.0.0.1:8644
+//
 // Endpoints: GET /fetch?url=, GET /body?url=, POST /query, GET /search,
-// GET /recommend, GET /stats, GET /healthz. SIGINT/SIGTERM shut down
-// gracefully, draining in-flight requests and flushing durable state.
+// GET /recommend, GET /peer/fetch?url= (cluster-internal), GET /stats,
+// GET /healthz. SIGINT/SIGTERM shut down gracefully, draining in-flight
+// requests and flushing durable state.
 package main
 
 import (
@@ -31,12 +41,14 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"cbfww/internal/core"
 	"cbfww/internal/crawl"
 	"cbfww/internal/gateway"
+	"cbfww/internal/peers"
 	"cbfww/internal/resilience"
 	"cbfww/internal/schema"
 	"cbfww/internal/simweb"
@@ -67,13 +79,39 @@ type options struct {
 
 	// pprof mounts net/http/pprof under /debug/pprof/ on the gateway.
 	pprof bool
+
+	// Cluster membership: join lists every ring member (comma-separated
+	// host:port; self is added if absent), advertise overrides the
+	// self-address peers see (defaults to the bound listen address),
+	// redirect switches ownership routing from proxying to 307s, vnodes
+	// tunes the ring's virtual-node count.
+	join      string
+	advertise string
+	redirect  bool
+	vnodes    int
+}
+
+// splitJoin parses the -join list into member addresses.
+func splitJoin(join string) []string {
+	var members []string
+	for _, m := range strings.Split(join, ",") {
+		if m = strings.TrimSpace(m); m != "" {
+			members = append(members, m)
+		}
+	}
+	return members
 }
 
 // daemon bundles the running pieces: the gateway server, the warehouse
 // behind it, and the optional maintenance loop.
 type daemon struct {
-	srv *gateway.Server
-	wh  *warehouse.Warehouse
+	srv     *gateway.Server
+	wh      *warehouse.Warehouse
+	cluster *peers.Cluster
+	// join/advertise defer membership wiring to start(): with an
+	// ephemeral listen port the self address exists only after bind.
+	join      []string
+	advertise string
 	// urls samples the built-in simulated web (empty with -origin) so
 	// operators and tests have something to curl.
 	urls []string
@@ -172,6 +210,14 @@ func build(opts options) (*daemon, error) {
 	} else if restored > 0 {
 		log.Printf("rehydrated %d pages from %s", restored, opts.dataDir)
 	}
+	cluster := peers.NewCluster(peers.Config{
+		VNodes: opts.vnodes,
+		Breaker: resilience.BreakerConfig{
+			Threshold: opts.breakerThreshold,
+			Cooldown:  opts.breakerCooldown,
+		},
+	})
+	wh.SetPeerSource(cluster)
 	srv, err := gateway.New(gateway.Config{
 		Addr:         opts.addr,
 		FetchWorkers: opts.workers,
@@ -179,17 +225,33 @@ func build(opts options) (*daemon, error) {
 		Resilient:    resilient,
 		Faults:       faults,
 		EnablePprof:  opts.pprof,
+		Cluster:      cluster,
+		Redirect:     opts.redirect,
 	}, wh)
 	if err != nil {
 		return nil, err
 	}
-	return &daemon{srv: srv, wh: wh, urls: urls, maintainEvery: opts.maintainEvery}, nil
+	return &daemon{
+		srv: srv, wh: wh, cluster: cluster,
+		join: splitJoin(opts.join), advertise: opts.advertise,
+		urls: urls, maintainEvery: opts.maintainEvery,
+	}, nil
 }
 
 // start binds the listener and, when configured, the maintenance loop.
 func (d *daemon) start() error {
 	if err := d.srv.Start(); err != nil {
 		return err
+	}
+	if len(d.join) > 0 {
+		// Membership waits for the bind: with an ephemeral port the self
+		// address only exists now. A -join list without self still works —
+		// Configure adds the advertised address to the ring.
+		self := d.advertise
+		if self == "" {
+			self = d.srv.Addr()
+		}
+		d.cluster.Configure(self, d.join)
 	}
 	if d.maintainEvery > 0 {
 		d.stopMaintain = make(chan struct{})
@@ -257,6 +319,10 @@ func main() {
 	flag.DurationVar(&opts.breakerCooldown, "breaker-cooldown", 30*time.Second, "open-breaker cool-down before a half-open probe")
 	flag.Float64Var(&opts.faultRate, "fault-rate", 0, "injected origin error probability (in-process origin only)")
 	flag.BoolVar(&opts.pprof, "pprof", false, "serve net/http/pprof profiles under /debug/pprof/ (do not expose publicly)")
+	flag.StringVar(&opts.join, "join", "", "comma-separated cluster members (host:port,...); empty = standalone")
+	flag.StringVar(&opts.advertise, "advertise", "", "self address peers should use (default: the bound listen address)")
+	flag.BoolVar(&opts.redirect, "redirect", false, "307-redirect to the owner node instead of proxying")
+	flag.IntVar(&opts.vnodes, "vnodes", 0, "virtual nodes per ring member (0 = default 128)")
 	grace := flag.Duration("grace", 15*time.Second, "graceful-shutdown drain budget")
 	flag.Parse()
 

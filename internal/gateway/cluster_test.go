@@ -1,0 +1,267 @@
+package gateway
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"testing"
+	"time"
+
+	"cbfww/internal/core"
+	"cbfww/internal/peers"
+	"cbfww/internal/resilience"
+	"cbfww/internal/warehouse"
+	"cbfww/internal/workload"
+)
+
+// newClusterGateway builds warehouse + server with a peer ring configured
+// as self plus the given peers (addresses need not be live).
+func newClusterGateway(t *testing.T, self string, peerAddrs []string, redirect bool) (*Server, *peers.Cluster, *workload.GeneratedWeb) {
+	t.Helper()
+	g := testWeb(t)
+	wh, err := warehouse.New(warehouse.DefaultConfig(), core.NewSimClock(0), g.Web)
+	if err != nil {
+		t.Fatalf("warehouse.New: %v", err)
+	}
+	cl := peers.NewCluster(peers.Config{
+		Timeout: 200 * time.Millisecond,
+		Breaker: resilience.BreakerConfig{Threshold: 2, Cooldown: time.Minute},
+	})
+	cl.Configure(self, append(peerAddrs, self))
+	wh.SetPeerSource(cl)
+	s, err := New(Config{Cluster: cl, Redirect: redirect}, wh)
+	if err != nil {
+		t.Fatalf("gateway.New: %v", err)
+	}
+	return s, cl, g
+}
+
+// peerOwnedURL finds a page the ring assigns to somebody other than self.
+func peerOwnedURL(t *testing.T, cl *peers.Cluster, urls []string) (pageURL, owner string) {
+	t.Helper()
+	for _, u := range urls {
+		if o, isSelf := cl.Owner(u); !isSelf {
+			return u, o
+		}
+	}
+	t.Fatal("no peer-owned URL in the generated web")
+	return "", ""
+}
+
+// selfOwnedURL finds a page the ring assigns to this node.
+func selfOwnedURL(t *testing.T, cl *peers.Cluster, urls []string) string {
+	t.Helper()
+	for _, u := range urls {
+		if _, isSelf := cl.Owner(u); isSelf {
+			return u
+		}
+	}
+	t.Fatal("no self-owned URL in the generated web")
+	return ""
+}
+
+// TestStatsClusterSectionStandalone: a daemon with no cluster still
+// renders the section — disabled, empty peer list, never null.
+func TestStatsClusterSectionStandalone(t *testing.T) {
+	s, _, _ := newGatedGateway(t, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var stats StatsResponse
+	if code := getJSON(t, ts.Client(), ts.URL+"/stats", &stats); code != http.StatusOK {
+		t.Fatalf("/stats = %d", code)
+	}
+	if stats.Cluster.Enabled {
+		t.Error("standalone daemon reports cluster enabled")
+	}
+	if stats.Cluster.Peers == nil {
+		t.Error("cluster.peers is null, want []")
+	}
+	if len(stats.Cluster.Peers) != 0 {
+		t.Errorf("standalone peers = %v, want empty", stats.Cluster.Peers)
+	}
+}
+
+// TestStatsClusterSectionSingleNode: a configured single-node cluster is
+// enabled with itself as the only member and no peers.
+func TestStatsClusterSectionSingleNode(t *testing.T) {
+	s, _, _ := newClusterGateway(t, "127.0.0.1:7001", nil, false)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var stats StatsResponse
+	if code := getJSON(t, ts.Client(), ts.URL+"/stats", &stats); code != http.StatusOK {
+		t.Fatalf("/stats = %d", code)
+	}
+	c := stats.Cluster
+	if !c.Enabled || c.Self != "127.0.0.1:7001" || c.Members != 1 || c.VNodes != peers.DefaultVNodes {
+		t.Errorf("cluster section = %+v, want enabled single node with %d vnodes", c, peers.DefaultVNodes)
+	}
+	if c.Peers == nil || len(c.Peers) != 0 {
+		t.Errorf("single-node peers = %v, want empty non-nil", c.Peers)
+	}
+}
+
+// TestStatsClusterSectionCounters: routing activity shows up per peer.
+func TestStatsClusterSectionCounters(t *testing.T) {
+	// The peer address is dead on purpose: proxies fail and fall back, so
+	// proxy_failures and breaker state become observable in /stats.
+	deadPeer := "127.0.0.1:1"
+	s, cl, g := newClusterGateway(t, "127.0.0.1:7002", []string{deadPeer}, false)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	u, _ := peerOwnedURL(t, cl, g.PageURLs)
+	for i := 0; i < 3; i++ {
+		if code := getJSON(t, ts.Client(), ts.URL+"/fetch?url="+url.QueryEscape(u), nil); code != http.StatusOK {
+			t.Fatalf("fetch with dead owner = %d, want 200 (local fallback)", code)
+		}
+	}
+
+	var stats StatsResponse
+	getJSON(t, ts.Client(), ts.URL+"/stats", &stats)
+	if len(stats.Cluster.Peers) != 1 {
+		t.Fatalf("peers = %+v, want the one dead peer", stats.Cluster.Peers)
+	}
+	p := stats.Cluster.Peers[0]
+	if p.Addr != deadPeer || p.ProxyFailures == 0 {
+		t.Errorf("peer stat = %+v, want proxy failures against %s", p, deadPeer)
+	}
+	if p.Breaker != "open" {
+		t.Errorf("breaker = %q after repeated proxy failures (threshold 2), want open", p.Breaker)
+	}
+	if p.RoutedAround == 0 {
+		t.Errorf("routed_around = 0, want > 0 once the breaker opened")
+	}
+}
+
+// TestForwardedLoopGuard: a request carrying X-CBFWW-From is served
+// locally even when the ring says another node owns the URL.
+func TestForwardedLoopGuard(t *testing.T) {
+	s, cl, g := newClusterGateway(t, "127.0.0.1:7003", []string{"127.0.0.1:1"}, false)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	u, owner := peerOwnedURL(t, cl, g.PageURLs)
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/fetch?url="+url.QueryEscape(u), nil)
+	req.Header.Set(peers.HeaderFrom, owner)
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatalf("forwarded fetch: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("forwarded fetch = %d, want 200 served locally", resp.StatusCode)
+	}
+	if got := resp.Header.Get(peers.HeaderNode); got != "127.0.0.1:7003" {
+		t.Errorf("X-CBFWW-Node = %q, want self (forwarded requests never re-proxy)", got)
+	}
+	if got := resp.Header.Get(peers.HeaderOwner); got != owner {
+		t.Errorf("X-CBFWW-Owner = %q, want %q", got, owner)
+	}
+	var stats StatsResponse
+	getJSON(t, ts.Client(), ts.URL+"/stats", &stats)
+	var forwarded uint64
+	for _, p := range stats.Cluster.Peers {
+		forwarded += p.Forwarded
+	}
+	if forwarded != 1 {
+		t.Errorf("forwarded counter = %d, want 1", forwarded)
+	}
+}
+
+// TestSelfOwnedServesLocally: self-owned URLs never touch the (dead)
+// peer, and responses carry the identity headers.
+func TestSelfOwnedServesLocally(t *testing.T) {
+	self := "127.0.0.1:7004"
+	s, cl, g := newClusterGateway(t, self, []string{"127.0.0.1:1"}, false)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	u := selfOwnedURL(t, cl, g.PageURLs)
+	resp, err := ts.Client().Get(ts.URL + "/fetch?url=" + url.QueryEscape(u))
+	if err != nil {
+		t.Fatalf("fetch: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("self-owned fetch = %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get(peers.HeaderNode); got != self {
+		t.Errorf("X-CBFWW-Node = %q, want %q", got, self)
+	}
+	if got := resp.Header.Get(peers.HeaderOwner); got != self {
+		t.Errorf("X-CBFWW-Owner = %q, want %q", got, self)
+	}
+}
+
+// TestRedirectMode: -redirect turns ownership routing into 307s aimed at
+// the owner, counted per peer.
+func TestRedirectMode(t *testing.T) {
+	s, cl, g := newClusterGateway(t, "127.0.0.1:7005", []string{"127.0.0.1:1"}, true)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	u, owner := peerOwnedURL(t, cl, g.PageURLs)
+	client := &http.Client{CheckRedirect: func(*http.Request, []*http.Request) error {
+		return http.ErrUseLastResponse
+	}}
+	resp, err := client.Get(ts.URL + "/fetch?url=" + url.QueryEscape(u))
+	if err != nil {
+		t.Fatalf("fetch: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTemporaryRedirect {
+		t.Fatalf("redirect-mode fetch = %d, want 307", resp.StatusCode)
+	}
+	loc := resp.Header.Get("Location")
+	want := "http://" + owner + "/fetch?url=" + url.QueryEscape(u)
+	if loc != want {
+		t.Errorf("Location = %q, want %q", loc, want)
+	}
+	var stats StatsResponse
+	getJSON(t, ts.Client(), ts.URL+"/stats", &stats)
+	var redirects uint64
+	for _, p := range stats.Cluster.Peers {
+		redirects += p.Redirects
+	}
+	if redirects != 1 {
+		t.Errorf("redirects = %d, want 1", redirects)
+	}
+}
+
+// TestPeerFetchEndpoint: /peer/fetch answers resident pages and 404s
+// cold ones without ever fetching the origin.
+func TestPeerFetchEndpoint(t *testing.T) {
+	s, cl, g := newClusterGateway(t, "127.0.0.1:7006", nil, false)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	u := selfOwnedURL(t, cl, g.PageURLs)
+	if code := getJSON(t, ts.Client(), ts.URL+"/fetch?url="+url.QueryEscape(u), nil); code != http.StatusOK {
+		t.Fatalf("admitting fetch = %d", code)
+	}
+	fetchesAfterAdmit := g.Web.TotalFetches()
+
+	var pp peers.PeerPage
+	if code := getJSON(t, ts.Client(), ts.URL+peers.PeerFetchPath+"?url="+url.QueryEscape(u), &pp); code != http.StatusOK {
+		t.Fatalf("peer fetch of resident page = %d, want 200", code)
+	}
+	if pp.Page.URL != u || pp.Page.Body == "" {
+		t.Errorf("peer page = %+v, want the admitted copy of %s", pp.Page, u)
+	}
+	if pp.Source == "" || pp.Source == "origin" || pp.Source == "peer" {
+		t.Errorf("peer-fetch source = %q, want a resident tier name", pp.Source)
+	}
+
+	cold := "http://never-admitted.example/missing.html"
+	if code := getJSON(t, ts.Client(), ts.URL+peers.PeerFetchPath+"?url="+url.QueryEscape(cold), nil); code != http.StatusNotFound {
+		t.Fatalf("peer fetch of cold page = %d, want 404", code)
+	}
+	if code := getJSON(t, ts.Client(), ts.URL+peers.PeerFetchPath, nil); code != http.StatusBadRequest {
+		t.Fatalf("peer fetch without url = %d, want 400", code)
+	}
+	if got := g.Web.TotalFetches(); got != fetchesAfterAdmit {
+		t.Errorf("peer fetches changed origin fetch count %d -> %d; must be resident-only", fetchesAfterAdmit, got)
+	}
+}

@@ -24,8 +24,15 @@
 //	POST /query                  popularity-aware query (§4.3); body = query text or form q=
 //	GET  /search?q=T[&n=K]       ranked retrieval through the index hierarchy
 //	GET  /recommend?user=X[&n=K] content suggestions
-//	GET  /stats                  gateway + warehouse counters, latency quantiles
+//	GET  /peer/fetch?url=U       cluster-internal resident-only probe (never fetches origin)
+//	GET  /stats                  gateway + warehouse counters, latency quantiles, cluster section
 //	GET  /healthz                liveness probe
+//
+// With a peers.Cluster configured, /fetch and /body route by ownership:
+// a URL owned by another node is proxied there (or 307-redirected under
+// Config.Redirect), and responses carry X-CBFWW-Node (who served) and
+// X-CBFWW-Owner (who the ring says owns the URL). A peer whose breaker is
+// open is routed around — the gateway serves locally instead of failing.
 package gateway
 
 import (
@@ -44,6 +51,7 @@ import (
 	"time"
 
 	"cbfww/internal/core"
+	"cbfww/internal/peers"
 	"cbfww/internal/resilience"
 	"cbfww/internal/simweb"
 	"cbfww/internal/warehouse"
@@ -72,6 +80,15 @@ type Config struct {
 	// /debug/pprof/. Off by default: the profiles expose internals
 	// (goroutine stacks, heap contents) no public daemon should serve.
 	EnablePprof bool
+	// Cluster, when set, makes this gateway one node of a peer ring:
+	// /fetch and /body route to the URL's owner, /peer/fetch answers
+	// resident-only probes, and /stats grows a "cluster" section. Nil (or
+	// unconfigured) means standalone — every URL is self-owned.
+	Cluster *peers.Cluster
+	// Redirect switches ownership routing from proxying to 307 redirects:
+	// the client is told the owner's address instead of the gateway
+	// fetching on its behalf. Only meaningful with a Cluster.
+	Redirect bool
 }
 
 // DefaultConfig returns production-ish defaults.
@@ -143,6 +160,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /query", s.instrument("query", s.handleQuery))
 	mux.HandleFunc("GET /search", s.instrument("search", s.handleSearch))
 	mux.HandleFunc("GET /recommend", s.instrument("recommend", s.handleRecommend))
+	mux.HandleFunc("GET "+peers.PeerFetchPath, s.instrument("peer_fetch", s.handlePeerFetch))
 	mux.HandleFunc("GET /stats", s.instrument("stats", s.handleStats))
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	if s.cfg.EnablePprof {
@@ -282,10 +300,55 @@ type FetchResponse struct {
 	Stale        bool    `json:"stale"`
 }
 
+// routeToOwner applies cluster ownership routing for url. It returns true
+// when the response has been fully written (proxied to the owner, or a
+// 307 issued); false means the caller must serve locally — because this
+// node owns the URL, the request was forwarded by a peer (the loop
+// guard), the cluster is off, or the owner is unreachable/broken-open and
+// local degradation is the right answer. On local serves the X-CBFWW-Node
+// and X-CBFWW-Owner headers are already set when routing is on.
+func (s *Server) routeToOwner(w http.ResponseWriter, r *http.Request, url string) bool {
+	cl := s.cfg.Cluster
+	if cl == nil || !cl.Enabled() {
+		return false
+	}
+	owner, isSelf := cl.Owner(url)
+	h := w.Header()
+	h.Set(peers.HeaderOwner, owner)
+	if from := r.Header.Get(peers.HeaderFrom); from != "" {
+		// A peer already routed this request here; serve locally no matter
+		// what the ring says, so proxy chains cannot loop.
+		cl.CountForwarded(from)
+		h.Set(peers.HeaderNode, cl.Self())
+		return false
+	}
+	if isSelf {
+		h.Set(peers.HeaderNode, cl.Self())
+		return false
+	}
+	if s.cfg.Redirect {
+		cl.CountRedirect(owner)
+		h.Set("Location", "http://"+owner+r.URL.RequestURI())
+		w.WriteHeader(http.StatusTemporaryRedirect)
+		return true
+	}
+	if cl.Proxy(w, r, owner) {
+		return true
+	}
+	// Owner unreachable or breaker open: degrade to the local serve path
+	// (which still has stale-serve behind it). Never fail the request on a
+	// peer's account.
+	h.Set(peers.HeaderNode, cl.Self())
+	return false
+}
+
 func (s *Server) handleFetch(w http.ResponseWriter, r *http.Request) {
 	url := r.URL.Query().Get("url")
 	if url == "" {
 		writeError(w, fmt.Errorf("gateway: %w: missing url parameter", core.ErrInvalid))
+		return
+	}
+	if s.routeToOwner(w, r, url) {
 		return
 	}
 	user := r.URL.Query().Get("user")
@@ -358,6 +421,9 @@ func (s *Server) handleBody(w http.ResponseWriter, r *http.Request) {
 	url := r.URL.Query().Get("url")
 	if url == "" {
 		writeError(w, fmt.Errorf("gateway: %w: missing url parameter", core.ErrInvalid))
+		return
+	}
+	if s.routeToOwner(w, r, url) {
 		return
 	}
 	res, err := s.wh.GetCtx(r.Context(), r.URL.Query().Get("user"), url)
@@ -475,6 +541,35 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"user": user, "recommendations": out})
 }
 
+// handlePeerFetch answers a cluster-internal resident-only probe: the
+// page from the local warehouse if (and only if) it is already admitted,
+// 404 otherwise. It never triggers an origin fetch and never probes other
+// peers, which keeps the cluster's probe graph loop-free. A resident
+// serve counts as a real access — peer demand is demand, and should drive
+// the same usage/priority machinery as a local client's.
+func (s *Server) handlePeerFetch(w http.ResponseWriter, r *http.Request) {
+	url := r.URL.Query().Get("url")
+	if url == "" {
+		writeError(w, fmt.Errorf("gateway: %w: missing url parameter", core.ErrInvalid))
+		return
+	}
+	if cl := s.cfg.Cluster; cl != nil {
+		w.Header().Set(peers.HeaderNode, cl.Self())
+		cl.CountForwarded(r.Header.Get(peers.HeaderFrom))
+	}
+	res, ok := s.wh.GetResident(r.URL.Query().Get("user"), url)
+	if !ok {
+		writeError(w, fmt.Errorf("gateway: peer fetch %q: %w", url, core.ErrNotFound))
+		return
+	}
+	writeJSON(w, http.StatusOK, peers.PeerPage{
+		Page:         res.Page,
+		Source:       res.Source,
+		LatencyTicks: int64(res.Latency),
+		Stale:        res.Stale,
+	})
+}
+
 // retryAfterSeconds renders a cool-down as a Retry-After value, rounding
 // up so clients never come back early (and never see 0).
 func retryAfterSeconds(d time.Duration) int {
@@ -494,6 +589,10 @@ type StatsResponse struct {
 	// Shards breaks the warehouse's traffic down by lock stripe so
 	// operators can see striping imbalance and per-stripe lock contention.
 	Shards []ShardSnapshot `json:"shards"`
+	// Cluster is the peer-ring section: membership, per-peer routing and
+	// probe counters, breaker states. Always present — disabled with no
+	// peers on a standalone daemon — so dashboards need no shape branch.
+	Cluster peers.ClusterStats `json:"cluster"`
 }
 
 // ShardSnapshot is one warehouse lock stripe's share of the load.
@@ -568,6 +667,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Endpoints:  s.metrics.Snapshot(),
 		Warehouse:  whStats,
 		Shards:     shards,
+		Cluster:    s.cfg.Cluster.Stats(),
 	})
 }
 

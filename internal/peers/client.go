@@ -1,0 +1,206 @@
+package peers
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	neturl "net/url"
+	"time"
+
+	"cbfww/internal/core"
+	"cbfww/internal/simweb"
+)
+
+// PeerFetchPath is the resident-only probe endpoint every gateway mounts:
+// it answers from the local warehouse or 404s — it never touches the
+// origin and never consults other peers, which is what makes probe chains
+// loop-free by construction.
+const PeerFetchPath = "/peer/fetch"
+
+// PeerPage is the probe response body: the resident page plus how the
+// answering node served it. simweb.Page marshals whole — title, body,
+// anchors, size, version, last-modified — so the prober can run the full
+// admission path on it, exactly as it would on an origin fetch.
+type PeerPage struct {
+	Page         simweb.Page `json:"page"`
+	Source       string      `json:"source"`
+	LatencyTicks int64       `json:"latency_ticks"`
+	Stale        bool        `json:"stale"`
+}
+
+// maxPeerBody bounds how much of a peer response is read (defensive: a
+// page payload is admission-bounded far below this).
+const maxPeerBody = 16 << 20
+
+// Proxy forwards the incoming request to owner and streams the answer
+// back, under owner's breaker and the retry budget. It returns true when
+// the response was written (the request is done); false means the caller
+// must fall back to its local serve path — the breaker was open, every
+// attempt died in transit, or the owner answered 5xx (its answer would
+// have been an error; locally we may still hold a servable copy).
+func (c *Cluster) Proxy(w http.ResponseWriter, r *http.Request, owner string) bool {
+	if c == nil || !c.Enabled() {
+		return false
+	}
+	pc := c.counter(owner)
+	attempts := c.cfg.Retry.MaxAttempts
+	for attempt := 1; ; attempt++ {
+		report, err := c.breakers.Allow(owner)
+		if err != nil {
+			pc.routedAround.Add(1)
+			return false
+		}
+		resp, err := c.roundTrip(r.Context(), owner, r.URL.RequestURI())
+		if err != nil {
+			report(true)
+			pc.proxyFailures.Add(1)
+			if attempt >= attempts || r.Context().Err() != nil {
+				return false
+			}
+			if !c.backoff(r.Context(), attempt) {
+				return false
+			}
+			continue
+		}
+		if resp.StatusCode >= http.StatusInternalServerError {
+			// The owner is up but failing; treat like a transport failure
+			// so the breaker learns, and serve locally instead.
+			io.Copy(io.Discard, io.LimitReader(resp.Body, maxPeerBody))
+			resp.Body.Close()
+			report(true)
+			pc.proxyFailures.Add(1)
+			return false
+		}
+		report(false)
+		pc.proxied.Add(1)
+		h := w.Header()
+		for _, k := range []string{
+			"Content-Type", "Retry-After", "Location",
+			HeaderNode, HeaderOwner, "X-CBFWW-Stale", "X-CBFWW-Source", "X-CBFWW-Version",
+		} {
+			if v := resp.Header.Get(k); v != "" {
+				h.Set(k, v)
+			}
+		}
+		w.WriteHeader(resp.StatusCode)
+		io.Copy(w, io.LimitReader(resp.Body, maxPeerBody))
+		resp.Body.Close()
+		return true
+	}
+}
+
+// FetchResident asks every live peer — owner's view first — for a
+// resident copy of url. It implements warehouse.PeerSource: the owner's
+// cold-miss path calls it before touching the origin, so an object
+// admitted anywhere in the cluster is fetched from the origin exactly
+// once. Probes are resident-only on the remote side; a peer with an open
+// breaker is skipped outright.
+func (c *Cluster) FetchResident(ctx context.Context, url string) (simweb.FetchResult, bool) {
+	if c == nil {
+		return simweb.FetchResult{}, false
+	}
+	st := c.state.Load()
+	if st == nil || len(st.peers) == 0 {
+		return simweb.FetchResult{}, false
+	}
+	order := st.peers
+	if owner := st.ring.Owner(url); owner != st.self {
+		// The ring's owner is the most likely holder: probe it first.
+		order = make([]string, 0, len(st.peers))
+		order = append(order, owner)
+		for _, p := range st.peers {
+			if p != owner {
+				order = append(order, p)
+			}
+		}
+	}
+	for _, peer := range order {
+		pc := c.counter(peer)
+		report, err := c.breakers.Allow(peer)
+		if err != nil {
+			pc.routedAround.Add(1)
+			continue
+		}
+		page, found, err := c.probe(ctx, peer, url)
+		switch {
+		case err != nil:
+			report(true)
+			pc.probeFailures.Add(1)
+		case !found:
+			report(false)
+			pc.peerMisses.Add(1)
+		default:
+			report(false)
+			pc.peerHits.Add(1)
+			return simweb.FetchResult{
+				Page:    page.Page,
+				Latency: core.Duration(page.LatencyTicks),
+			}, true
+		}
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	return simweb.FetchResult{}, false
+}
+
+// probe performs one resident-only peer exchange. found=false with a nil
+// error is the peer's honest 404: reachable, just not holding the URL.
+func (c *Cluster) probe(ctx context.Context, peer, url string) (PeerPage, bool, error) {
+	resp, err := c.roundTrip(ctx, peer, PeerFetchPath+"?url="+neturl.QueryEscape(url))
+	if err != nil {
+		return PeerPage{}, false, err
+	}
+	defer func() {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, maxPeerBody))
+		resp.Body.Close()
+	}()
+	switch {
+	case resp.StatusCode == http.StatusNotFound:
+		return PeerPage{}, false, nil
+	case resp.StatusCode != http.StatusOK:
+		return PeerPage{}, false, fmt.Errorf("peers: probe %s: status %d", peer, resp.StatusCode)
+	}
+	var pp PeerPage
+	if err := json.NewDecoder(io.LimitReader(resp.Body, maxPeerBody)).Decode(&pp); err != nil {
+		return PeerPage{}, false, fmt.Errorf("peers: probe %s: decode: %w", peer, err)
+	}
+	if pp.Page.URL == "" {
+		pp.Page.URL = url
+	}
+	return pp, true, nil
+}
+
+// roundTrip issues one GET to addr with the cluster identity header. The
+// context caps it on top of the client timeout.
+func (c *Cluster) roundTrip(ctx context.Context, addr, pathAndQuery string) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+addr+pathAndQuery, nil)
+	if err != nil {
+		return nil, fmt.Errorf("peers: %w", err)
+	}
+	req.Header.Set(HeaderFrom, c.Self())
+	return c.client.Do(req)
+}
+
+// backoff sleeps the (linear, small) retry delay, false when ctx ends
+// first. Peer retries are a single quick second chance, not the origin
+// wrapper's full exponential ladder — the fallback path is always local.
+func (c *Cluster) backoff(ctx context.Context, attempt int) bool {
+	d := c.cfg.Retry.BaseBackoff * time.Duration(attempt)
+	if max := c.cfg.Retry.MaxBackoff; max > 0 && d > max {
+		d = max
+	}
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}

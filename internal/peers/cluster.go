@@ -1,0 +1,271 @@
+package peers
+
+import (
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cbfww/internal/resilience"
+)
+
+// Peer protocol headers. From marks cluster-internal requests (the loop
+// guard: a forwarded request is always served locally); Node names the
+// node whose warehouse actually served a response; Owner names the node
+// the ring assigns the URL to — together they make routing observable
+// from any response.
+const (
+	HeaderFrom  = "X-CBFWW-From"
+	HeaderNode  = "X-CBFWW-Node"
+	HeaderOwner = "X-CBFWW-Owner"
+)
+
+// Config tunes the cluster tier.
+type Config struct {
+	// VNodes is the virtual-node count per member (<= 0 uses
+	// DefaultVNodes).
+	VNodes int
+	// Timeout bounds one peer HTTP exchange (proxy attempt or probe).
+	// <= 0 defaults to 2s — peers are LAN-close; a peer slower than the
+	// origin budget is not worth waiting on.
+	Timeout time.Duration
+	// Retry is the per-peer retry budget for proxy calls. Zero values
+	// default to 2 attempts with 25ms base backoff: one fast retry, then
+	// route around.
+	Retry resilience.RetryPolicy
+	// Breaker is the per-peer circuit breaker; a zero Threshold defaults
+	// to 3 consecutive failures (cool-down defaults inside resilience).
+	Breaker resilience.BreakerConfig
+	// Now overrides the breaker clock (tests); nil means time.Now.
+	Now func() time.Time
+	// Transport overrides the peer HTTP transport (tests); nil uses
+	// http.DefaultTransport.
+	Transport http.RoundTripper
+}
+
+// peerCounters is one peer's activity ledger, all atomics so the request
+// path never takes the cluster lock to count.
+type peerCounters struct {
+	proxied       atomic.Uint64 // full requests we forwarded to this peer
+	proxyFailures atomic.Uint64 // proxy attempts that died in transit or 5xx'd
+	redirects     atomic.Uint64 // 307s we issued pointing at this peer
+	forwarded     atomic.Uint64 // requests we served that this peer sent us
+	peerHits      atomic.Uint64 // resident-only probes this peer answered
+	peerMisses    atomic.Uint64 // resident-only probes this peer 404'd
+	probeFailures atomic.Uint64 // probes that died in transit or 5xx'd
+	routedAround  atomic.Uint64 // requests served locally because this peer's breaker was open
+}
+
+// clusterState is the swapped-atomically membership view.
+type clusterState struct {
+	self  string
+	ring  *Ring
+	peers []string // ring members minus self, sorted
+}
+
+// Cluster is one node's view of the peer ring: membership, ownership
+// lookup, the peer HTTP client, per-peer breakers and counters. Safe for
+// concurrent use; a zero-configured cluster (before Configure) behaves as
+// a disabled single node.
+type Cluster struct {
+	cfg      Config
+	client   *http.Client
+	breakers *resilience.Breakers
+
+	state atomic.Pointer[clusterState]
+
+	mu       sync.Mutex
+	counters map[string]*peerCounters // by peer address, survives reconfiguration
+}
+
+// NewCluster builds an unconfigured cluster tier. It is inert — every
+// Owner lookup says "self", FetchResident always misses — until Configure
+// names the membership.
+func NewCluster(cfg Config) *Cluster {
+	if cfg.VNodes <= 0 {
+		cfg.VNodes = DefaultVNodes
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 2 * time.Second
+	}
+	if cfg.Retry.MaxAttempts < 1 {
+		cfg.Retry.MaxAttempts = 2
+	}
+	if cfg.Retry.BaseBackoff <= 0 {
+		cfg.Retry.BaseBackoff = 25 * time.Millisecond
+	}
+	if cfg.Breaker.Threshold == 0 {
+		cfg.Breaker.Threshold = 3
+	}
+	c := &Cluster{
+		cfg:      cfg,
+		client:   &http.Client{Timeout: cfg.Timeout, Transport: cfg.Transport},
+		breakers: resilience.NewBreakers(cfg.Breaker, cfg.Now),
+		counters: make(map[string]*peerCounters),
+	}
+	return c
+}
+
+// Configure installs (or replaces) the membership: self's advertised
+// address plus every member address, self included or not — it is added
+// if missing. Existing per-peer counters survive reconfiguration, so a
+// node that leaves and rejoins keeps its history.
+func (c *Cluster) Configure(self string, members []string) {
+	all := make([]string, 0, len(members)+1)
+	all = append(all, members...)
+	all = append(all, self)
+	ring := NewRing(c.cfg.VNodes, all)
+	peersOnly := make([]string, 0, len(ring.Members()))
+	for _, m := range ring.Members() {
+		if m != self {
+			peersOnly = append(peersOnly, m)
+		}
+	}
+	c.mu.Lock()
+	for _, p := range peersOnly {
+		if c.counters[p] == nil {
+			c.counters[p] = &peerCounters{}
+		}
+	}
+	c.mu.Unlock()
+	c.state.Store(&clusterState{self: self, ring: ring, peers: peersOnly})
+}
+
+// Enabled reports whether Configure has run: an enabled cluster always
+// has a self identity, even with no peers (the single-node cluster).
+func (c *Cluster) Enabled() bool {
+	return c != nil && c.state.Load() != nil
+}
+
+// Self returns this node's advertised address ("" before Configure).
+func (c *Cluster) Self() string {
+	if c == nil {
+		return ""
+	}
+	if st := c.state.Load(); st != nil {
+		return st.self
+	}
+	return ""
+}
+
+// Peers returns the other members, sorted (nil before Configure).
+func (c *Cluster) Peers() []string {
+	if c == nil {
+		return nil
+	}
+	if st := c.state.Load(); st != nil {
+		return st.peers
+	}
+	return nil
+}
+
+// Owner returns the address owning url and whether that is this node.
+// Before Configure (or on a self-only ring) every URL is self-owned.
+func (c *Cluster) Owner(url string) (addr string, isSelf bool) {
+	if c == nil {
+		return "", true
+	}
+	st := c.state.Load()
+	if st == nil {
+		return "", true
+	}
+	owner := st.ring.Owner(url)
+	return owner, owner == st.self || owner == ""
+}
+
+// counter returns (creating if needed) the ledger for addr.
+func (c *Cluster) counter(addr string) *peerCounters {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	pc := c.counters[addr]
+	if pc == nil {
+		pc = &peerCounters{}
+		c.counters[addr] = pc
+	}
+	return pc
+}
+
+// CountForwarded records that this node served a request on from's
+// behalf (the peer identified itself via HeaderFrom).
+func (c *Cluster) CountForwarded(from string) {
+	if c == nil || from == "" {
+		return
+	}
+	c.counter(from).forwarded.Add(1)
+}
+
+// CountRedirect records a 307 issued toward owner.
+func (c *Cluster) CountRedirect(owner string) {
+	if c == nil {
+		return
+	}
+	c.counter(owner).redirects.Add(1)
+}
+
+// PeerStat is one peer's ledger plus its breaker state — the /stats
+// "cluster" section row.
+type PeerStat struct {
+	Addr          string `json:"addr"`
+	Breaker       string `json:"breaker"`
+	Proxied       uint64 `json:"proxied"`
+	ProxyFailures uint64 `json:"proxy_failures"`
+	Redirects     uint64 `json:"redirects"`
+	Forwarded     uint64 `json:"forwarded"`
+	PeerHits      uint64 `json:"peer_hits"`
+	PeerMisses    uint64 `json:"peer_misses"`
+	ProbeFailures uint64 `json:"probe_failures"`
+	RoutedAround  uint64 `json:"routed_around"`
+}
+
+// ClusterStats is the /stats "cluster" section. The section always
+// renders — Peers is empty but non-nil on a single node — so dashboards
+// never need a shape branch.
+type ClusterStats struct {
+	Enabled bool       `json:"enabled"`
+	Self    string     `json:"self"`
+	Members int        `json:"members"`
+	VNodes  int        `json:"vnodes"`
+	Peers   []PeerStat `json:"peers"`
+}
+
+// Stats snapshots the cluster tier. Safe on a nil cluster (the section
+// still renders, disabled and empty).
+func (c *Cluster) Stats() ClusterStats {
+	out := ClusterStats{Peers: []PeerStat{}}
+	if c == nil {
+		return out
+	}
+	st := c.state.Load()
+	if st == nil {
+		out.VNodes = c.cfg.VNodes
+		return out
+	}
+	out.Enabled = true
+	out.Self = st.self
+	out.Members = len(st.ring.Members())
+	out.VNodes = st.ring.VNodes()
+	for _, p := range st.peers {
+		pc := c.counter(p)
+		out.Peers = append(out.Peers, PeerStat{
+			Addr:          p,
+			Breaker:       c.breakers.State(p),
+			Proxied:       pc.proxied.Load(),
+			ProxyFailures: pc.proxyFailures.Load(),
+			Redirects:     pc.redirects.Load(),
+			Forwarded:     pc.forwarded.Load(),
+			PeerHits:      pc.peerHits.Load(),
+			PeerMisses:    pc.peerMisses.Load(),
+			ProbeFailures: pc.probeFailures.Load(),
+			RoutedAround:  pc.routedAround.Load(),
+		})
+	}
+	return out
+}
+
+// BreakerState exposes a peer's breaker state (tests and diagnostics).
+func (c *Cluster) BreakerState(addr string) string {
+	if c == nil {
+		return "closed"
+	}
+	return c.breakers.State(addr)
+}

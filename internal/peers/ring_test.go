@@ -1,0 +1,145 @@
+package peers
+
+import (
+	"fmt"
+	"testing"
+)
+
+// ringKeys generates a URL-shaped key population: the regular, shared-
+// prefix strings the ring must spread uniformly despite their structure.
+func ringKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("http://site%d.example/articles/page-%d.html", i%17, i)
+	}
+	return keys
+}
+
+func ringMembers(n int) []string {
+	members := make([]string, n)
+	for i := range members {
+		members[i] = fmt.Sprintf("10.0.0.%d:8642", i+1)
+	}
+	return members
+}
+
+// TestRingDistribution asserts per-member key share stays within ±15% of
+// uniform at the default 128 vnodes, for every small-cluster size.
+func TestRingDistribution(t *testing.T) {
+	const numKeys = 20000
+	keys := ringKeys(numKeys)
+	for n := 2; n <= 8; n++ {
+		t.Run(fmt.Sprintf("members=%d", n), func(t *testing.T) {
+			members := ringMembers(n)
+			r := NewRing(DefaultVNodes, members)
+			counts := make(map[string]int, n)
+			for _, k := range keys {
+				counts[r.Owner(k)]++
+			}
+			uniform := float64(numKeys) / float64(n)
+			for _, m := range members {
+				share := float64(counts[m])
+				if dev := (share - uniform) / uniform; dev < -0.15 || dev > 0.15 {
+					t.Errorf("member %s owns %d keys (%.1f%% off uniform %.0f); want within ±15%%",
+						m, counts[m], 100*dev, uniform)
+				}
+			}
+		})
+	}
+}
+
+// TestRingMovementOnJoin asserts the consistent-hash contract: growing an
+// N-member ring to N+1 moves at most ~1/(N+1) of the keys (a small ε of
+// slack for vnode granularity), and every moved key lands on the new
+// member — keys never shuffle between survivors.
+func TestRingMovementOnJoin(t *testing.T) {
+	const numKeys = 20000
+	keys := ringKeys(numKeys)
+	for n := 2; n <= 8; n++ {
+		t.Run(fmt.Sprintf("members=%d", n), func(t *testing.T) {
+			members := ringMembers(n + 1)
+			before := NewRing(DefaultVNodes, members[:n])
+			after := NewRing(DefaultVNodes, members)
+			joined := members[n]
+			moved := 0
+			for _, k := range keys {
+				ob, oa := before.Owner(k), after.Owner(k)
+				if ob == oa {
+					continue
+				}
+				moved++
+				if oa != joined {
+					t.Fatalf("key %q moved %s -> %s, but the only new member is %s", k, ob, oa, joined)
+				}
+			}
+			// Expected share is 1/(N+1); allow 1.5x for vnode granularity.
+			limit := int(1.5 * float64(numKeys) / float64(n+1))
+			if moved > limit {
+				t.Errorf("join moved %d/%d keys, want <= %d (≈1/%d plus slack)", moved, numKeys, limit, n+1)
+			}
+			if moved == 0 {
+				t.Error("join moved no keys: the new member owns nothing")
+			}
+		})
+	}
+}
+
+// TestRingMovementOnLeave is the inverse contract: removing one member
+// relocates only the keys it owned; every other key keeps its owner.
+func TestRingMovementOnLeave(t *testing.T) {
+	const numKeys = 20000
+	keys := ringKeys(numKeys)
+	for n := 3; n <= 8; n++ {
+		t.Run(fmt.Sprintf("members=%d", n), func(t *testing.T) {
+			members := ringMembers(n)
+			before := NewRing(DefaultVNodes, members)
+			leaver := members[n-1]
+			after := NewRing(DefaultVNodes, members[:n-1])
+			for _, k := range keys {
+				ob, oa := before.Owner(k), after.Owner(k)
+				if ob != leaver && ob != oa {
+					t.Fatalf("key %q owned by survivor %s moved to %s when %s left", k, ob, oa, leaver)
+				}
+				if ob == leaver && oa == leaver {
+					t.Fatalf("key %q still owned by departed member %s", k, leaver)
+				}
+			}
+		})
+	}
+}
+
+// TestRingDeterminism: same member set in any order, same ring.
+func TestRingDeterminism(t *testing.T) {
+	members := ringMembers(5)
+	shuffled := []string{members[3], members[0], members[4], members[2], members[1], members[0]}
+	a := NewRing(DefaultVNodes, members)
+	b := NewRing(DefaultVNodes, shuffled) // reordered + duplicate
+	for _, k := range ringKeys(500) {
+		if oa, ob := a.Owner(k), b.Owner(k); oa != ob {
+			t.Fatalf("owner(%q) differs by construction order: %s vs %s", k, oa, ob)
+		}
+	}
+}
+
+func TestRingEdges(t *testing.T) {
+	var nilRing *Ring
+	if got := nilRing.Owner("http://a.example/"); got != "" {
+		t.Errorf("nil ring owner = %q, want empty", got)
+	}
+	empty := NewRing(0, nil)
+	if got := empty.Owner("http://a.example/"); got != "" {
+		t.Errorf("empty ring owner = %q, want empty", got)
+	}
+	if got := empty.VNodes(); got != DefaultVNodes {
+		t.Errorf("vnodes <= 0 should default to %d, got %d", DefaultVNodes, got)
+	}
+	single := NewRing(4, []string{"only:1", "", "only:1"})
+	if got := len(single.Members()); got != 1 {
+		t.Fatalf("members after dedup/blank-filter = %d, want 1", got)
+	}
+	for _, k := range ringKeys(50) {
+		if got := single.Owner(k); got != "only:1" {
+			t.Fatalf("single-member ring owner = %q, want only:1", got)
+		}
+	}
+}

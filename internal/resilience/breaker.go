@@ -5,9 +5,9 @@ import (
 	"time"
 )
 
-// BreakerConfig tunes the per-host circuit breaker.
+// BreakerConfig tunes the per-key circuit breaker.
 type BreakerConfig struct {
-	// Threshold is the consecutive host-failure count that opens the
+	// Threshold is the consecutive key-failure count that opens the
 	// breaker; <= 0 disables breaking entirely.
 	Threshold int
 	// Cooldown is how long an open breaker refuses traffic before letting
@@ -24,55 +24,62 @@ const (
 	stateHalfOpen
 )
 
-// hostBreaker is one host's state. Guarded by breakerSet.mu.
-type hostBreaker struct {
+// breakerStateNames renders states for monitoring surfaces.
+var breakerStateNames = [...]string{"closed", "open", "half-open"}
+
+// keyBreaker is one key's state. Guarded by Breakers.mu.
+type keyBreaker struct {
 	state    int
 	fails    int       // consecutive failures while closed
 	openedAt time.Time // when the breaker last opened
 }
 
-// breakerSet is the per-host breaker map plus shared counters.
-type breakerSet struct {
+// Breakers is a set of independent circuit breakers sharing one
+// configuration, keyed by string — origin hosts for the origin wrapper,
+// peer addresses for the cluster tier. Safe for concurrent use.
+type Breakers struct {
 	cfg BreakerConfig
 	now func() time.Time
 
 	mu        sync.Mutex
-	hosts     map[string]*hostBreaker
+	keys      map[string]*keyBreaker
 	opens     uint64
 	halfOpens uint64
 	fastFails uint64
 }
 
-func newBreakerSet(cfg BreakerConfig, now func() time.Time) *breakerSet {
+// NewBreakers builds a breaker set. A nil now uses time.Now; a
+// non-positive cool-down defaults to 30s.
+func NewBreakers(cfg BreakerConfig, now func() time.Time) *Breakers {
 	if now == nil {
 		now = time.Now
 	}
 	if cfg.Cooldown <= 0 {
 		cfg.Cooldown = 30 * time.Second
 	}
-	return &breakerSet{cfg: cfg, now: now, hosts: make(map[string]*hostBreaker)}
+	return &Breakers{cfg: cfg, now: now, keys: make(map[string]*keyBreaker)}
 }
 
-// allow asks whether a request to host may proceed. Refusals return a
+// Allow asks whether a request to key may proceed. Refusals return a
 // *BreakerOpenError. Allowed requests must report their outcome through
-// the returned func (failed = hostFailure classification).
-func (s *breakerSet) allow(host string) (report func(failed bool), err error) {
+// the returned func (failed = evidence of key ill-health).
+func (s *Breakers) Allow(key string) (report func(failed bool), err error) {
 	if s == nil || s.cfg.Threshold <= 0 {
 		return func(bool) {}, nil
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	b := s.hosts[host]
+	b := s.keys[key]
 	if b == nil {
-		b = &hostBreaker{}
-		s.hosts[host] = b
+		b = &keyBreaker{}
+		s.keys[key] = b
 	}
 	switch b.state {
 	case stateOpen:
 		remaining := s.cfg.Cooldown - s.now().Sub(b.openedAt)
 		if remaining > 0 {
 			s.fastFails++
-			return nil, &BreakerOpenError{Host: host, RetryAfter: remaining}
+			return nil, &BreakerOpenError{Host: key, RetryAfter: remaining}
 		}
 		// Cool-down elapsed: this caller becomes the half-open probe.
 		b.state = stateHalfOpen
@@ -80,16 +87,16 @@ func (s *breakerSet) allow(host string) (report func(failed bool), err error) {
 	case stateHalfOpen:
 		// A probe is already in flight; everyone else keeps failing fast.
 		s.fastFails++
-		return nil, &BreakerOpenError{Host: host, RetryAfter: s.cfg.Cooldown}
+		return nil, &BreakerOpenError{Host: key, RetryAfter: s.cfg.Cooldown}
 	}
-	return func(failed bool) { s.report(host, failed) }, nil
+	return func(failed bool) { s.report(key, failed) }, nil
 }
 
 // report records an allowed request's outcome.
-func (s *breakerSet) report(host string, failed bool) {
+func (s *Breakers) report(key string, failed bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	b := s.hosts[host]
+	b := s.keys[key]
 	if b == nil {
 		return
 	}
@@ -119,18 +126,44 @@ func (s *breakerSet) report(host string, failed bool) {
 	}
 }
 
-// openHosts counts hosts currently refusing traffic.
-func (s *breakerSet) openHosts() int {
+// State reports a key's breaker state as "closed", "open" or "half-open".
+// Unknown keys (and a disabled set) are closed.
+func (s *Breakers) State(key string) string {
+	if s == nil || s.cfg.Threshold <= 0 {
+		return breakerStateNames[stateClosed]
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b := s.keys[key]
+	if b == nil {
+		return breakerStateNames[stateClosed]
+	}
+	return breakerStateNames[b.state]
+}
+
+// OpenCount counts keys currently refusing traffic.
+func (s *Breakers) OpenCount() int {
 	if s == nil {
 		return 0
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	n := 0
-	for _, b := range s.hosts {
+	for _, b := range s.keys {
 		if b.state == stateOpen {
 			n++
 		}
 	}
 	return n
+}
+
+// Counts snapshots the set-wide activity counters: closed/half-open→open
+// transitions, open→half-open probe admissions, and fast-fail refusals.
+func (s *Breakers) Counts() (opens, halfOpens, fastFails uint64) {
+	if s == nil {
+		return 0, 0, 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.opens, s.halfOpens, s.fastFails
 }

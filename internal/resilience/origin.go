@@ -63,7 +63,7 @@ type Stats struct {
 type Origin struct {
 	inner    ContextOrigin
 	cfg      Config
-	breakers *breakerSet
+	breakers *Breakers
 
 	mu      sync.Mutex
 	rng     *rand.Rand
@@ -88,7 +88,7 @@ func Wrap(inner ContextOrigin, cfg Config) (*Origin, error) {
 	return &Origin{
 		inner:    inner,
 		cfg:      cfg,
-		breakers: newBreakerSet(cfg.Breaker, cfg.Now),
+		breakers: NewBreakers(cfg.Breaker, cfg.Now),
 		rng:      rand.New(rand.NewSource(seed)),
 	}, nil
 }
@@ -98,15 +98,14 @@ func (o *Origin) Stats() Stats {
 	o.mu.Lock()
 	retries := o.retries
 	o.mu.Unlock()
-	o.breakers.mu.Lock()
+	opens, halfOpens, fastFails := o.breakers.Counts()
 	st := Stats{
 		Retries:          retries,
-		BreakerOpens:     o.breakers.opens,
-		BreakerHalfOpens: o.breakers.halfOpens,
-		BreakerFastFails: o.breakers.fastFails,
+		BreakerOpens:     opens,
+		BreakerHalfOpens: halfOpens,
+		BreakerFastFails: fastFails,
 	}
-	o.breakers.mu.Unlock()
-	st.OpenHosts = o.breakers.openHosts()
+	st.OpenHosts = o.breakers.OpenCount()
 	return st
 }
 
@@ -156,7 +155,7 @@ func (o *Origin) do(ctx context.Context, url string, op func() error) error {
 	host := hostOf(url)
 	var err error
 	for attempt := 1; ; attempt++ {
-		report, derr := o.breakers.allow(host)
+		report, derr := o.breakers.Allow(host)
 		if derr != nil {
 			return derr
 		}

@@ -30,6 +30,21 @@ func (w *Web) Handler() http.Handler {
 			host = host[:i]
 		}
 		url := "http://" + host + req.URL.Path
+		if req.Method == http.MethodHead {
+			// HEAD is the consistency probe: version and last-modified
+			// without a body transfer, and — deliberately — without counting
+			// as an origin fetch (FetchCount stays the currency of
+			// single-fetch assertions).
+			version, lastMod, err := w.Head(url)
+			if err != nil {
+				http.NotFound(rw, req)
+				return
+			}
+			rw.Header().Set("Content-Type", "text/html; charset=utf-8")
+			rw.Header().Set("X-Simweb-Version", strconv.Itoa(version))
+			rw.Header().Set("X-Simweb-LastMod", strconv.FormatInt(int64(lastMod), 10))
+			return
+		}
 		res, err := w.Fetch(url)
 		if err != nil {
 			http.NotFound(rw, req)
@@ -40,9 +55,6 @@ func (w *Web) Handler() http.Handler {
 		rw.Header().Set("X-Simweb-Version", strconv.Itoa(p.Version))
 		rw.Header().Set("X-Simweb-LastMod", strconv.FormatInt(int64(p.LastMod), 10))
 		rw.Header().Set("X-Simweb-Latency", strconv.FormatInt(int64(res.Latency), 10))
-		if req.Method == http.MethodHead {
-			return
-		}
 		fmt.Fprintf(rw, "<html><head><title>%s</title></head><body>\n", p.Title)
 		fmt.Fprintf(rw, "<p>%s</p>\n", p.Body)
 		for _, a := range p.Anchors {

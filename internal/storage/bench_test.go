@@ -1,61 +1,80 @@
 package storage
 
 import (
+	"bytes"
 	"fmt"
 	"testing"
 
 	"cbfww/internal/core"
 )
 
-// BenchmarkAccessByTier measures Fetch cost per serving tier, for both
-// the all-in-heap backends and the real file-backed ones (`make
-// bench-store`). The fixture pins one payload object per tier by
+// benchSizes spans the payload spectrum: the original small-object shape
+// plus large bodies where per-byte costs (disk reads, segment-log seeks,
+// copies) dominate the fixed per-fetch overhead.
+var benchSizes = []struct {
+	label string
+	bytes int64
+}{
+	{"64B", 64},
+	{"64KB", 64 << 10},
+	{"1MB", 1 << 20},
+	{"4MB", 4 << 20},
+}
+
+// BenchmarkAccessByTier measures Fetch cost per serving tier and payload
+// size, for both the all-in-heap backends and the real file-backed ones
+// (`make bench-store`). The fixture pins one payload object per tier by
 // priority: high lands a full copy in memory, middling stops at disk,
 // and a floor-priority object crowded out of both is served from the
-// tertiary segment log.
+// tertiary segment log. Capacities scale with the payload (memory holds
+// one object, disk two) so the pinning works at every size.
 func BenchmarkAccessByTier(b *testing.B) {
 	for _, backing := range []string{"heap", "disk"} {
-		cfg := Config{
-			MemCapacity:  64,
-			DiskCapacity: 128,
-			MemLatency:   0, DiskLatency: 10, TertiaryLatency: 100,
-			SummaryRatio:     0.1,
-			SummaryThreshold: 1, // no "large documents": full copies only
-		}
-		if backing == "disk" {
-			cfg.DataDir = b.TempDir()
-		}
-		m, err := NewManager(cfg)
-		if err != nil {
-			b.Fatal(err)
-		}
-		payload := func(i int) []byte { return []byte(fmt.Sprintf("benchmark payload body %02d", i)) }
-		// 64-byte memory / 128-byte disk targets with 64-byte objects: the
-		// top-priority object fills memory, the next fills the rest of
-		// disk, the third has nowhere fast to live.
-		ids := map[Tier]core.ObjectID{Memory: 1, Disk: 2, Tertiary: 3}
-		for i, prio := range []core.Priority{0.9, 0.5, 0.1} {
-			if err := m.AdmitBytes(core.ObjectID(i+1), 64, 1, prio, payload(i)); err != nil {
+		for _, size := range benchSizes {
+			cfg := Config{
+				MemCapacity:  core.Bytes(size.bytes),
+				DiskCapacity: core.Bytes(2 * size.bytes),
+				MemLatency:   0, DiskLatency: 10, TertiaryLatency: 100,
+				SummaryRatio:     0.1,
+				SummaryThreshold: 1, // no "large documents": full copies only
+			}
+			if backing == "disk" {
+				cfg.DataDir = b.TempDir()
+			}
+			m, err := NewManager(cfg)
+			if err != nil {
 				b.Fatal(err)
 			}
-		}
-		for tier, id := range ids {
-			res, _, err := m.Fetch(id)
-			if err != nil || res.Tier != tier {
-				b.Fatalf("fixture: object %v served from %v (err %v), want %v", id, res.Tier, err, tier)
+			payload := func(i int) []byte {
+				return bytes.Repeat([]byte{byte('a' + i)}, int(size.bytes))
 			}
-		}
-		for tier := Memory; tier < numTiers; tier++ {
-			id := ids[tier]
-			b.Run(fmt.Sprintf("backing=%s/tier=%s", backing, tier), func(b *testing.B) {
-				b.ReportAllocs()
-				for i := 0; i < b.N; i++ {
-					if _, _, err := m.Fetch(id); err != nil {
-						b.Fatal(err)
-					}
+			// One object per tier: the top-priority object fills memory, the
+			// next fills the rest of disk, the third has nowhere fast to live.
+			ids := map[Tier]core.ObjectID{Memory: 1, Disk: 2, Tertiary: 3}
+			for i, prio := range []core.Priority{0.9, 0.5, 0.1} {
+				if err := m.AdmitBytes(core.ObjectID(i+1), core.Bytes(size.bytes), 1, prio, payload(i)); err != nil {
+					b.Fatal(err)
 				}
-			})
+			}
+			for tier, id := range ids {
+				res, _, err := m.Fetch(id)
+				if err != nil || res.Tier != tier {
+					b.Fatalf("fixture: object %v served from %v (err %v), want %v", id, res.Tier, err, tier)
+				}
+			}
+			for tier := Memory; tier < numTiers; tier++ {
+				id := ids[tier]
+				b.Run(fmt.Sprintf("backing=%s/size=%s/tier=%s", backing, size.label, tier), func(b *testing.B) {
+					b.ReportAllocs()
+					b.SetBytes(size.bytes)
+					for i := 0; i < b.N; i++ {
+						if _, _, err := m.Fetch(id); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+			}
+			m.Close()
 		}
-		m.Close()
 	}
 }

@@ -22,8 +22,8 @@ type GetResult struct {
 	Page simweb.Page
 	// Hit reports whether the warehouse served it without an origin fetch.
 	Hit bool
-	// Source names where the body came from: "memory", "disk", "tertiary"
-	// or "origin".
+	// Source names where the body came from: "memory", "disk", "tertiary",
+	// "origin", or "peer" (admitted from another cluster node's copy).
 	Source string
 	// Latency is the user-visible cost in ticks.
 	Latency core.Duration
@@ -114,25 +114,84 @@ func (w *Warehouse) get(ctx context.Context, user, url string, prefetch bool) (G
 	}
 	sh.mu.Unlock()
 
-	// First sight of this URL: fetch from the origin outside the shard
-	// lock so cold misses proceed in parallel even within one stripe (the
-	// gateway's singleflight already coalesces same-URL misses), then
-	// retake the lock to admit the result.
-	fr, err := w.originFetch(ctx, url)
+	// First sight of this URL: fetch it outside the shard lock so cold
+	// misses proceed in parallel even within one stripe (the gateway's
+	// singleflight already coalesces same-URL misses), then retake the
+	// lock to admit the result. In a cluster the miss checks peers before
+	// the origin (local → peer → origin), so an object admitted anywhere
+	// costs the origin exactly one fetch.
+	fr, src, err := w.missFetch(ctx, url)
 	if err != nil {
 		return GetResult{}, fmt.Errorf("warehouse: fetch %q: %w", url, err)
 	}
 	sh.lock()
 	defer sh.mu.Unlock()
 	if !prefetch {
-		sh.stats.OriginFetches++
+		if src == sourcePeer {
+			sh.stats.PeerFetches++
+		} else {
+			sh.stats.OriginFetches++
+		}
 	}
 	if st := sh.pages[url]; st != nil {
 		// A concurrent request admitted the URL while we were fetching:
 		// serve the resident copy and drop our duplicate fetch.
 		return w.serveResident(ctx, sh, user, url, st, prefetch)
 	}
-	return w.admitNew(sh, user, url, fr, prefetch)
+	return w.admitNew(sh, user, url, fr, src, prefetch)
+}
+
+// Miss-fetch provenance: where a first-sight page's bytes came from.
+const (
+	sourceOrigin = "origin"
+	sourcePeer   = "peer"
+)
+
+// missFetch resolves a cold miss: a configured peer source (the cluster
+// tier) is consulted first for a copy some other node already admitted;
+// the origin is the fallback and the only party that can fail the fetch.
+func (w *Warehouse) missFetch(ctx context.Context, url string) (simweb.FetchResult, string, error) {
+	if ps := w.peerSource(); ps != nil {
+		if fr, ok := ps.FetchResident(ctx, url); ok {
+			return fr, sourcePeer, nil
+		}
+	}
+	fr, err := w.originFetch(ctx, url)
+	return fr, sourceOrigin, err
+}
+
+// GetResident serves url only when a readable copy is already admitted:
+// no origin contact, no peer probes, no consistency check. This is the
+// serve path behind the cluster's resident-only peer probes — the remote
+// side of "check peers before the origin" — so it must never recurse
+// into another fetch. The serve still counts as a request and feeds
+// usage tracking: cluster-internal demand is still demand.
+func (w *Warehouse) GetResident(user, url string) (GetResult, bool) {
+	sh := w.shardOf(url)
+	sh.lock()
+	defer sh.mu.Unlock()
+	st := sh.pages[url]
+	if st == nil {
+		return GetResult{}, false
+	}
+	res, data, err := w.store.Fetch(st.container)
+	if err != nil {
+		return GetResult{}, false
+	}
+	page, err := decodePagePayload(url, data)
+	if err != nil {
+		return GetResult{}, false
+	}
+	out := GetResult{
+		Page:    page,
+		Hit:     true,
+		Source:  res.Tier.String(),
+		Latency: res.Latency,
+		Stale:   res.Stale,
+	}
+	out.Priority, _ = w.store.Priority(st.container)
+	w.afterServe(sh, user, url, st, out, false)
+	return out, true
 }
 
 // serveResident serves a warehouse-resident page. Requires sh.mu (write),
@@ -269,11 +328,12 @@ func (w *Warehouse) refetch(ctx context.Context, sh *shard, user, url string, st
 
 // admitNew runs the full admission path for a first-seen URL whose content
 // has already been fetched (the fetch happens outside the shard lock; see
-// get). Requires sh.mu (write).
-func (w *Warehouse) admitNew(sh *shard, user, url string, fr simweb.FetchResult, prefetch bool) (GetResult, error) {
+// get). src names where the bytes came from — "origin" or "peer" — and
+// flows to GetResult.Source. Requires sh.mu (write).
+func (w *Warehouse) admitNew(sh *shard, user, url string, fr simweb.FetchResult, src string, prefetch bool) (GetResult, error) {
 	p := fr.Page
 
-	out := GetResult{Page: p, Hit: false, Source: "origin", Latency: fr.Latency}
+	out := GetResult{Page: p, Hit: false, Source: src, Latency: fr.Latency}
 
 	// Constraint Manager: may refuse warehousing; the user still gets the
 	// page (pass-through), the warehouse just won't keep it.

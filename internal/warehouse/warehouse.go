@@ -153,6 +153,35 @@ type ContextOrigin interface {
 	HeadCtx(ctx context.Context, url string) (version int, lastMod core.Time, err error)
 }
 
+// PeerSource is the cluster tier's lookup hook: a source of pages some
+// other warehouse node already admitted, consulted on cold misses before
+// the origin. Implementations must be resident-only on the remote side —
+// a probe must never trigger another origin fetch — so the miss order
+// stays local → peer → origin with exactly one origin fetch per object
+// cluster-wide. peers.Cluster implements it.
+type PeerSource interface {
+	FetchResident(ctx context.Context, url string) (simweb.FetchResult, bool)
+}
+
+// peerSourceBox wraps the interface so it can live in an atomic.Pointer
+// (the daemon wires the cluster in after its listener binds, possibly
+// with requests already flowing).
+type peerSourceBox struct{ ps PeerSource }
+
+// SetPeerSource installs (or replaces) the cluster-peer lookup consulted
+// on cold misses. Safe to call concurrently with requests.
+func (w *Warehouse) SetPeerSource(ps PeerSource) {
+	w.peerSrc.Store(&peerSourceBox{ps: ps})
+}
+
+// peerSource returns the installed peer source, nil when absent.
+func (w *Warehouse) peerSource() PeerSource {
+	if b := w.peerSrc.Load(); b != nil {
+		return b.ps
+	}
+	return nil
+}
+
 // originFetch fetches from the origin under ctx when the origin supports
 // it, degrading to a pre-flight cancellation check when it does not.
 func (w *Warehouse) originFetch(ctx context.Context, url string) (simweb.FetchResult, error) {
@@ -182,6 +211,10 @@ type Stats struct {
 	Hits          int // served from the warehouse (any tier)
 	MemoryHits    int
 	OriginFetches int
+	// PeerFetches counts cold misses satisfied by another cluster node's
+	// admitted copy instead of the origin (the peer tier between memory
+	// and origin).
+	PeerFetches   int
 	Revalidations int
 	Refetches     int // revalidations that found new content
 	Prefetches    int
@@ -298,6 +331,11 @@ type Warehouse struct {
 	// entirely. hotMaintMu serializes the drain itself.
 	hotGen     atomic.Uint64
 	hotMaintMu sync.Mutex
+
+	// peerSrc, when set, is the cluster tier consulted on cold misses
+	// before the origin (local → peer → origin). Installed after
+	// construction via SetPeerSource, hence the atomic box.
+	peerSrc atomic.Pointer[peerSourceBox]
 }
 
 // New assembles a warehouse over the given (simulated) web.
@@ -413,6 +451,7 @@ func (w *Warehouse) Stats() Stats {
 		total.Hits += s.Hits
 		total.MemoryHits += s.MemoryHits
 		total.OriginFetches += s.OriginFetches
+		total.PeerFetches += s.PeerFetches
 		total.Revalidations += s.Revalidations
 		total.Refetches += s.Refetches
 		total.Prefetches += s.Prefetches
