@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench bench-read bench-store test-disk tables serve faults soak fuzz cluster examples clean
+.PHONY: all build test race cover bench bench-read bench-store test-disk tables serve faults soak fuzz cluster chaos examples clean
 
 all: build test
 
@@ -63,8 +63,15 @@ soak:
 # integration test (real sockets, fault-injecting origin, owner killed
 # mid-test), all under the race detector.
 cluster:
-	$(GO) test -race -v -run 'Cluster|Ring|Peer|Proxy|Forwarded|Redirect' \
+	$(GO) test -race -v -run 'Cluster|Ring|Peer|Proxy|Forwarded|Redirect|Owners|Healthz' \
 		./internal/peers ./internal/gateway ./cmd/cbfww-serve
+
+# Replication chaos drill: replica sets, health prober, hinted handoff,
+# and the kill/restart integration test (three daemons, R=2, a replica
+# killed mid-workload and restarted), all under the race detector.
+chaos:
+	$(GO) test -race -v -run 'Chaos|Handoff|Health|Prober|Owners|Replica' \
+		./internal/peers ./internal/gateway ./internal/warehouse ./cmd/cbfww-serve
 
 # Native fuzzing of the query lexer/parser (30s per target; crank
 # FUZZTIME for a longer hunt).

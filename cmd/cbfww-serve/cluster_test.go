@@ -33,6 +33,21 @@ type clusterFixture struct {
 	addrs   []string
 	urls    []string
 	client  *http.Client
+	co      clusterOpts
+	schema  string
+}
+
+// clusterOpts shapes a test topology. The zero value reproduces the PR 6
+// single-owner cluster: one owner per URL, no prober, no replication.
+type clusterOpts struct {
+	redirect       bool
+	replicas       int           // replica-set size; 0 = 1 (single-owner)
+	probeInterval  time.Duration // health-probe cadence; 0 = inert (hourly)
+	probeThreshold int
+	faultRate      float64 // injected origin error rate
+	strongSchema   bool    // strong consistency (revalidate every serve)
+	health         bool    // start each member's prober + replication worker
+	fixedAddrs     bool    // pre-reserve ports so members can restart in place
 }
 
 // strongSchema writes a schema forcing strong consistency, so every
@@ -50,7 +65,7 @@ func strongSchema(t *testing.T) string {
 // startCluster brings up the origin plus n federated daemons. Membership
 // is configured after every listener binds (the ephemeral-port dance the
 // -join flag does for fixed addresses).
-func startCluster(t *testing.T, n int, redirect bool) *clusterFixture {
+func startCluster(t *testing.T, n int, co clusterOpts) *clusterFixture {
 	t.Helper()
 	g, err := workload.GenerateWeb(core.NewSimClock(0), func() workload.WebConfig {
 		cfg := workload.DefaultWebConfig()
@@ -60,40 +75,39 @@ func startCluster(t *testing.T, n int, redirect bool) *clusterFixture {
 	if err != nil {
 		t.Fatalf("GenerateWeb: %v", err)
 	}
-	// A mildly flaky origin: ~15% injected errors, absorbed by the
-	// daemons' retry budget, proving single-origin-fetch accounting
-	// survives faults (injections 503 before the fetch counter).
-	origin, err := simweb.NewHTTPOrigin(g.Web, &simweb.FaultConfig{Seed: 9, ErrorRate: 0.15})
+	var faults *simweb.FaultConfig
+	if co.faultRate > 0 {
+		faults = &simweb.FaultConfig{Seed: 9, ErrorRate: co.faultRate}
+	}
+	origin, err := simweb.NewHTTPOrigin(g.Web, faults)
 	if err != nil {
 		t.Fatalf("NewHTTPOrigin: %v", err)
 	}
-	f := &clusterFixture{origin: origin, urls: g.PageURLs, client: &http.Client{Timeout: 15 * time.Second}}
+	f := &clusterFixture{origin: origin, urls: g.PageURLs, client: &http.Client{Timeout: 15 * time.Second}, co: co}
 	t.Cleanup(func() { origin.Close() })
 
-	schemaPath := strongSchema(t)
-	for i := 0; i < n; i++ {
-		d, err := build(options{
-			addr:             "127.0.0.1:0",
-			origin:           origin.Addr(),
-			schemaFile:       schemaPath,
-			workers:          8,
-			fetchTimeout:     5 * time.Second,
-			retry:            4,
-			breakerThreshold: 3,
-			breakerCooldown:  time.Minute,
-			redirect:         redirect,
-		})
+	if co.strongSchema {
+		f.schema = strongSchema(t)
+	}
+	bind := make([]string, n)
+	if co.fixedAddrs {
+		reserved, err := simweb.ReserveAddrs(n)
 		if err != nil {
-			t.Fatalf("build daemon %d: %v", i, err)
+			t.Fatalf("ReserveAddrs: %v", err)
 		}
-		if err := d.start(); err != nil {
-			t.Fatalf("start daemon %d: %v", i, err)
+		copy(bind, reserved)
+	} else {
+		for i := range bind {
+			bind[i] = "127.0.0.1:0"
 		}
+	}
+	for i := 0; i < n; i++ {
+		d := f.buildDaemon(t, bind[i])
 		f.daemons = append(f.daemons, d)
 		f.addrs = append(f.addrs, d.srv.Addr())
 	}
 	for i, d := range f.daemons {
-		d.cluster.Configure(f.addrs[i], f.addrs)
+		f.joinRing(d, f.addrs[i])
 	}
 	t.Cleanup(func() {
 		for _, d := range f.daemons {
@@ -103,6 +117,108 @@ func startCluster(t *testing.T, n int, redirect bool) *clusterFixture {
 		}
 	})
 	return f
+}
+
+// buildDaemon builds and starts one member on addr with the fixture's
+// options. Membership is wired separately (joinRing) once every
+// listener's address is known.
+func (f *clusterFixture) buildDaemon(t *testing.T, addr string) *daemon {
+	t.Helper()
+	replicas := f.co.replicas
+	if replicas == 0 {
+		replicas = 1
+	}
+	probeInterval := f.co.probeInterval
+	if probeInterval == 0 {
+		probeInterval = time.Hour // inert: tests drive health by hand
+	}
+	d, err := build(options{
+		addr:             addr,
+		origin:           f.origin.Addr(),
+		schemaFile:       f.schema,
+		workers:          8,
+		fetchTimeout:     5 * time.Second,
+		retry:            4,
+		breakerThreshold: 3,
+		breakerCooldown:  time.Minute,
+		redirect:         f.co.redirect,
+		replicas:         replicas,
+		probeInterval:    probeInterval,
+		probeThreshold:   f.co.probeThreshold,
+	})
+	if err != nil {
+		t.Fatalf("build daemon on %s: %v", addr, err)
+	}
+	if err := d.start(); err != nil {
+		t.Fatalf("start daemon on %s: %v", addr, err)
+	}
+	return d
+}
+
+// joinRing wires one member into the fixture's static ring and, when the
+// topology runs health, starts its prober and replication worker.
+func (f *clusterFixture) joinRing(d *daemon, self string) {
+	d.cluster.Configure(self, f.addrs)
+	if f.co.health {
+		d.cluster.Start()
+	}
+}
+
+// kill shuts member i down — the node crash of a chaos run. Its address
+// stays in every survivor's ring; only the process goes away.
+func (f *clusterFixture) kill(t *testing.T, i int) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := f.daemons[i].shutdown(ctx); err != nil {
+		t.Fatalf("kill daemon %d: %v", i, err)
+	}
+}
+
+// restart brings member i back on its old address with a cold warehouse,
+// the way a crashed node rejoins: same ring position, empty memory. The
+// bind retries briefly — the OS has just released the port.
+func (f *clusterFixture) restart(t *testing.T, i int) {
+	t.Helper()
+	addr := f.addrs[i]
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		replicas := f.co.replicas
+		if replicas == 0 {
+			replicas = 1
+		}
+		probeInterval := f.co.probeInterval
+		if probeInterval == 0 {
+			probeInterval = time.Hour
+		}
+		d, err := build(options{
+			addr:             addr,
+			origin:           f.origin.Addr(),
+			schemaFile:       f.schema,
+			workers:          8,
+			fetchTimeout:     5 * time.Second,
+			retry:            4,
+			breakerThreshold: 3,
+			breakerCooldown:  time.Minute,
+			redirect:         f.co.redirect,
+			replicas:         replicas,
+			probeInterval:    probeInterval,
+			probeThreshold:   f.co.probeThreshold,
+		})
+		if err != nil {
+			t.Fatalf("rebuild daemon %d: %v", i, err)
+		}
+		if err := d.start(); err != nil {
+			if time.Now().After(deadline) {
+				t.Fatalf("restart daemon %d on %s: %v", i, addr, err)
+			}
+			time.Sleep(50 * time.Millisecond)
+			continue
+		}
+		f.joinRing(d, addr)
+		f.daemons[i] = d
+		return
+	}
 }
 
 // fetchView is the slice of the /fetch response (plus routing headers)
@@ -154,7 +270,10 @@ func urlOwnedBy(t *testing.T, ring *peers.Ring, urls []string, owner string) str
 }
 
 func TestClusterOwnershipAndSingleOriginFetch(t *testing.T) {
-	f := startCluster(t, 3, false)
+	// The PR 6 shape on purpose: single owner per URL, flaky origin,
+	// strong consistency. Replication and the prober stay out of the
+	// picture so the baseline routing contract stays pinned.
+	f := startCluster(t, 3, clusterOpts{faultRate: 0.15, strongSchema: true})
 	ring := peers.NewRing(peers.DefaultVNodes, f.addrs)
 
 	// Pick an object owned by the node we will later kill, and two
@@ -303,7 +422,7 @@ func TestClusterOwnershipAndSingleOriginFetch(t *testing.T) {
 // pointing at the owner instead of proxying, and a redirect-following
 // client lands on the owner's serve.
 func TestClusterRedirectMode(t *testing.T) {
-	f := startCluster(t, 2, true)
+	f := startCluster(t, 2, clusterOpts{redirect: true, faultRate: 0.15, strongSchema: true})
 	ring := peers.NewRing(peers.DefaultVNodes, f.addrs)
 	ownerAddr := f.addrs[1]
 	u := urlOwnedBy(t, ring, f.urls, ownerAddr)
@@ -335,5 +454,175 @@ func TestClusterRedirectMode(t *testing.T) {
 	}
 	if got := f.origin.Web().FetchCount(u); got != 1 {
 		t.Errorf("origin fetches = %d, want 1", got)
+	}
+}
+
+// waitUntil polls cond every 5ms for up to 5s.
+func waitUntil(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// residentOn reports whether node holds url, via the resident-only probe
+// endpoint (never triggers an origin fetch).
+func (f *clusterFixture) residentOn(node, pageURL string) bool {
+	resp, err := f.client.Get("http://" + node + peers.PeerFetchPath + "?url=" + url.QueryEscape(pageURL))
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// peerStat digs addr's row out of d's cluster stats.
+func peerStat(d *daemon, addr string) (peers.PeerStat, bool) {
+	for _, p := range d.cluster.Stats().Peers {
+		if p.Addr == addr {
+			return p, true
+		}
+	}
+	return peers.PeerStat{}, false
+}
+
+// TestClusterChaosKillRestart is the replication chaos run: three
+// daemons, R=2, fault-free origin. Kill a node mid-workload — reads of
+// everything already admitted keep succeeding off the surviving replicas
+// with ZERO origin refetches and zero failed requests; writes destined
+// for the dead node park in hinted handoff. Restart it — the handoff
+// drains into it and the health view flips back Up.
+func TestClusterChaosKillRestart(t *testing.T) {
+	f := startCluster(t, 3, clusterOpts{
+		replicas:       2,
+		probeInterval:  25 * time.Millisecond,
+		probeThreshold: 2,
+		health:         true,
+		fixedAddrs:     true,
+	})
+	ring := peers.NewRing(peers.DefaultVNodes, f.addrs)
+	victim := f.addrs[1]
+	survivors := []*daemon{f.daemons[0], f.daemons[2]}
+	survivorAddrs := []string{f.addrs[0], f.addrs[2]}
+
+	// URLs replicated on the victim are the interesting ones: its death
+	// must cost nothing for them.
+	var onVictim []string
+	for _, u := range f.urls {
+		for _, o := range ring.Owners(u, 2) {
+			if o == victim {
+				onVictim = append(onVictim, u)
+				break
+			}
+		}
+	}
+	if len(onVictim) < 11 {
+		t.Fatalf("only %d URLs replicate on the victim, need 11", len(onVictim))
+	}
+	admitted := onVictim[:8]
+
+	// --- Phase 1: admit through rotating gateways; replication must land
+	// a second copy on every replica before we pull the plug.
+	for i, u := range admitted {
+		if v := f.fetchVia(t, f.addrs[i%3], u); v.status != http.StatusOK {
+			t.Fatalf("admit %s = %d", u, v.status)
+		}
+	}
+	for _, u := range admitted {
+		u := u
+		owners := ring.Owners(u, 2)
+		waitUntil(t, "replicas of "+u, func() bool {
+			for _, o := range owners {
+				if !f.residentOn(o, u) {
+					return false
+				}
+			}
+			return true
+		})
+		if got := f.origin.Web().FetchCount(u); got != 1 {
+			t.Fatalf("origin fetches for %s after replication = %d, want 1 (pushes must not refetch)", u, got)
+		}
+	}
+
+	// --- Phase 2: kill the victim. Every admitted object still has a
+	// live replica; reads succeed from any gateway without origin help.
+	f.kill(t, 1)
+	for pass := 0; pass < 2; pass++ {
+		for i, u := range admitted {
+			if v := f.fetchVia(t, survivorAddrs[(i+pass)%2], u); v.status != http.StatusOK {
+				t.Fatalf("read of %s with victim dead = %d, want 200", u, v.status)
+			}
+		}
+	}
+	for _, u := range admitted {
+		if got := f.origin.Web().FetchCount(u); got != 1 {
+			t.Errorf("origin fetches for %s after node loss = %d, want still 1 (zero refetches)", u, got)
+		}
+	}
+	waitUntil(t, "survivors to mark the victim Down", func() bool {
+		return survivors[0].cluster.PeerDown(victim) && survivors[1].cluster.PeerDown(victim)
+	})
+	if ps, ok := peerStat(survivors[0], victim); !ok || ps.Health != "down" || ps.WentDown == 0 {
+		t.Errorf("survivor stats for dead victim = %+v, want health down", ps)
+	}
+
+	// --- Phase 3: admissions while the victim is Down park their
+	// replication pushes in hinted handoff instead of losing them.
+	handedOff := onVictim[8:11]
+	for i, u := range handedOff {
+		if v := f.fetchVia(t, survivorAddrs[i%2], u); v.status != http.StatusOK {
+			t.Fatalf("admit %s with victim dead = %d, want 200", u, v.status)
+		}
+	}
+	waitUntil(t, "handoff to park the victim's copies", func() bool {
+		var queued int
+		for _, d := range survivors {
+			if ps, ok := peerStat(d, victim); ok {
+				queued += ps.HandoffQueued
+			}
+		}
+		return queued >= len(handedOff)
+	})
+
+	// --- Phase 4: restart the victim in place. The survivors' probers
+	// notice, flip it Up, and drain the parked payloads into it — no
+	// origin traffic involved.
+	f.restart(t, 1)
+	waitUntil(t, "survivors to mark the victim Up", func() bool {
+		return !survivors[0].cluster.PeerDown(victim) && !survivors[1].cluster.PeerDown(victim)
+	})
+	waitUntil(t, "handoff to drain", func() bool {
+		for _, d := range survivors {
+			if ps, ok := peerStat(d, victim); ok && ps.HandoffQueued != 0 {
+				return false
+			}
+		}
+		return true
+	})
+	for _, u := range handedOff {
+		u := u
+		waitUntil(t, "drained copy of "+u+" on the restarted victim", func() bool {
+			return f.residentOn(victim, u)
+		})
+		if got := f.origin.Web().FetchCount(u); got != 1 {
+			t.Errorf("origin fetches for handed-off %s = %d, want 1 (drain must not refetch)", u, got)
+		}
+	}
+	var drained uint64
+	for _, d := range survivors {
+		if ps, ok := peerStat(d, victim); ok {
+			if ps.Health != "up" {
+				t.Errorf("survivor health view of restarted victim = %+v, want up", ps)
+			}
+			drained += ps.HandoffDrained
+		}
+	}
+	if drained < uint64(len(handedOff)) {
+		t.Errorf("handoff drained = %d, want >= %d", drained, len(handedOff))
 	}
 }

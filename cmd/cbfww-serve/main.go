@@ -20,18 +20,25 @@
 //	cbfww-serve -data-dir /var/tmp/cbfww
 //
 // With -join the daemon becomes one node of a static peer ring: URLs hash
-// to an owner node, non-owners proxy (or, with -redirect, 307) to it, and
-// an owner's cold miss checks its peers before the origin, so an object
-// admitted anywhere in the cluster hits the origin once. List every
-// member (self included or not — it is added automatically):
+// to a replica set of -replicas nodes (default 2), non-replicas proxy
+// (or, with -redirect, 307) to the first healthy replica, admitted
+// payloads replicate asynchronously to the other replicas, and a
+// replica's cold miss checks its peers before the origin, so an object
+// admitted anywhere in the cluster hits the origin once. A health prober
+// (-probe-interval, -probe-threshold) marks unresponsive peers Down:
+// traffic routes around them, replication pushes park in a hinted-handoff
+// queue and drain when the peer returns. List every member (self included
+// or not — it is added automatically):
 //
 //	cbfww-serve -addr 127.0.0.1:8642 -origin 127.0.0.1:9000 \
 //	    -join 127.0.0.1:8642,127.0.0.1:8643,127.0.0.1:8644
 //
 // Endpoints: GET /fetch?url=, GET /body?url=, POST /query, GET /search,
-// GET /recommend, GET /peer/fetch?url= (cluster-internal), GET /stats,
-// GET /healthz. SIGINT/SIGTERM shut down gracefully, draining in-flight
-// requests and flushing durable state.
+// GET /recommend, GET /peer/fetch?url= and POST /peer/put
+// (cluster-internal), GET /stats, GET /healthz (JSON; "degraded" with
+// detail when a peer is Down or a breaker open, always HTTP 200).
+// SIGINT/SIGTERM shut down gracefully, draining in-flight requests and
+// flushing durable state.
 package main
 
 import (
@@ -84,11 +91,16 @@ type options struct {
 	// host:port; self is added if absent), advertise overrides the
 	// self-address peers see (defaults to the bound listen address),
 	// redirect switches ownership routing from proxying to 307s, vnodes
-	// tunes the ring's virtual-node count.
-	join      string
-	advertise string
-	redirect  bool
-	vnodes    int
+	// tunes the ring's virtual-node count. replicas is the replica-set
+	// size per URL; probeInterval/probeThreshold drive the health prober
+	// that marks unresponsive peers Down.
+	join           string
+	advertise      string
+	redirect       bool
+	vnodes         int
+	replicas       int
+	probeInterval  time.Duration
+	probeThreshold int
 }
 
 // splitJoin parses the -join list into member addresses.
@@ -211,13 +223,17 @@ func build(opts options) (*daemon, error) {
 		log.Printf("rehydrated %d pages from %s", restored, opts.dataDir)
 	}
 	cluster := peers.NewCluster(peers.Config{
-		VNodes: opts.vnodes,
+		VNodes:         opts.vnodes,
+		Replicas:       opts.replicas,
+		ProbeInterval:  opts.probeInterval,
+		ProbeThreshold: opts.probeThreshold,
 		Breaker: resilience.BreakerConfig{
 			Threshold: opts.breakerThreshold,
 			Cooldown:  opts.breakerCooldown,
 		},
 	})
 	wh.SetPeerSource(cluster)
+	wh.SetReplicator(cluster.ReplicateAdmitted)
 	srv, err := gateway.New(gateway.Config{
 		Addr:         opts.addr,
 		FetchWorkers: opts.workers,
@@ -252,6 +268,9 @@ func (d *daemon) start() error {
 			self = d.srv.Addr()
 		}
 		d.cluster.Configure(self, d.join)
+		// The prober and replication worker only matter with peers to
+		// probe and push to.
+		d.cluster.Start()
 	}
 	if d.maintainEvery > 0 {
 		d.stopMaintain = make(chan struct{})
@@ -292,6 +311,10 @@ func (d *daemon) shutdown(ctx context.Context) error {
 		<-d.maintainDone
 		d.stopMaintain = nil
 	}
+	// Stop probing and replicating before the drain: peers are likely
+	// shutting down too, and a dying node has no business marking them
+	// Down or pushing payloads at them.
+	d.cluster.Stop()
 	if err := d.srv.Shutdown(ctx); err != nil {
 		return err
 	}
@@ -323,6 +346,9 @@ func main() {
 	flag.StringVar(&opts.advertise, "advertise", "", "self address peers should use (default: the bound listen address)")
 	flag.BoolVar(&opts.redirect, "redirect", false, "307-redirect to the owner node instead of proxying")
 	flag.IntVar(&opts.vnodes, "vnodes", 0, "virtual nodes per ring member (0 = default 128)")
+	flag.IntVar(&opts.replicas, "replicas", 0, "replica-set size per URL (0 = default 2)")
+	flag.DurationVar(&opts.probeInterval, "probe-interval", 0, "health-probe cadence between peers (0 = default 1s)")
+	flag.IntVar(&opts.probeThreshold, "probe-threshold", 0, "consecutive failed probes before a peer is marked Down (0 = default 3)")
 	grace := flag.Duration("grace", 15*time.Second, "graceful-shutdown drain budget")
 	flag.Parse()
 

@@ -8,7 +8,6 @@ import (
 	"encoding/json"
 	"io"
 	"net/http"
-	"strings"
 	"testing"
 	"time"
 )
@@ -38,7 +37,14 @@ func TestServeSmoke(t *testing.T) {
 	}
 	body, _ := io.ReadAll(resp.Body)
 	resp.Body.Close()
-	if resp.StatusCode != http.StatusOK || strings.TrimSpace(string(body)) != "ok" {
+	var hz struct {
+		Status string   `json:"status"`
+		Detail []string `json:"detail"`
+	}
+	if err := json.Unmarshal(body, &hz); err != nil {
+		t.Fatalf("healthz decode: %v (%q)", err, body)
+	}
+	if resp.StatusCode != http.StatusOK || hz.Status != "ok" || len(hz.Detail) != 0 {
 		t.Fatalf("healthz = %d %q", resp.StatusCode, body)
 	}
 

@@ -1,9 +1,12 @@
 package gateway
 
 import (
+	"bytes"
+	"encoding/json"
 	"net/http"
 	"net/http/httptest"
 	"net/url"
+	"strings"
 	"testing"
 	"time"
 
@@ -36,16 +39,17 @@ func newClusterGateway(t *testing.T, self string, peerAddrs []string, redirect b
 	return s, cl, g
 }
 
-// peerOwnedURL finds a page the ring assigns to somebody other than self.
-func peerOwnedURL(t *testing.T, cl *peers.Cluster, urls []string) (pageURL, owner string) {
+// nonReplicaURL finds a page whose replica set excludes self — the only
+// kind of URL the gateway routes away under replicated ownership.
+func nonReplicaURL(t *testing.T, cl *peers.Cluster, urls []string) (pageURL string, owners []string) {
 	t.Helper()
 	for _, u := range urls {
-		if o, isSelf := cl.Owner(u); !isSelf {
+		if o, selfIn := cl.Owners(u); !selfIn {
 			return u, o
 		}
 	}
-	t.Fatal("no peer-owned URL in the generated web")
-	return "", ""
+	t.Fatal("no URL with a self-free replica set in the generated web")
+	return "", nil
 }
 
 // selfOwnedURL finds a page the ring assigns to this node.
@@ -104,47 +108,68 @@ func TestStatsClusterSectionSingleNode(t *testing.T) {
 
 // TestStatsClusterSectionCounters: routing activity shows up per peer.
 func TestStatsClusterSectionCounters(t *testing.T) {
-	// The peer address is dead on purpose: proxies fail and fall back, so
-	// proxy_failures and breaker state become observable in /stats.
-	deadPeer := "127.0.0.1:1"
-	s, cl, g := newClusterGateway(t, "127.0.0.1:7002", []string{deadPeer}, false)
+	// Both peer addresses are dead on purpose: with replicas=2 on a
+	// three-member ring, a URL whose replica set excludes self has both
+	// its replicas dead, so proxies fail, breakers open, and the
+	// routed-around fallback all become observable in /stats.
+	deadA, deadB := "127.0.0.1:1", "127.0.0.1:2"
+	s, cl, g := newClusterGateway(t, "127.0.0.1:7002", []string{deadA, deadB}, false)
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
-	u, _ := peerOwnedURL(t, cl, g.PageURLs)
-	for i := 0; i < 3; i++ {
+	u, owners := nonReplicaURL(t, cl, g.PageURLs)
+	if len(owners) != 2 {
+		t.Fatalf("owners = %v, want 2 replicas", owners)
+	}
+	for i := 0; i < 4; i++ {
 		if code := getJSON(t, ts.Client(), ts.URL+"/fetch?url="+url.QueryEscape(u), nil); code != http.StatusOK {
-			t.Fatalf("fetch with dead owner = %d, want 200 (local fallback)", code)
+			t.Fatalf("fetch with dead replicas = %d, want 200 (local fallback)", code)
 		}
 	}
 
 	var stats StatsResponse
 	getJSON(t, ts.Client(), ts.URL+"/stats", &stats)
-	if len(stats.Cluster.Peers) != 1 {
-		t.Fatalf("peers = %+v, want the one dead peer", stats.Cluster.Peers)
+	if stats.Cluster.Replicas != 2 {
+		t.Errorf("cluster.replicas = %d, want 2", stats.Cluster.Replicas)
 	}
-	p := stats.Cluster.Peers[0]
-	if p.Addr != deadPeer || p.ProxyFailures == 0 {
-		t.Errorf("peer stat = %+v, want proxy failures against %s", p, deadPeer)
+	if len(stats.Cluster.Peers) != 2 {
+		t.Fatalf("peers = %+v, want the two dead peers", stats.Cluster.Peers)
 	}
-	if p.Breaker != "open" {
-		t.Errorf("breaker = %q after repeated proxy failures (threshold 2), want open", p.Breaker)
+	var proxyFailures, routedAround uint64
+	opened := 0
+	for _, p := range stats.Cluster.Peers {
+		proxyFailures += p.ProxyFailures
+		routedAround += p.RoutedAround
+		if p.Breaker == "open" {
+			opened++
+		}
 	}
-	if p.RoutedAround == 0 {
-		t.Errorf("routed_around = 0, want > 0 once the breaker opened")
+	if proxyFailures == 0 {
+		t.Errorf("peer stats = %+v, want proxy failures against the dead replicas", stats.Cluster.Peers)
+	}
+	if opened == 0 {
+		t.Errorf("no breaker open after repeated proxy failures (threshold 2): %+v", stats.Cluster.Peers)
+	}
+	if routedAround == 0 {
+		t.Errorf("routed_around = 0, want > 0 once a breaker opened")
 	}
 }
 
-// TestForwardedLoopGuard: a request carrying X-CBFWW-From is served
-// locally even when the ring says another node owns the URL.
+// TestForwardedLoopGuard: the hop-list guard lets legitimate forwards
+// land (credited to the sender) and breaks true cycles — a request whose
+// hop list already names this node is served locally without another hop.
 func TestForwardedLoopGuard(t *testing.T) {
-	s, cl, g := newClusterGateway(t, "127.0.0.1:7003", []string{"127.0.0.1:1"}, false)
+	self := "127.0.0.1:7003"
+	deadA, deadB := "127.0.0.1:1", "127.0.0.1:2"
+	s, cl, g := newClusterGateway(t, self, []string{deadA, deadB}, false)
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
-	u, owner := peerOwnedURL(t, cl, g.PageURLs)
+	// A legitimate forward: a peer routed a self-replica URL here. Served
+	// locally, credited to the immediate sender.
+	u := selfOwnedURL(t, cl, g.PageURLs)
 	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/fetch?url="+url.QueryEscape(u), nil)
-	req.Header.Set(peers.HeaderFrom, owner)
+	req.Header.Set(peers.HeaderFrom, deadA)
 	resp, err := ts.Client().Do(req)
 	if err != nil {
 		t.Fatalf("forwarded fetch: %v", err)
@@ -153,11 +178,8 @@ func TestForwardedLoopGuard(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("forwarded fetch = %d, want 200 served locally", resp.StatusCode)
 	}
-	if got := resp.Header.Get(peers.HeaderNode); got != "127.0.0.1:7003" {
-		t.Errorf("X-CBFWW-Node = %q, want self (forwarded requests never re-proxy)", got)
-	}
-	if got := resp.Header.Get(peers.HeaderOwner); got != owner {
-		t.Errorf("X-CBFWW-Owner = %q, want %q", got, owner)
+	if got := resp.Header.Get(peers.HeaderNode); got != self {
+		t.Errorf("X-CBFWW-Node = %q, want self", got)
 	}
 	var stats StatsResponse
 	getJSON(t, ts.Client(), ts.URL+"/stats", &stats)
@@ -168,6 +190,40 @@ func TestForwardedLoopGuard(t *testing.T) {
 	if forwarded != 1 {
 		t.Errorf("forwarded counter = %d, want 1", forwarded)
 	}
+
+	// A true cycle: the hop list already names this node. Even though the
+	// replica set excludes self, the request must not be forwarded again —
+	// local serve, and no proxy attempts burned on it.
+	cu, owners := nonReplicaURL(t, cl, g.PageURLs)
+	before := proxyFailureTotal(t, ts)
+	req, _ = http.NewRequest(http.MethodGet, ts.URL+"/fetch?url="+url.QueryEscape(cu), nil)
+	req.Header.Set(peers.HeaderFrom, peers.AppendHop(owners[0], self))
+	resp, err = ts.Client().Do(req)
+	if err != nil {
+		t.Fatalf("cyclic fetch: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cyclic fetch = %d, want 200 served locally", resp.StatusCode)
+	}
+	if got := resp.Header.Get(peers.HeaderNode); got != self {
+		t.Errorf("cyclic X-CBFWW-Node = %q, want self (never re-proxy a seen request)", got)
+	}
+	if after := proxyFailureTotal(t, ts); after != before {
+		t.Errorf("cyclic request burned proxy attempts: failures %d -> %d", before, after)
+	}
+}
+
+// proxyFailureTotal sums proxy_failures across all peers in /stats.
+func proxyFailureTotal(t *testing.T, ts *httptest.Server) uint64 {
+	t.Helper()
+	var stats StatsResponse
+	getJSON(t, ts.Client(), ts.URL+"/stats", &stats)
+	var total uint64
+	for _, p := range stats.Cluster.Peers {
+		total += p.ProxyFailures
+	}
+	return total
 }
 
 // TestSelfOwnedServesLocally: self-owned URLs never touch the (dead)
@@ -196,13 +252,14 @@ func TestSelfOwnedServesLocally(t *testing.T) {
 }
 
 // TestRedirectMode: -redirect turns ownership routing into 307s aimed at
-// the owner, counted per peer.
+// the first healthy replica, counted per peer — and a Down primary moves
+// the 307 to the next replica instead of failing.
 func TestRedirectMode(t *testing.T) {
-	s, cl, g := newClusterGateway(t, "127.0.0.1:7005", []string{"127.0.0.1:1"}, true)
+	s, cl, g := newClusterGateway(t, "127.0.0.1:7005", []string{"127.0.0.1:1", "127.0.0.1:2"}, true)
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
-	u, owner := peerOwnedURL(t, cl, g.PageURLs)
+	u, owners := nonReplicaURL(t, cl, g.PageURLs)
 	client := &http.Client{CheckRedirect: func(*http.Request, []*http.Request) error {
 		return http.ErrUseLastResponse
 	}}
@@ -215,18 +272,40 @@ func TestRedirectMode(t *testing.T) {
 		t.Fatalf("redirect-mode fetch = %d, want 307", resp.StatusCode)
 	}
 	loc := resp.Header.Get("Location")
-	want := "http://" + owner + "/fetch?url=" + url.QueryEscape(u)
+	want := "http://" + owners[0] + "/fetch?url=" + url.QueryEscape(u)
 	if loc != want {
-		t.Errorf("Location = %q, want %q", loc, want)
+		t.Errorf("Location = %q, want %q (primary replica)", loc, want)
 	}
+
+	// Primary goes Down: the 307 aims at the surviving replica.
+	cl.SetPeerDown(owners[0], true)
+	resp, err = client.Get(ts.URL + "/fetch?url=" + url.QueryEscape(u))
+	if err != nil {
+		t.Fatalf("fetch with primary down: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTemporaryRedirect {
+		t.Fatalf("redirect with primary down = %d, want 307 to the next replica", resp.StatusCode)
+	}
+	want = "http://" + owners[1] + "/fetch?url=" + url.QueryEscape(u)
+	if loc := resp.Header.Get("Location"); loc != want {
+		t.Errorf("failover Location = %q, want %q", loc, want)
+	}
+
 	var stats StatsResponse
 	getJSON(t, ts.Client(), ts.URL+"/stats", &stats)
-	var redirects uint64
+	var redirects, routedAround uint64
 	for _, p := range stats.Cluster.Peers {
 		redirects += p.Redirects
+		if p.Addr == owners[0] {
+			routedAround = p.RoutedAround
+		}
 	}
-	if redirects != 1 {
-		t.Errorf("redirects = %d, want 1", redirects)
+	if redirects != 2 {
+		t.Errorf("redirects = %d, want 2", redirects)
+	}
+	if routedAround == 0 {
+		t.Errorf("routed_around = 0 for the Down primary, want > 0")
 	}
 }
 
@@ -263,5 +342,115 @@ func TestPeerFetchEndpoint(t *testing.T) {
 	}
 	if got := g.Web.TotalFetches(); got != fetchesAfterAdmit {
 		t.Errorf("peer fetches changed origin fetch count %d -> %d; must be resident-only", fetchesAfterAdmit, got)
+	}
+}
+
+// TestPeerPutEndpoint: /peer/put admits a pushed payload without an
+// origin fetch, refuses stale re-pushes, counts the sender, and rejects
+// malformed bodies.
+func TestPeerPutEndpoint(t *testing.T) {
+	sender := "127.0.0.1:1"
+	s, _, g := newClusterGateway(t, "127.0.0.1:7007", []string{sender}, false)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	u := g.PageURLs[0]
+	fr, err := g.Web.Fetch(u)
+	if err != nil {
+		t.Fatalf("origin fetch for the push payload: %v", err)
+	}
+	fetchesBefore := g.Web.TotalFetches()
+
+	push := func(pp peers.PeerPut) (int, map[string]bool) {
+		t.Helper()
+		body, err := json.Marshal(pp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req, _ := http.NewRequest(http.MethodPost, ts.URL+peers.PeerPutPath, bytes.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set(peers.HeaderFrom, sender)
+		resp, err := ts.Client().Do(req)
+		if err != nil {
+			t.Fatalf("peer put: %v", err)
+		}
+		defer resp.Body.Close()
+		var out map[string]bool
+		json.NewDecoder(resp.Body).Decode(&out)
+		return resp.StatusCode, out
+	}
+
+	if code, out := push(peers.PeerPut{URL: u, Page: fr.Page}); code != http.StatusOK || !out["admitted"] {
+		t.Fatalf("cold push = %d %v, want 200 admitted", code, out)
+	}
+	// The pushed copy is resident: /peer/fetch serves it without any
+	// origin traffic.
+	var pp peers.PeerPage
+	if code := getJSON(t, ts.Client(), ts.URL+peers.PeerFetchPath+"?url="+url.QueryEscape(u), &pp); code != http.StatusOK {
+		t.Fatalf("peer fetch after push = %d, want 200 resident", code)
+	}
+	if got := g.Web.TotalFetches(); got != fetchesBefore {
+		t.Errorf("replica push touched the origin: fetches %d -> %d", fetchesBefore, got)
+	}
+	// Same version again is an honest no-op, not an error.
+	if code, out := push(peers.PeerPut{URL: u, Page: fr.Page}); code != http.StatusOK || out["admitted"] {
+		t.Errorf("same-version push = %d %v, want 200 not admitted", code, out)
+	}
+
+	var stats StatsResponse
+	getJSON(t, ts.Client(), ts.URL+"/stats", &stats)
+	if len(stats.Cluster.Peers) != 1 || stats.Cluster.Peers[0].ReplicaReceived != 2 {
+		t.Errorf("peer stats = %+v, want replica_received = 2 for %s", stats.Cluster.Peers, sender)
+	}
+	if stats.Warehouse.ReplicaAdmits != 1 {
+		t.Errorf("warehouse replica_admits = %d, want 1", stats.Warehouse.ReplicaAdmits)
+	}
+
+	// Malformed bodies are the client's problem.
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+peers.PeerPutPath, strings.NewReader("{not json"))
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("garbage push = %d, want 400", resp.StatusCode)
+	}
+	if code, _ := push(peers.PeerPut{}); code != http.StatusBadRequest {
+		t.Errorf("empty push = %d, want 400", code)
+	}
+}
+
+// TestHealthzDegraded: /healthz stays 200 but flips to "degraded" with a
+// complaint while a peer is Down, and recovers to "ok".
+func TestHealthzDegraded(t *testing.T) {
+	peer := "127.0.0.1:1"
+	s, cl, _ := newClusterGateway(t, "127.0.0.1:7008", []string{peer}, false)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var hz HealthzResponse
+	if code := getJSON(t, ts.Client(), ts.URL+"/healthz", &hz); code != http.StatusOK {
+		t.Fatalf("healthz = %d", code)
+	}
+	if hz.Status != "ok" || len(hz.Detail) != 0 {
+		t.Fatalf("healthy node reports %+v, want ok with no detail", hz)
+	}
+
+	cl.SetPeerDown(peer, true)
+	if code := getJSON(t, ts.Client(), ts.URL+"/healthz", &hz); code != http.StatusOK {
+		t.Fatalf("degraded healthz = %d, want 200 (degraded is alive)", code)
+	}
+	if hz.Status != "degraded" || len(hz.Detail) == 0 {
+		t.Fatalf("with a Down peer healthz = %+v, want degraded with detail", hz)
+	}
+	if !strings.Contains(hz.Detail[0], peer) || !strings.Contains(hz.Detail[0], "down") {
+		t.Errorf("detail = %q, want it to name the Down peer", hz.Detail)
+	}
+
+	cl.SetPeerDown(peer, false)
+	getJSON(t, ts.Client(), ts.URL+"/healthz", &hz)
+	if hz.Status != "ok" {
+		t.Errorf("after recovery healthz = %+v, want ok", hz)
 	}
 }

@@ -25,14 +25,20 @@
 //	GET  /search?q=T[&n=K]       ranked retrieval through the index hierarchy
 //	GET  /recommend?user=X[&n=K] content suggestions
 //	GET  /peer/fetch?url=U       cluster-internal resident-only probe (never fetches origin)
+//	POST /peer/put               cluster-internal replication push (admit without origin fetch)
 //	GET  /stats                  gateway + warehouse counters, latency quantiles, cluster section
-//	GET  /healthz                liveness probe
+//	GET  /healthz                liveness + health view: {"status":"ok"} or "degraded" with detail
 //
 // With a peers.Cluster configured, /fetch and /body route by ownership:
-// a URL owned by another node is proxied there (or 307-redirected under
+// a URL whose replica set excludes this node is proxied to the first
+// healthy replica in owner order (or 307-redirected under
 // Config.Redirect), and responses carry X-CBFWW-Node (who served) and
-// X-CBFWW-Owner (who the ring says owns the URL). A peer whose breaker is
-// open is routed around — the gateway serves locally instead of failing.
+// X-CBFWW-Owner (the primary owner). A replica that is Down or
+// breaker-open is routed around — the next replica takes it, and with
+// none left the gateway serves locally instead of failing. /healthz
+// always answers 200 (a degraded node is still alive) but reports
+// status "degraded" with a complaint list when any peer is Down or any
+// breaker is open.
 package gateway
 
 import (
@@ -161,6 +167,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /search", s.instrument("search", s.handleSearch))
 	mux.HandleFunc("GET /recommend", s.instrument("recommend", s.handleRecommend))
 	mux.HandleFunc("GET "+peers.PeerFetchPath, s.instrument("peer_fetch", s.handlePeerFetch))
+	mux.HandleFunc("POST "+peers.PeerPutPath, s.instrument("peer_put", s.handlePeerPut))
 	mux.HandleFunc("GET /stats", s.instrument("stats", s.handleStats))
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	if s.cfg.EnablePprof {
@@ -301,43 +308,68 @@ type FetchResponse struct {
 }
 
 // routeToOwner applies cluster ownership routing for url. It returns true
-// when the response has been fully written (proxied to the owner, or a
+// when the response has been fully written (proxied to a replica, or a
 // 307 issued); false means the caller must serve locally — because this
-// node owns the URL, the request was forwarded by a peer (the loop
-// guard), the cluster is off, or the owner is unreachable/broken-open and
-// local degradation is the right answer. On local serves the X-CBFWW-Node
-// and X-CBFWW-Owner headers are already set when routing is on.
+// node is in the URL's replica set, the request's hop list already names
+// this node (a true cycle), the cluster is off, or every replica is
+// unreachable and local degradation is the right answer. Routing walks
+// the replica set in owner order and picks the first *healthy* member:
+// one the prober calls Up and whose breaker is not open. On local serves
+// the X-CBFWW-Node and X-CBFWW-Owner headers are already set when routing
+// is on.
 func (s *Server) routeToOwner(w http.ResponseWriter, r *http.Request, url string) bool {
 	cl := s.cfg.Cluster
 	if cl == nil || !cl.Enabled() {
 		return false
 	}
-	owner, isSelf := cl.Owner(url)
+	owners, selfIn := cl.Owners(url)
 	h := w.Header()
-	h.Set(peers.HeaderOwner, owner)
-	if from := r.Header.Get(peers.HeaderFrom); from != "" {
-		// A peer already routed this request here; serve locally no matter
-		// what the ring says, so proxy chains cannot loop.
-		cl.CountForwarded(from)
+	if len(owners) > 0 {
+		h.Set(peers.HeaderOwner, owners[0])
+	}
+	hops := r.Header.Get(peers.HeaderFrom)
+	if hops != "" {
+		// A peer routed this request here; credit the immediate sender.
+		cl.CountForwarded(peers.LastHop(hops))
+	}
+	if peers.HopsContain(hops, cl.Self()) {
+		// This request has been through us before — a genuine routing
+		// cycle (membership views can disagree mid-reconfigure). Serve
+		// locally; never forward a request a second time.
 		h.Set(peers.HeaderNode, cl.Self())
 		return false
 	}
-	if isSelf {
+	if selfIn {
+		// We are one of the URL's replicas: serve locally. A cold miss
+		// still probes the other replicas before the origin (the
+		// warehouse's peer source), preserving one-origin-fetch.
 		h.Set(peers.HeaderNode, cl.Self())
 		return false
 	}
-	if s.cfg.Redirect {
-		cl.CountRedirect(owner)
-		h.Set("Location", "http://"+owner+r.URL.RequestURI())
-		w.WriteHeader(http.StatusTemporaryRedirect)
-		return true
+	// Not a replica: hand the request to the first healthy replica that
+	// has not already seen it.
+	for _, owner := range owners {
+		if peers.HopsContain(hops, owner) {
+			continue
+		}
+		if !cl.Healthy(owner) {
+			cl.CountRoutedAround(owner)
+			continue
+		}
+		if s.cfg.Redirect {
+			cl.CountRedirect(owner)
+			h.Set("Location", "http://"+owner+r.URL.RequestURI())
+			w.WriteHeader(http.StatusTemporaryRedirect)
+			return true
+		}
+		if cl.Proxy(w, r, owner) {
+			return true
+		}
+		// Proxy failed in transit or 5xx'd: the next replica is as good.
 	}
-	if cl.Proxy(w, r, owner) {
-		return true
-	}
-	// Owner unreachable or breaker open: degrade to the local serve path
-	// (which still has stale-serve behind it). Never fail the request on a
-	// peer's account.
+	// Every replica unreachable or already visited: degrade to the local
+	// serve path (which still has peer probes and stale-serve behind it).
+	// Never fail the request on a peer's account.
 	h.Set(peers.HeaderNode, cl.Self())
 	return false
 }
@@ -570,6 +602,36 @@ func (s *Server) handlePeerFetch(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handlePeerPut receives a replication push: a replica-set member admitted
+// a payload and offers it so this node can hold its copy without an origin
+// fetch. Admission constraints still apply, version conflicts resolve
+// newest-wins, and the receiving warehouse never re-replicates what came
+// in this way — so pushes cannot storm.
+func (s *Server) handlePeerPut(w http.ResponseWriter, r *http.Request) {
+	var pp peers.PeerPut
+	if err := json.NewDecoder(io.LimitReader(r.Body, 16<<20)).Decode(&pp); err != nil {
+		writeError(w, fmt.Errorf("gateway: peer put: %w: %w", core.ErrInvalid, err))
+		return
+	}
+	if pp.URL == "" {
+		pp.URL = pp.Page.URL
+	}
+	if pp.URL == "" {
+		writeError(w, fmt.Errorf("gateway: peer put: %w: missing url", core.ErrInvalid))
+		return
+	}
+	if cl := s.cfg.Cluster; cl != nil {
+		w.Header().Set(peers.HeaderNode, cl.Self())
+		cl.CountReplicaReceived(peers.LastHop(r.Header.Get(peers.HeaderFrom)))
+	}
+	admitted, err := s.wh.AdmitReplica(pp.URL, simweb.FetchResult{Page: pp.Page})
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"admitted": admitted})
+}
+
 // retryAfterSeconds renders a cool-down as a Retry-After value, rounding
 // up so clients never come back early (and never see 0).
 func retryAfterSeconds(d time.Duration) int {
@@ -671,7 +733,32 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// HealthzResponse is the /healthz payload: "ok" when everything this node
+// can see is healthy, "degraded" with a complaint list when any peer is
+// Down or any breaker (peer or origin) is open.
+type HealthzResponse struct {
+	Status string   `json:"status"`
+	Detail []string `json:"detail,omitempty"`
+}
+
+// handleHealthz reports liveness plus the node's health view. It always
+// answers 200 — a degraded node is still alive and still serving, and a
+// 503 here would make load balancers and the cluster prober treat one
+// peer's outage as everyone's, cascading the very failure replication
+// exists to absorb. Degradation is in the body, for operators.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintln(w, "ok")
+	var detail []string
+	if cl := s.cfg.Cluster; cl != nil {
+		detail = append(detail, cl.Degraded()...)
+	}
+	if res := s.cfg.Resilient; res != nil {
+		if n := res.Stats().OpenHosts; n > 0 {
+			detail = append(detail, fmt.Sprintf("%d origin breaker(s) open", n))
+		}
+	}
+	status := "ok"
+	if len(detail) > 0 {
+		status = "degraded"
+	}
+	writeJSON(w, http.StatusOK, HealthzResponse{Status: status, Detail: detail})
 }

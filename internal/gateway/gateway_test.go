@@ -157,15 +157,13 @@ func TestEndToEndOverSockets(t *testing.T) {
 	base := "http://" + s.Addr()
 	client := &http.Client{Timeout: 30 * time.Second}
 
-	// Liveness.
-	resp, err := client.Get(base + "/healthz")
-	if err != nil {
-		t.Fatalf("healthz: %v", err)
+	// Liveness: a standalone daemon has nothing to complain about.
+	var hz HealthzResponse
+	if code := getJSON(t, client, base+"/healthz", &hz); code != http.StatusOK {
+		t.Fatalf("healthz status = %d", code)
 	}
-	body, _ := io.ReadAll(resp.Body)
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusOK || strings.TrimSpace(string(body)) != "ok" {
-		t.Fatalf("healthz = %d %q", resp.StatusCode, body)
+	if hz.Status != "ok" || len(hz.Detail) != 0 {
+		t.Fatalf("healthz = %+v, want plain ok", hz)
 	}
 
 	// Cold fetch, then hot hit of the same URL.

@@ -1,12 +1,14 @@
 package peers
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
 	neturl "net/url"
+	"strings"
 	"time"
 
 	"cbfww/internal/core"
@@ -18,6 +20,56 @@ import (
 // origin and never consults other peers, which is what makes probe chains
 // loop-free by construction.
 const PeerFetchPath = "/peer/fetch"
+
+// PeerPutPath is the replication push endpoint: a replica-set member
+// POSTs an admitted payload here so the receiver can admit it without an
+// origin fetch. Best-effort — the receiver may reject (admission
+// constraints) and the sender does not care.
+const PeerPutPath = "/peer/put"
+
+// PeerPut is the replication push body.
+type PeerPut struct {
+	URL  string      `json:"url"`
+	Page simweb.Page `json:"page"`
+}
+
+// HopsContain reports whether the comma-separated HeaderFrom hop list
+// names node. The hop list replaced the single-flag loop guard: each
+// forwarding node appends itself, so a replica-routing chain detects
+// true cycles (self already in the list) without suppressing legitimate
+// multi-hop reads.
+func HopsContain(hops, node string) bool {
+	if hops == "" || node == "" {
+		return false
+	}
+	for _, h := range strings.Split(hops, ",") {
+		if strings.TrimSpace(h) == node {
+			return true
+		}
+	}
+	return false
+}
+
+// LastHop returns the most recent node in the hop list — the immediate
+// sender of a forwarded request ("" for an empty list).
+func LastHop(hops string) string {
+	if hops == "" {
+		return ""
+	}
+	parts := strings.Split(hops, ",")
+	return strings.TrimSpace(parts[len(parts)-1])
+}
+
+// AppendHop returns the hop list with node appended.
+func AppendHop(hops, node string) string {
+	if hops == "" {
+		return node
+	}
+	if node == "" {
+		return hops
+	}
+	return hops + "," + node
+}
 
 // PeerPage is the probe response body: the resident page plus how the
 // answering node served it. simweb.Page marshals whole — title, body,
@@ -46,13 +98,17 @@ func (c *Cluster) Proxy(w http.ResponseWriter, r *http.Request, owner string) bo
 	}
 	pc := c.counter(owner)
 	attempts := c.cfg.Retry.MaxAttempts
+	// Forwarded requests carry the whole hop chain: upstream hops plus us.
+	// The receiver serves locally if it finds itself in the list — a true
+	// cycle — but legitimate multi-hop replica chains pass through.
+	hops := AppendHop(r.Header.Get(HeaderFrom), c.Self())
 	for attempt := 1; ; attempt++ {
 		report, err := c.breakers.Allow(owner)
 		if err != nil {
 			pc.routedAround.Add(1)
 			return false
 		}
-		resp, err := c.roundTrip(r.Context(), owner, r.URL.RequestURI())
+		resp, err := c.roundTrip(r.Context(), owner, r.URL.RequestURI(), hops)
 		if err != nil {
 			report(true)
 			pc.proxyFailures.Add(1)
@@ -91,12 +147,12 @@ func (c *Cluster) Proxy(w http.ResponseWriter, r *http.Request, owner string) bo
 	}
 }
 
-// FetchResident asks every live peer — owner's view first — for a
-// resident copy of url. It implements warehouse.PeerSource: the owner's
-// cold-miss path calls it before touching the origin, so an object
-// admitted anywhere in the cluster is fetched from the origin exactly
-// once. Probes are resident-only on the remote side; a peer with an open
-// breaker is skipped outright.
+// FetchResident asks every live peer — the replica set first, in owner
+// order — for a resident copy of url. It implements warehouse.PeerSource:
+// any replica's cold-miss path calls it before touching the origin, so an
+// object admitted anywhere in the cluster is fetched from the origin
+// exactly once. Probes are resident-only on the remote side; a peer that
+// is Down or breaker-open is skipped outright.
 func (c *Cluster) FetchResident(ctx context.Context, url string) (simweb.FetchResult, bool) {
 	if c == nil {
 		return simweb.FetchResult{}, false
@@ -105,19 +161,29 @@ func (c *Cluster) FetchResident(ctx context.Context, url string) (simweb.FetchRe
 	if st == nil || len(st.peers) == 0 {
 		return simweb.FetchResult{}, false
 	}
-	order := st.peers
-	if owner := st.ring.Owner(url); owner != st.self {
-		// The ring's owner is the most likely holder: probe it first.
-		order = make([]string, 0, len(st.peers))
-		order = append(order, owner)
-		for _, p := range st.peers {
-			if p != owner {
-				order = append(order, p)
-			}
+	// Replica-set members are the likely holders: probe them first (minus
+	// self — we are the one missing), then the rest of the cluster.
+	owners := st.ring.Owners(url, c.cfg.Replicas)
+	order := make([]string, 0, len(st.peers))
+	inOrder := make(map[string]bool, len(st.peers))
+	for _, o := range owners {
+		if o != st.self && !inOrder[o] {
+			inOrder[o] = true
+			order = append(order, o)
+		}
+	}
+	for _, p := range st.peers {
+		if !inOrder[p] {
+			order = append(order, p)
 		}
 	}
 	for _, peer := range order {
 		pc := c.counter(peer)
+		if pc.down.Load() {
+			// The prober says this peer is gone; don't burn a timeout on it.
+			pc.routedAround.Add(1)
+			continue
+		}
 		report, err := c.breakers.Allow(peer)
 		if err != nil {
 			pc.routedAround.Add(1)
@@ -149,7 +215,7 @@ func (c *Cluster) FetchResident(ctx context.Context, url string) (simweb.FetchRe
 // probe performs one resident-only peer exchange. found=false with a nil
 // error is the peer's honest 404: reachable, just not holding the URL.
 func (c *Cluster) probe(ctx context.Context, peer, url string) (PeerPage, bool, error) {
-	resp, err := c.roundTrip(ctx, peer, PeerFetchPath+"?url="+neturl.QueryEscape(url))
+	resp, err := c.roundTrip(ctx, peer, PeerFetchPath+"?url="+neturl.QueryEscape(url), c.Self())
 	if err != nil {
 		return PeerPage{}, false, err
 	}
@@ -173,15 +239,41 @@ func (c *Cluster) probe(ctx context.Context, peer, url string) (PeerPage, bool, 
 	return pp, true, nil
 }
 
-// roundTrip issues one GET to addr with the cluster identity header. The
-// context caps it on top of the client timeout.
-func (c *Cluster) roundTrip(ctx context.Context, addr, pathAndQuery string) (*http.Response, error) {
+// roundTrip issues one GET to addr carrying the hop list in the cluster
+// identity header. The context caps it on top of the client timeout.
+func (c *Cluster) roundTrip(ctx context.Context, addr, pathAndQuery, hops string) (*http.Response, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+addr+pathAndQuery, nil)
 	if err != nil {
 		return nil, fmt.Errorf("peers: %w", err)
 	}
-	req.Header.Set(HeaderFrom, c.Self())
+	req.Header.Set(HeaderFrom, hops)
 	return c.client.Do(req)
+}
+
+// put pushes one admitted payload to peer's /peer/put. Any non-2xx
+// answer is a failure — the peer was reachable but refused, and the
+// caller's park-and-retry path handles both the same way.
+func (c *Cluster) put(ctx context.Context, peer, url string, page simweb.Page) error {
+	body, err := json.Marshal(PeerPut{URL: url, Page: page})
+	if err != nil {
+		return fmt.Errorf("peers: put %s: encode: %w", peer, err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, "http://"+peer+PeerPutPath, bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("peers: put %s: %w", peer, err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(HeaderFrom, c.Self())
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return fmt.Errorf("peers: put %s: %w", peer, err)
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+		return fmt.Errorf("peers: put %s: status %d", peer, resp.StatusCode)
+	}
+	return nil
 }
 
 // backoff sleeps the (linear, small) retry delay, false when ctx ends

@@ -9,11 +9,13 @@ import (
 	"cbfww/internal/resilience"
 )
 
-// Peer protocol headers. From marks cluster-internal requests (the loop
-// guard: a forwarded request is always served locally); Node names the
-// node whose warehouse actually served a response; Owner names the node
-// the ring assigns the URL to — together they make routing observable
-// from any response.
+// Peer protocol headers. From carries the comma-separated hop list of
+// nodes a cluster-internal request has passed through (the loop guard: a
+// node finding itself in the list serves locally, so multi-hop replica
+// chains flow but true cycles stop); Node names the node whose warehouse
+// actually served a response; Owner names the primary owner the ring
+// assigns the URL to — together they make routing observable from any
+// response.
 const (
 	HeaderFrom  = "X-CBFWW-From"
 	HeaderNode  = "X-CBFWW-Node"
@@ -41,7 +43,28 @@ type Config struct {
 	// Transport overrides the peer HTTP transport (tests); nil uses
 	// http.DefaultTransport.
 	Transport http.RoundTripper
+	// Replicas is the ownership replica-set size R: every URL is owned by
+	// the first R distinct ring successors, primary first. <= 0 defaults
+	// to DefaultReplicas; it is capped at the member count at lookup time.
+	Replicas int
+	// ProbeInterval paces the active health prober (jittered per round);
+	// <= 0 defaults to 1s. The prober only runs after Start.
+	ProbeInterval time.Duration
+	// ProbeThreshold is how many consecutive failed health probes mark a
+	// peer Down; <= 0 defaults to 3.
+	ProbeThreshold int
+	// HandoffLimit bounds each Down peer's hinted-handoff queue; when full
+	// the oldest hint is dropped (and counted). <= 0 defaults to 128.
+	HandoffLimit int
+	// ReplicationQueue bounds the async replication queue shared by all
+	// peers; a full queue drops the newest job (and counts it) rather than
+	// block the admitting request. <= 0 defaults to 256.
+	ReplicationQueue int
 }
+
+// DefaultReplicas is the default ownership replica-set size: primary plus
+// one follower, the smallest R at which losing a node loses no bytes.
+const DefaultReplicas = 2
 
 // peerCounters is one peer's activity ledger, all atomics so the request
 // path never takes the cluster lock to count.
@@ -53,7 +76,23 @@ type peerCounters struct {
 	peerHits      atomic.Uint64 // resident-only probes this peer answered
 	peerMisses    atomic.Uint64 // resident-only probes this peer 404'd
 	probeFailures atomic.Uint64 // probes that died in transit or 5xx'd
-	routedAround  atomic.Uint64 // requests served locally because this peer's breaker was open
+	routedAround  atomic.Uint64 // requests served locally because this peer was down or breaker-open
+
+	// Health view (the active prober's verdict; zero value = Up).
+	down           atomic.Bool   // consecutive health-probe failures crossed the threshold
+	consecFails    atomic.Int32  // current health-probe failure streak
+	healthProbes   atomic.Uint64 // health probes sent
+	healthFailures atomic.Uint64 // health probes that failed
+	wentDown       atomic.Uint64 // Up -> Down transitions
+	wentUp         atomic.Uint64 // Down -> Up transitions
+
+	// Replication + hinted handoff.
+	replicated      atomic.Uint64 // admitted payloads pushed to this peer
+	replicateFails  atomic.Uint64 // pushes that died in transit or were refused
+	replicaReceived atomic.Uint64 // payloads this peer pushed to us
+	handoffParked   atomic.Uint64 // hints parked while this peer was down
+	handoffDropped  atomic.Uint64 // hints evicted from a full queue (oldest first)
+	handoffDrained  atomic.Uint64 // hints delivered after the peer recovered
 }
 
 // clusterState is the swapped-atomically membership view.
@@ -76,6 +115,17 @@ type Cluster struct {
 
 	mu       sync.Mutex
 	counters map[string]*peerCounters // by peer address, survives reconfiguration
+
+	// Replication machinery (handoff.go) and the health prober
+	// (health.go). repq is created in NewCluster; the prober goroutine and
+	// the replication worker only run between Start and Stop.
+	handoff            *handoffQueue
+	repq               chan repJob
+	replicationDropped atomic.Uint64
+
+	lifeMu sync.Mutex // guards stop/wg across Start/Stop
+	stop   chan struct{}
+	wg     sync.WaitGroup
 }
 
 // NewCluster builds an unconfigured cluster tier. It is inert — every
@@ -97,11 +147,28 @@ func NewCluster(cfg Config) *Cluster {
 	if cfg.Breaker.Threshold == 0 {
 		cfg.Breaker.Threshold = 3
 	}
+	if cfg.Replicas <= 0 {
+		cfg.Replicas = DefaultReplicas
+	}
+	if cfg.ProbeInterval <= 0 {
+		cfg.ProbeInterval = time.Second
+	}
+	if cfg.ProbeThreshold <= 0 {
+		cfg.ProbeThreshold = 3
+	}
+	if cfg.HandoffLimit <= 0 {
+		cfg.HandoffLimit = 128
+	}
+	if cfg.ReplicationQueue <= 0 {
+		cfg.ReplicationQueue = 256
+	}
 	c := &Cluster{
 		cfg:      cfg,
 		client:   &http.Client{Timeout: cfg.Timeout, Transport: cfg.Transport},
 		breakers: resilience.NewBreakers(cfg.Breaker, cfg.Now),
 		counters: make(map[string]*peerCounters),
+		handoff:  newHandoffQueue(cfg.HandoffLimit),
+		repq:     make(chan repJob, cfg.ReplicationQueue),
 	}
 	return c
 }
@@ -173,6 +240,35 @@ func (c *Cluster) Owner(url string) (addr string, isSelf bool) {
 	return owner, owner == st.self || owner == ""
 }
 
+// Owners returns url's replica set — the first R distinct ring members,
+// primary first — and whether this node is one of them. Before Configure
+// the set is nil and self counts as a replica (the standalone node owns
+// everything).
+func (c *Cluster) Owners(url string) (owners []string, selfIn bool) {
+	if c == nil {
+		return nil, true
+	}
+	st := c.state.Load()
+	if st == nil {
+		return nil, true
+	}
+	owners = st.ring.Owners(url, c.cfg.Replicas)
+	for _, o := range owners {
+		if o == st.self {
+			return owners, true
+		}
+	}
+	return owners, len(owners) == 0
+}
+
+// Replicas returns the configured replica-set size R.
+func (c *Cluster) Replicas() int {
+	if c == nil {
+		return 1
+	}
+	return c.cfg.Replicas
+}
+
 // counter returns (creating if needed) the ledger for addr.
 func (c *Cluster) counter(addr string) *peerCounters {
 	c.mu.Lock()
@@ -202,11 +298,29 @@ func (c *Cluster) CountRedirect(owner string) {
 	c.counter(owner).redirects.Add(1)
 }
 
+// CountRoutedAround records that addr was skipped by routing because it
+// was Down or breaker-open.
+func (c *Cluster) CountRoutedAround(addr string) {
+	if c == nil || addr == "" {
+		return
+	}
+	c.counter(addr).routedAround.Add(1)
+}
+
+// CountReplicaReceived records a /peer/put payload pushed to us by from.
+func (c *Cluster) CountReplicaReceived(from string) {
+	if c == nil || from == "" {
+		return
+	}
+	c.counter(from).replicaReceived.Add(1)
+}
+
 // PeerStat is one peer's ledger plus its breaker state — the /stats
 // "cluster" section row.
 type PeerStat struct {
 	Addr          string `json:"addr"`
 	Breaker       string `json:"breaker"`
+	Health        string `json:"health"` // "up" or "down" (the active prober's verdict)
 	Proxied       uint64 `json:"proxied"`
 	ProxyFailures uint64 `json:"proxy_failures"`
 	Redirects     uint64 `json:"redirects"`
@@ -215,17 +329,32 @@ type PeerStat struct {
 	PeerMisses    uint64 `json:"peer_misses"`
 	ProbeFailures uint64 `json:"probe_failures"`
 	RoutedAround  uint64 `json:"routed_around"`
+
+	HealthProbes   uint64 `json:"health_probes"`
+	HealthFailures uint64 `json:"health_failures"`
+	WentDown       uint64 `json:"went_down"`
+	WentUp         uint64 `json:"went_up"`
+
+	Replicated      uint64 `json:"replicated"`
+	ReplicateFails  uint64 `json:"replicate_failures"`
+	ReplicaReceived uint64 `json:"replica_received"`
+	HandoffParked   uint64 `json:"handoff_parked"`
+	HandoffDropped  uint64 `json:"handoff_dropped"`
+	HandoffDrained  uint64 `json:"handoff_drained"`
+	HandoffQueued   int    `json:"handoff_queued"`
 }
 
 // ClusterStats is the /stats "cluster" section. The section always
 // renders — Peers is empty but non-nil on a single node — so dashboards
 // never need a shape branch.
 type ClusterStats struct {
-	Enabled bool       `json:"enabled"`
-	Self    string     `json:"self"`
-	Members int        `json:"members"`
-	VNodes  int        `json:"vnodes"`
-	Peers   []PeerStat `json:"peers"`
+	Enabled            bool       `json:"enabled"`
+	Self               string     `json:"self"`
+	Members            int        `json:"members"`
+	VNodes             int        `json:"vnodes"`
+	Replicas           int        `json:"replicas"`
+	ReplicationDropped uint64     `json:"replication_dropped"`
+	Peers              []PeerStat `json:"peers"`
 }
 
 // Stats snapshots the cluster tier. Safe on a nil cluster (the section
@@ -244,19 +373,37 @@ func (c *Cluster) Stats() ClusterStats {
 	out.Self = st.self
 	out.Members = len(st.ring.Members())
 	out.VNodes = st.ring.VNodes()
+	out.Replicas = c.cfg.Replicas
+	out.ReplicationDropped = c.replicationDropped.Load()
 	for _, p := range st.peers {
 		pc := c.counter(p)
+		health := "up"
+		if pc.down.Load() {
+			health = "down"
+		}
 		out.Peers = append(out.Peers, PeerStat{
-			Addr:          p,
-			Breaker:       c.breakers.State(p),
-			Proxied:       pc.proxied.Load(),
-			ProxyFailures: pc.proxyFailures.Load(),
-			Redirects:     pc.redirects.Load(),
-			Forwarded:     pc.forwarded.Load(),
-			PeerHits:      pc.peerHits.Load(),
-			PeerMisses:    pc.peerMisses.Load(),
-			ProbeFailures: pc.probeFailures.Load(),
-			RoutedAround:  pc.routedAround.Load(),
+			Addr:            p,
+			Breaker:         c.breakers.State(p),
+			Health:          health,
+			Proxied:         pc.proxied.Load(),
+			ProxyFailures:   pc.proxyFailures.Load(),
+			Redirects:       pc.redirects.Load(),
+			Forwarded:       pc.forwarded.Load(),
+			PeerHits:        pc.peerHits.Load(),
+			PeerMisses:      pc.peerMisses.Load(),
+			ProbeFailures:   pc.probeFailures.Load(),
+			RoutedAround:    pc.routedAround.Load(),
+			HealthProbes:    pc.healthProbes.Load(),
+			HealthFailures:  pc.healthFailures.Load(),
+			WentDown:        pc.wentDown.Load(),
+			WentUp:          pc.wentUp.Load(),
+			Replicated:      pc.replicated.Load(),
+			ReplicateFails:  pc.replicateFails.Load(),
+			ReplicaReceived: pc.replicaReceived.Load(),
+			HandoffParked:   pc.handoffParked.Load(),
+			HandoffDropped:  pc.handoffDropped.Load(),
+			HandoffDrained:  pc.handoffDrained.Load(),
+			HandoffQueued:   c.handoff.len(p),
 		})
 	}
 	return out

@@ -1,0 +1,217 @@
+package peers
+
+import (
+	"context"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// health.go is the cluster's active health view: a background prober that
+// periodically GETs every peer's /healthz and keeps a per-peer Up/Down
+// verdict, layered on (not replacing) the per-peer circuit breakers. The
+// breakers learn from real traffic and react within one request; the
+// prober notices a dead peer even when no traffic flows, flips it Down
+// after a consecutive-failure threshold, and flips it Up — draining its
+// hinted-handoff queue — on the first successful probe. Routing consults
+// both: a peer is Healthy only when the prober says Up AND its breaker is
+// not open.
+
+// HealthzPath is the endpoint the prober hits. Every gateway mounts it;
+// it always answers 200 (a degraded node is still a live node — see the
+// gateway's handler), so any response is proof of life.
+const HealthzPath = "/healthz"
+
+// Start launches the health prober and the replication worker. It is
+// idempotent; pair with Stop. Call after Configure — an unconfigured
+// cluster's prober has nobody to probe (it idles harmlessly).
+func (c *Cluster) Start() {
+	if c == nil {
+		return
+	}
+	c.lifeMu.Lock()
+	defer c.lifeMu.Unlock()
+	if c.stop != nil {
+		return
+	}
+	c.stop = make(chan struct{})
+	c.wg.Add(2)
+	go c.probeLoop(c.stop)
+	go c.replicateLoop(c.stop)
+}
+
+// Stop halts the prober and replication worker and waits for them.
+// Idempotent; a stopped cluster can Start again.
+func (c *Cluster) Stop() {
+	if c == nil {
+		return
+	}
+	c.lifeMu.Lock()
+	defer c.lifeMu.Unlock()
+	if c.stop == nil {
+		return
+	}
+	close(c.stop)
+	c.wg.Wait()
+	c.stop = nil
+}
+
+// probeLoop drives probe rounds on a jittered interval: each round waits
+// interval/2 + uniform[0, interval), so a fleet of nodes started together
+// does not synchronize its probes.
+func (c *Cluster) probeLoop(stop <-chan struct{}) {
+	defer c.wg.Done()
+	rnd := rand.New(rand.NewSource(time.Now().UnixNano()))
+	interval := c.cfg.ProbeInterval
+	for {
+		d := interval/2 + time.Duration(rnd.Float64()*float64(interval))
+		t := time.NewTimer(d)
+		select {
+		case <-stop:
+			t.Stop()
+			return
+		case <-t.C:
+		}
+		c.probeRound(stop)
+	}
+}
+
+// probeRound probes every current peer once, concurrently (a dead peer
+// costs a full timeout; serial rounds would let one corpse starve the
+// others' freshness).
+func (c *Cluster) probeRound(stop <-chan struct{}) {
+	st := c.state.Load()
+	if st == nil || len(st.peers) == 0 {
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), c.cfg.Timeout)
+	defer cancel()
+	go func() {
+		// Stop aborts in-flight probes; the deferred cancel reaps this
+		// watcher when the round ends normally.
+		select {
+		case <-stop:
+			cancel()
+		case <-ctx.Done():
+		}
+	}()
+	var wg sync.WaitGroup
+	for _, p := range st.peers {
+		wg.Add(1)
+		go func(peer string) {
+			defer wg.Done()
+			c.probeOne(ctx, peer)
+		}(p)
+	}
+	wg.Wait()
+}
+
+// probeOne sends one health probe and records the outcome. Any HTTP
+// response is proof of life — /healthz reports degradation in its body,
+// not its status code — so only transport errors count as failures.
+func (c *Cluster) probeOne(ctx context.Context, peer string) {
+	pc := c.counter(peer)
+	pc.healthProbes.Add(1)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+peer+HealthzPath, nil)
+	if err != nil {
+		c.recordProbe(peer, pc, false)
+		return
+	}
+	req.Header.Set(HeaderFrom, c.Self())
+	resp, err := c.client.Do(req)
+	if err != nil {
+		c.recordProbe(peer, pc, false)
+		return
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	resp.Body.Close()
+	c.recordProbe(peer, pc, resp.StatusCode < http.StatusInternalServerError)
+}
+
+// recordProbe applies one probe outcome to the peer's health state:
+// success resets the failure streak and (if Down) flips the peer Up,
+// draining its handoff queue; failures accumulate until the threshold
+// flips it Down.
+func (c *Cluster) recordProbe(peer string, pc *peerCounters, ok bool) {
+	if ok {
+		pc.consecFails.Store(0)
+		if pc.down.CompareAndSwap(true, false) {
+			pc.wentUp.Add(1)
+			// Drain synchronously in the prober goroutine: recovery is rare
+			// and the drain is bounded by the handoff limit.
+			c.drainHandoff(peer, pc)
+		}
+		return
+	}
+	pc.healthFailures.Add(1)
+	if int(pc.consecFails.Add(1)) >= c.cfg.ProbeThreshold {
+		if pc.down.CompareAndSwap(false, true) {
+			pc.wentDown.Add(1)
+		}
+	}
+}
+
+// PeerDown reports the prober's verdict for addr (false = Up, including
+// unknown peers — optimism until evidence).
+func (c *Cluster) PeerDown(addr string) bool {
+	if c == nil || addr == "" {
+		return false
+	}
+	return c.counter(addr).down.Load()
+}
+
+// SetPeerDown overrides a peer's health verdict through the same
+// transition path the prober uses (Up flips drain handoff). Exposed for
+// tests and operational tooling; the next probe round re-evaluates.
+func (c *Cluster) SetPeerDown(addr string, down bool) {
+	if c == nil || addr == "" {
+		return
+	}
+	pc := c.counter(addr)
+	if down {
+		pc.consecFails.Store(int32(c.cfg.ProbeThreshold))
+		if pc.down.CompareAndSwap(false, true) {
+			pc.wentDown.Add(1)
+		}
+		return
+	}
+	c.recordProbe(addr, pc, true)
+}
+
+// Healthy reports whether addr is worth routing to right now: the prober
+// says Up and the breaker is not open. The two layers catch different
+// failures — the breaker reacts to real traffic within one request, the
+// prober notices silence — and routing trusts whichever is pessimistic.
+func (c *Cluster) Healthy(addr string) bool {
+	if c == nil || addr == "" {
+		return false
+	}
+	if c.counter(addr).down.Load() {
+		return false
+	}
+	return c.breakers.State(addr) != "open"
+}
+
+// Degraded lists current peer-health complaints — "peer <addr> down",
+// "peer <addr> breaker open" — for /healthz's degraded report. Empty
+// means all peers look fine from here.
+func (c *Cluster) Degraded() []string {
+	if c == nil {
+		return nil
+	}
+	st := c.state.Load()
+	if st == nil {
+		return nil
+	}
+	var out []string
+	for _, p := range st.peers {
+		if c.counter(p).down.Load() {
+			out = append(out, "peer "+p+" down")
+		} else if c.breakers.State(p) == "open" {
+			out = append(out, "peer "+p+" breaker open")
+		}
+	}
+	return out
+}

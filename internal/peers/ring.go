@@ -5,22 +5,33 @@
 // machine — by federating independent daemons over plain HTTP, the
 // cache-daemon-federation shape of Voras & Žagar.
 //
-// Three mechanisms, composable and individually testable:
+// Five mechanisms, composable and individually testable:
 //
-//   - the ring (ring.go): every URL hashes to exactly one owner node via
-//     virtual-node consistent hashing, so membership changes move a
-//     bounded slice of the key space (≈1/N on a join of N+1 nodes) and
-//     every node computes the same owner with no coordination;
+//   - the ring (ring.go): every URL hashes to an R-sized *replica set* of
+//     distinct owner nodes (Owners; Owner is R=1) via virtual-node
+//     consistent hashing, so membership changes move a bounded slice of
+//     the key space (≈1/N on a join of N+1 nodes, at most one member of
+//     any replica set) and every node computes the same owners with no
+//     coordination;
 //   - the cluster (cluster.go): static membership, per-peer circuit
 //     breakers and retry budgets (the resilience layer extended
 //     per-peer), and per-peer activity counters for /stats;
 //   - the client (client.go): the HTTP peer protocol — full request
-//     proxying to the owner, and resident-only probes so an owner's miss
-//     checks the cluster before the origin (local → peer → origin).
+//     proxying with a hop-list loop guard, resident-only probes so a
+//     replica's miss checks the cluster before the origin
+//     (local → peer → origin), and replication pushes (/peer/put);
+//   - the health view (health.go): an active prober that flips peers
+//     Down after consecutive failed /healthz probes and Up on recovery,
+//     layered on the breakers so routing skips dead peers even when no
+//     traffic has recently taught a breaker;
+//   - hinted handoff (handoff.go): admitted payloads are replicated
+//     asynchronously to the rest of the replica set; pushes to a Down
+//     peer park in a bounded per-peer queue and drain on recovery.
 //
-// A peer whose breaker is open is routed around, never waited on: the
-// gateway falls back to its local serve path (and the warehouse's own
-// stale-serve degradation), so node loss degrades locality, not service.
+// A peer that is Down or breaker-open is routed around, never waited on:
+// the gateway falls back to the next healthy replica or its local serve
+// path (and the warehouse's own stale-serve degradation), so node loss
+// degrades locality, not service.
 package peers
 
 import (
@@ -107,6 +118,37 @@ func (r *Ring) Owner(key string) string {
 		i = 0
 	}
 	return r.members[r.points[i].member]
+}
+
+// Owners returns the replica set for key: the first n distinct members
+// clockwise from the key's hash, primary first. Owners(key, 1) is
+// equivalent to {Owner(key)}. n is capped at the member count; an empty
+// ring yields nil. The returned slice is freshly allocated.
+func (r *Ring) Owners(key string, n int) []string {
+	if r == nil || len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.members) {
+		n = len(r.members)
+	}
+	h := mix64(hash64(key))
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if start == len(r.points) {
+		start = 0
+	}
+	owners := make([]string, 0, n)
+	seen := make(map[int32]bool, n)
+	// Walk clockwise collecting distinct members; the walk terminates
+	// because every member contributes at least one point.
+	for i := 0; len(owners) < n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if seen[p.member] {
+			continue
+		}
+		seen[p.member] = true
+		owners = append(owners, r.members[p.member])
+	}
+	return owners
 }
 
 // Members returns the member set, sorted. The slice is shared: callers

@@ -1,6 +1,7 @@
 package resilience
 
 import (
+	"math/rand"
 	"sync"
 	"time"
 )
@@ -13,7 +14,17 @@ type BreakerConfig struct {
 	// Cooldown is how long an open breaker refuses traffic before letting
 	// one half-open probe through.
 	Cooldown time.Duration
+	// Jitter spreads half-open probe timing: each open draws a cool-down
+	// of Cooldown + uniform[0, Jitter×Cooldown). Without it every peer of
+	// a restarted node probes it in the same instant — a thundering herd
+	// on recovery. 0 uses DefaultBreakerJitter; negative disables.
+	Jitter float64
 }
+
+// DefaultBreakerJitter is the half-open jitter fraction used when
+// BreakerConfig.Jitter is zero: up to a quarter of the cool-down extra,
+// enough to de-synchronize recovering peers without stretching outages.
+const DefaultBreakerJitter = 0.25
 
 // breaker states. A breaker is closed (traffic flows, failures counted),
 // open (all traffic refused until the cool-down elapses), or half-open
@@ -30,8 +41,9 @@ var breakerStateNames = [...]string{"closed", "open", "half-open"}
 // keyBreaker is one key's state. Guarded by Breakers.mu.
 type keyBreaker struct {
 	state    int
-	fails    int       // consecutive failures while closed
-	openedAt time.Time // when the breaker last opened
+	fails    int           // consecutive failures while closed
+	openedAt time.Time     // when the breaker last opened
+	cooldown time.Duration // this open's jittered cool-down
 }
 
 // Breakers is a set of independent circuit breakers sharing one
@@ -43,6 +55,7 @@ type Breakers struct {
 
 	mu        sync.Mutex
 	keys      map[string]*keyBreaker
+	rnd       *rand.Rand
 	opens     uint64
 	halfOpens uint64
 	fastFails uint64
@@ -57,7 +70,27 @@ func NewBreakers(cfg BreakerConfig, now func() time.Time) *Breakers {
 	if cfg.Cooldown <= 0 {
 		cfg.Cooldown = 30 * time.Second
 	}
-	return &Breakers{cfg: cfg, now: now, keys: make(map[string]*keyBreaker)}
+	if cfg.Jitter == 0 {
+		cfg.Jitter = DefaultBreakerJitter
+	}
+	return &Breakers{
+		cfg: cfg,
+		now: now,
+		// Seeded from the clock so fake-clock tests are deterministic
+		// while real nodes draw distinct sequences.
+		rnd:  rand.New(rand.NewSource(now().UnixNano())),
+		keys: make(map[string]*keyBreaker),
+	}
+}
+
+// drawCooldown picks this open's cool-down: the configured base plus a
+// uniform jitter slice. Caller holds s.mu.
+func (s *Breakers) drawCooldown() time.Duration {
+	d := s.cfg.Cooldown
+	if s.cfg.Jitter > 0 {
+		d += time.Duration(s.rnd.Float64() * s.cfg.Jitter * float64(s.cfg.Cooldown))
+	}
+	return d
 }
 
 // Allow asks whether a request to key may proceed. Refusals return a
@@ -76,7 +109,7 @@ func (s *Breakers) Allow(key string) (report func(failed bool), err error) {
 	}
 	switch b.state {
 	case stateOpen:
-		remaining := s.cfg.Cooldown - s.now().Sub(b.openedAt)
+		remaining := b.cooldown - s.now().Sub(b.openedAt)
 		if remaining > 0 {
 			s.fastFails++
 			return nil, &BreakerOpenError{Host: key, RetryAfter: remaining}
@@ -106,6 +139,7 @@ func (s *Breakers) report(key string, failed bool) {
 			// The probe failed: back to open for a fresh cool-down.
 			b.state = stateOpen
 			b.openedAt = s.now()
+			b.cooldown = s.drawCooldown()
 			s.opens++
 		} else {
 			b.state = stateClosed
@@ -120,6 +154,7 @@ func (s *Breakers) report(key string, failed bool) {
 		if b.fails >= s.cfg.Threshold {
 			b.state = stateOpen
 			b.openedAt = s.now()
+			b.cooldown = s.drawCooldown()
 			b.fails = 0
 			s.opens++
 		}

@@ -376,6 +376,67 @@ func TestBreakerHalfOpenProbeFailureReopens(t *testing.T) {
 	}
 }
 
+// TestBreakerCooldownJitter: each open draws Cooldown + uniform jitter, so
+// a fleet of breakers opened in the same instant does not all probe in the
+// same instant (thundering herd on recovery). Negative Jitter disables.
+func TestBreakerCooldownJitter(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(1000, 0)}
+	bs := NewBreakers(BreakerConfig{Threshold: 1, Cooldown: time.Minute, Jitter: 0.25}, clk.Now)
+	const n = 64
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("peer-%d", i)
+		rep, err := bs.Allow(keys[i])
+		if err != nil {
+			t.Fatalf("initial allow %s: %v", keys[i], err)
+		}
+		rep(true) // threshold 1: opens immediately
+	}
+	// countAllowed probes every key; allowed probes report success (closing
+	// that breaker for good) so each key is counted open at most once.
+	countAllowed := func() (allowed, refused int) {
+		for _, k := range keys {
+			rep, err := bs.Allow(k)
+			if err != nil {
+				refused++
+				continue
+			}
+			allowed++
+			rep(false)
+		}
+		return
+	}
+	// At exactly the base cool-down, jittered breakers still refuse.
+	clk.advance(time.Minute)
+	if allowed, refused := countAllowed(); refused < n/2 {
+		t.Fatalf("at base cool-down: %d allowed, %d refused; jitter should hold most closed", allowed, refused)
+	}
+	// Midway through the jitter window the fleet splits: some probe now,
+	// some later — the de-synchronization the jitter exists to create.
+	clk.advance(time.Minute / 8)
+	midAllowed, midRefused := countAllowed()
+	if midAllowed == 0 || midRefused == 0 {
+		t.Fatalf("mid-jitter: %d allowed, %d refused; want a split", midAllowed, midRefused)
+	}
+	// Past the full jitter window everyone probes.
+	clk.advance(time.Minute / 8)
+	if _, refused := countAllowed(); refused != 0 {
+		t.Fatalf("past jitter window: %d still refused, want 0", refused)
+	}
+
+	// Negative jitter pins the cool-down to exactly Cooldown.
+	exact := NewBreakers(BreakerConfig{Threshold: 1, Cooldown: time.Minute, Jitter: -1}, clk.Now)
+	rep, err := exact.Allow("p")
+	if err != nil {
+		t.Fatalf("allow: %v", err)
+	}
+	rep(true)
+	clk.advance(time.Minute)
+	if _, err := exact.Allow("p"); err != nil {
+		t.Fatalf("jitter disabled: probe at exactly Cooldown refused: %v", err)
+	}
+}
+
 func TestBreakerIsPerHost(t *testing.T) {
 	clk := &fakeClock{now: time.Unix(1000, 0)}
 	s := newScriptOrigin()

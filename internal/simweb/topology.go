@@ -17,11 +17,13 @@ import (
 // fetches that succeeded — the currency of single-origin-fetch
 // assertions.
 type HTTPOrigin struct {
-	web    *Web
-	faults *FaultyOrigin
-	ln     net.Listener
-	srv    *http.Server
-	done   chan error
+	web     *Web
+	faults  *FaultyOrigin
+	handler http.Handler
+	addr    string
+	ln      net.Listener
+	srv     *http.Server
+	done    chan error
 }
 
 // NewHTTPOrigin starts serving web on an ephemeral localhost port. A
@@ -40,7 +42,7 @@ func NewHTTPOrigin(web *Web, faults *FaultConfig) (*HTTPOrigin, error) {
 		o.faults = NewFaultyOrigin(web, *faults)
 	}
 	inner := web.Handler()
-	o.srv = &http.Server{Handler: http.HandlerFunc(func(rw http.ResponseWriter, req *http.Request) {
+	o.handler = http.HandlerFunc(func(rw http.ResponseWriter, req *http.Request) {
 		if o.faults != nil {
 			host := req.Host
 			if i := strings.IndexByte(host, ':'); i >= 0 {
@@ -52,13 +54,15 @@ func NewHTTPOrigin(web *Web, faults *FaultConfig) (*HTTPOrigin, error) {
 			}
 		}
 		inner.ServeHTTP(rw, req)
-	})}
+	})
+	o.addr = ln.Addr().String()
+	o.srv = &http.Server{Handler: o.handler}
 	go func() { o.done <- o.srv.Serve(ln) }()
 	return o, nil
 }
 
-// Addr returns the bound host:port.
-func (o *HTTPOrigin) Addr() string { return o.ln.Addr().String() }
+// Addr returns the bound host:port (stable across Stop/Restart).
+func (o *HTTPOrigin) Addr() string { return o.addr }
 
 // Web exposes the served simulated web (for FetchCount assertions).
 func (o *HTTPOrigin) Web() *Web { return o.web }
@@ -86,4 +90,50 @@ func (o *HTTPOrigin) Close() error {
 	case <-time.After(2 * time.Second):
 	}
 	return err
+}
+
+// Stop kills the origin — socket released, in-flight connections cut —
+// while remembering the bound address so Restart can bring it back on
+// the same host:port. This is the "origin crashed" half of kill/restart
+// chaos tests; Close is for good.
+func (o *HTTPOrigin) Stop() error { return o.Close() }
+
+// Restart rebinds the address Stop released and serves again with the
+// same web and fault process. Fault state (blackouts, counters) carries
+// over — a crash does not absolve an unreliable origin.
+func (o *HTTPOrigin) Restart() error {
+	ln, err := net.Listen("tcp", o.addr)
+	if err != nil {
+		return fmt.Errorf("simweb: restart: %w", err)
+	}
+	o.ln = ln
+	o.srv = &http.Server{Handler: o.handler}
+	o.done = make(chan error, 1)
+	go func() { o.done <- o.srv.Serve(ln) }()
+	return nil
+}
+
+// ReserveAddrs binds and immediately releases n ephemeral localhost
+// ports, returning their addresses. Kill/restart topologies need stable
+// node addresses — a restarted daemon must come back where the ring
+// expects it — and pre-reserving is the standard (briefly racy,
+// practically reliable) way to get fixed ports without hardcoding them.
+func ReserveAddrs(n int) ([]string, error) {
+	addrs := make([]string, 0, n)
+	lns := make([]net.Listener, 0, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			for _, l := range lns {
+				l.Close()
+			}
+			return nil, fmt.Errorf("simweb: reserve: %w", err)
+		}
+		lns = append(lns, ln)
+		addrs = append(addrs, ln.Addr().String())
+	}
+	for _, l := range lns {
+		l.Close()
+	}
+	return addrs, nil
 }

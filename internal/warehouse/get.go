@@ -143,8 +143,9 @@ func (w *Warehouse) get(ctx context.Context, user, url string, prefetch bool) (G
 
 // Miss-fetch provenance: where a first-sight page's bytes came from.
 const (
-	sourceOrigin = "origin"
-	sourcePeer   = "peer"
+	sourceOrigin  = "origin"
+	sourcePeer    = "peer"
+	sourceReplica = "replica" // pushed by a replica-set peer via /peer/put
 )
 
 // missFetch resolves a cold miss: a configured peer source (the cluster
@@ -267,6 +268,30 @@ func (w *Warehouse) refetch(ctx context.Context, sh *shard, user, url string, st
 		sh.stats.OriginFetches++
 	}
 	p := fr.Page
+	if err := w.absorbContent(sh, st, url, &p); err != nil {
+		return GetResult{}, err
+	}
+	out := GetResult{
+		Page:    p,
+		Hit:     false,
+		Source:  "origin",
+		Latency: fr.Latency,
+	}
+	out.Priority, _ = w.store.Priority(st.container)
+	w.afterServe(sh, user, url, st, out, prefetch)
+	w.appendLog(user, url, out, true)
+	// Fresh content propagates to the rest of the replica set.
+	if rep := w.replicator(); rep != nil {
+		rep(url, p)
+	}
+	return out, nil
+}
+
+// absorbContent replaces a resident page's content with p: consistency
+// bookkeeping, model vector, indexes, version history, and the stored
+// bytes. Shared by origin refetches and replica pushes — the two ways a
+// resident page's content legitimately changes. Requires sh.mu (write).
+func (w *Warehouse) absorbContent(sh *shard, st *pageState, url string, p *simweb.Page) error {
 	// Update-gap EMA from observed modification times.
 	if st.lastMod != core.TimeNever && p.LastMod.After(st.lastMod) {
 		gap := float64(p.LastMod.Sub(st.lastMod))
@@ -295,9 +320,9 @@ func (w *Warehouse) refetch(ctx context.Context, sh *shard, user, url string, st
 		Version: p.Version, Time: w.clock.Now(),
 		Title: p.Title, Body: p.Body, Size: p.Size,
 	}); err != nil {
-		return GetResult{}, err
+		return err
 	}
-	payload := encodePagePayload(&p)
+	payload := encodePagePayload(p)
 	switch serr := w.store.UpdateBytes(st.container, p.Version, payload); {
 	case serr == nil:
 	case errors.Is(serr, core.ErrInvalid):
@@ -306,24 +331,42 @@ func (w *Warehouse) refetch(ctx context.Context, sh *shard, user, url string, st
 		// The container was lost from storage outright (unrecovered tier
 		// failure): re-admit so the copy-control promise holds again.
 		if err := w.store.AdmitBytes(st.container, sizeOrOne(p.Size), p.Version, st.admissionPriority, payload); err != nil && !errors.Is(err, core.ErrExists) {
-			return GetResult{}, err
+			return err
 		}
 	default:
-		return GetResult{}, serr
+		return serr
 	}
 	if p.Version > oldVersion {
 		w.tracker.Modify(st.physID)
 	}
-	out := GetResult{
-		Page:    p,
-		Hit:     false,
-		Source:  "origin",
-		Latency: fr.Latency,
+	return nil
+}
+
+// AdmitReplica absorbs a payload a replica-set peer pushed via /peer/put.
+// It never contacts the origin and never re-fires the replication hook
+// (no replication storms). Returns whether the payload was taken: a
+// resident copy at the same or newer version stands untouched; a resident
+// older copy is updated in place; a cold URL runs the full admission path
+// (which may still refuse on admission constraints).
+func (w *Warehouse) AdmitReplica(url string, fr simweb.FetchResult) (bool, error) {
+	sh := w.shardOf(url)
+	sh.lock()
+	defer sh.mu.Unlock()
+	p := fr.Page
+	if st := sh.pages[url]; st != nil {
+		if p.Version <= st.version {
+			return false, nil
+		}
+		if err := w.absorbContent(sh, st, url, &p); err != nil {
+			return false, err
+		}
+		sh.stats.ReplicaAdmits++
+		return true, nil
 	}
-	out.Priority, _ = w.store.Priority(st.container)
-	w.afterServe(sh, user, url, st, out, prefetch)
-	w.appendLog(user, url, out, true)
-	return out, nil
+	if _, err := w.admitNew(sh, "", url, fr, sourceReplica, true); err != nil {
+		return false, err
+	}
+	return sh.pages[url] != nil, nil
 }
 
 // admitNew runs the full admission path for a first-seen URL whose content
@@ -409,7 +452,17 @@ func (w *Warehouse) admitNew(sh *shard, user, url string, fr simweb.FetchResult,
 	w.afterServe(sh, user, url, st, out, prefetch)
 	w.appendLog(user, url, out, false)
 	if prefetch {
-		sh.stats.Prefetches++
+		if src == sourceReplica {
+			sh.stats.ReplicaAdmits++
+		} else {
+			sh.stats.Prefetches++
+		}
+	}
+	// A freshly admitted payload propagates to the rest of the URL's
+	// replica set — unless it arrived as a replica push itself (the hook
+	// implementation queues and returns; no blocking under the lock).
+	if rep := w.replicator(); rep != nil && src != sourceReplica {
+		rep(url, p)
 	}
 	return out, nil
 }

@@ -182,6 +182,33 @@ func (w *Warehouse) peerSource() PeerSource {
 	return nil
 }
 
+// Replicator is the cluster tier's write hook: called (non-blocking, from
+// under the shard lock) whenever this warehouse admits or refreshes a
+// page's content from the origin or a peer probe, so the cluster can push
+// the payload to the rest of the URL's replica set. Implementations must
+// queue and return — peers.Cluster.ReplicateAdmitted does. Replica pushes
+// received via AdmitReplica never re-fire the hook (no replication
+// storms).
+type Replicator func(url string, page simweb.Page)
+
+// replicatorBox wraps the func for atomic installation (same pattern as
+// peerSourceBox: the daemon wires the cluster in after construction).
+type replicatorBox struct{ rep Replicator }
+
+// SetReplicator installs (or replaces) the replication hook. Safe to call
+// concurrently with requests.
+func (w *Warehouse) SetReplicator(rep Replicator) {
+	w.replicatorFn.Store(&replicatorBox{rep: rep})
+}
+
+// replicator returns the installed hook, nil when absent.
+func (w *Warehouse) replicator() Replicator {
+	if b := w.replicatorFn.Load(); b != nil {
+		return b.rep
+	}
+	return nil
+}
+
 // originFetch fetches from the origin under ctx when the origin supports
 // it, degrading to a pre-flight cancellation check when it does not.
 func (w *Warehouse) originFetch(ctx context.Context, url string) (simweb.FetchResult, error) {
@@ -218,6 +245,9 @@ type Stats struct {
 	Revalidations int
 	Refetches     int // revalidations that found new content
 	Prefetches    int
+	// ReplicaAdmits counts payloads absorbed from replica-set peers'
+	// /peer/put pushes (fresh admissions and in-place updates both).
+	ReplicaAdmits int
 	Rejected      int // admission-constraint rejections
 	// StaleServes counts degraded serves: the origin failed but a resident
 	// copy answered, marked stale (the §5.2 copy-control promise).
@@ -336,6 +366,11 @@ type Warehouse struct {
 	// before the origin (local → peer → origin). Installed after
 	// construction via SetPeerSource, hence the atomic box.
 	peerSrc atomic.Pointer[peerSourceBox]
+
+	// replicatorFn, when set, receives every locally admitted or
+	// refreshed payload so the cluster can replicate it. Installed after
+	// construction via SetReplicator, hence the atomic box.
+	replicatorFn atomic.Pointer[replicatorBox]
 }
 
 // New assembles a warehouse over the given (simulated) web.
@@ -455,6 +490,7 @@ func (w *Warehouse) Stats() Stats {
 		total.Revalidations += s.Revalidations
 		total.Refetches += s.Refetches
 		total.Prefetches += s.Prefetches
+		total.ReplicaAdmits += s.ReplicaAdmits
 		total.Rejected += s.Rejected
 		total.StaleServes += s.StaleServes
 		total.LatencyTotal += s.LatencyTotal
