@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench bench-read bench-store test-disk tables serve faults soak fuzz cluster chaos examples clean
+.PHONY: all build test race cover bench bench-read bench-store test-disk tables matrix matrix-check matrix-baseline serve faults soak fuzz cluster chaos examples clean
 
 all: build test
 
@@ -19,9 +19,10 @@ race:
 cover:
 	$(GO) test -cover ./...
 
-# One regeneration of every experiment under the bench harness.
+# One regeneration of every experiment under the bench harness, plus the
+# storage-tier benchmarks.
 bench:
-	$(GO) test -bench=. -benchmem -benchtime=1x .
+	$(GO) test -bench=. -benchmem -benchtime=1x . ./internal/storage
 
 # Read-path microbenchmarks over the populated 5k-page world — the numbers
 # behind bench_tables.txt's "read path" table (event-driven hot index +
@@ -43,6 +44,23 @@ test-disk:
 # Paper tables via the CLI (same experiments, readable output).
 tables:
 	$(GO) run ./cmd/cbfww-bench
+
+# The scenario-matrix regression rig (internal/scenario). `matrix` runs
+# the curated default matrix and emits BENCH_default.json + the table;
+# `matrix-check` gates a fresh run of both specs against the checked-in
+# baselines; `matrix-baseline` regenerates the baselines (commit the diff
+# when numbers move intentionally).
+MATRIX ?= scenarios/default.toml
+matrix:
+	$(GO) run ./cmd/cbfww-bench -matrix $(MATRIX)
+
+matrix-check:
+	$(GO) run ./cmd/cbfww-bench -matrix scenarios/smoke.toml -check -baseline scenarios/smoke.baseline.json
+	$(GO) run ./cmd/cbfww-bench -matrix scenarios/default.toml -check -baseline scenarios/default.baseline.json
+
+matrix-baseline:
+	$(GO) run ./cmd/cbfww-bench -matrix scenarios/smoke.toml -out scenarios/smoke.baseline.json -tables ""
+	$(GO) run ./cmd/cbfww-bench -matrix scenarios/default.toml -out scenarios/default.baseline.json -tables ""
 
 # The warehouse as a network daemon (ctrl-C drains and exits).
 serve:

@@ -1,21 +1,28 @@
 // Command cbfww-bench regenerates every table and figure of the paper's
-// reproduction (see EXPERIMENTS.md for the index):
+// reproduction (see EXPERIMENTS.md for the index) and drives the
+// scenario-matrix regression rig:
 //
-//	cbfww-bench                 # run everything
-//	cbfww-bench -exp f8,x3      # run selected experiments
-//	cbfww-bench -list           # list experiment IDs
-//	cbfww-bench -seed 7         # change the workload seed
+//	cbfww-bench                              # run every experiment
+//	cbfww-bench -exp f8,x3                   # run selected experiments
+//	cbfww-bench -exp c1 -json                # machine-readable, deterministic
+//	cbfww-bench -list                        # list experiment IDs
+//	cbfww-bench -seed 7                      # change the workload seed
+//	cbfww-bench -matrix scenarios/default.toml          # run a matrix
+//	cbfww-bench -matrix spec.toml -check -baseline b.json  # regression gate
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 	"time"
 
 	"cbfww/internal/experiments"
+	"cbfww/internal/scenario"
 )
 
 // experiment binds an ID to its generator.
@@ -55,19 +62,44 @@ func catalog() []experiment {
 }
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its environment injected, so tests can drive the full
+// CLI (and the determinism tests can compare two -json runs byte for
+// byte).
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("cbfww-bench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		expFlag  = flag.String("exp", "", "comma-separated experiment IDs (default: all)")
-		seed     = flag.Int64("seed", 1, "workload seed")
-		listOnly = flag.Bool("list", false, "list experiment IDs and exit")
+		expFlag  = fs.String("exp", "", "comma-separated experiment IDs (default: all)")
+		seed     = fs.Int64("seed", 1, "workload seed")
+		listOnly = fs.Bool("list", false, "list experiment IDs and exit")
+		jsonOut  = fs.Bool("json", false, "emit experiment tables as JSON (deterministic: no timing lines)")
+		matrix   = fs.String("matrix", "", "scenario spec file (.toml or .json): run the matrix instead of experiments")
+		outPath  = fs.String("out", "", "matrix results path (default BENCH_<name>.json)")
+		tables   = fs.String("tables", "bench_tables.txt", "append the matrix table to this file (empty disables)")
+		baseline = fs.String("baseline", "", "baseline results JSON for -check (default: the -out path)")
+		check    = fs.Bool("check", false, "compare the fresh matrix run against -baseline; exit 1 on regression, writing nothing")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *matrix != "" {
+		return runMatrix(*matrix, *outPath, *tables, *baseline, *check, stdout, stderr)
+	}
+	if *check || *baseline != "" {
+		fmt.Fprintln(stderr, "cbfww-bench: -check/-baseline require -matrix")
+		return 2
+	}
 
 	all := catalog()
 	if *listOnly {
 		for _, e := range all {
-			fmt.Printf("%-4s %s\n", e.id, e.title)
+			fmt.Fprintf(stdout, "%-4s %s\n", e.id, e.title)
 		}
-		return
+		return 0
 	}
 
 	want := map[string]bool{}
@@ -87,9 +119,9 @@ func main() {
 		}
 		if len(unknown) > 0 {
 			sort.Strings(unknown)
-			fmt.Fprintf(os.Stderr, "cbfww-bench: unknown experiment(s): %s (use -list)\n",
+			fmt.Fprintf(stderr, "cbfww-bench: unknown experiment(s): %s (use -list)\n",
 				strings.Join(unknown, ", "))
-			os.Exit(2)
+			return 2
 		}
 	}
 
@@ -99,7 +131,106 @@ func main() {
 		}
 		start := time.Now()
 		table := e.run(*seed)
-		fmt.Println(table)
-		fmt.Printf("[%s finished in %v]\n\n", e.id, time.Since(start).Round(time.Millisecond))
+		if *jsonOut {
+			data, err := table.JSON()
+			if err != nil {
+				fmt.Fprintf(stderr, "cbfww-bench: %s: %v\n", e.id, err)
+				return 1
+			}
+			stdout.Write(data)
+			continue
+		}
+		fmt.Fprintln(stdout, table)
+		fmt.Fprintf(stdout, "[%s finished in %v]\n\n", e.id, time.Since(start).Round(time.Millisecond))
 	}
+	return 0
+}
+
+// runMatrix loads, runs, and either emits or checks a scenario matrix.
+func runMatrix(specPath, outPath, tablesPath, baselinePath string, check bool, stdout, stderr io.Writer) int {
+	spec, err := scenario.Load(specPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "cbfww-bench: %v\n", err)
+		return 2
+	}
+	if outPath == "" {
+		outPath = "BENCH_" + spec.Name + ".json"
+	}
+
+	runner := &scenario.Runner{
+		Spec: spec,
+		Progress: func(i, n int, id string) {
+			fmt.Fprintf(stderr, "[%d/%d] %s\n", i, n, id)
+		},
+	}
+	fresh, err := runner.Run()
+	if err != nil {
+		fmt.Fprintf(stderr, "cbfww-bench: %v\n", err)
+		return 1
+	}
+
+	if check {
+		if baselinePath == "" {
+			baselinePath = outPath
+		}
+		baseData, err := os.ReadFile(baselinePath)
+		if err != nil {
+			fmt.Fprintf(stderr, "cbfww-bench: baseline: %v\n", err)
+			return 2
+		}
+		base, err := scenario.ParseResults(baseData)
+		if err != nil {
+			fmt.Fprintf(stderr, "cbfww-bench: baseline: %v\n", err)
+			return 2
+		}
+		regs := scenario.Check(base, fresh, spec)
+		if len(regs) == 0 {
+			fmt.Fprintf(stdout, "cbfww-bench: matrix %s: %d cells within tolerance of %s\n",
+				spec.Name, len(fresh.Cells), baselinePath)
+			return 0
+		}
+		for _, g := range regs {
+			fmt.Fprintf(stdout, "REGRESSION %s\n", g)
+		}
+		fmt.Fprintf(stderr, "cbfww-bench: matrix %s: %d regression(s) against %s\n",
+			spec.Name, len(regs), baselinePath)
+		return 1
+	}
+
+	data, err := fresh.JSON()
+	if err != nil {
+		fmt.Fprintf(stderr, "cbfww-bench: %v\n", err)
+		return 1
+	}
+	if dir := filepath.Dir(outPath); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			fmt.Fprintf(stderr, "cbfww-bench: %v\n", err)
+			return 1
+		}
+	}
+	if err := os.WriteFile(outPath, data, 0o644); err != nil {
+		fmt.Fprintf(stderr, "cbfww-bench: %v\n", err)
+		return 1
+	}
+	table := fresh.Table()
+	fmt.Fprintln(stdout, table)
+	fmt.Fprintf(stdout, "results: %s\n", outPath)
+	if tablesPath != "" {
+		f, err := os.OpenFile(tablesPath, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			fmt.Fprintf(stderr, "cbfww-bench: %v\n", err)
+			return 1
+		}
+		if _, err := fmt.Fprintf(f, "%s\n", table); err != nil {
+			f.Close()
+			fmt.Fprintf(stderr, "cbfww-bench: %v\n", err)
+			return 1
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(stderr, "cbfww-bench: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "table appended to %s\n", tablesPath)
+	}
+	return 0
 }

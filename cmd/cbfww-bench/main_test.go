@@ -1,6 +1,13 @@
 package main
 
-import "testing"
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
 
 // The experiment catalog must have unique, non-empty IDs and working
 // generators — cmd-level sanity for the harness users script against.
@@ -35,5 +42,171 @@ func TestCatalogCheapExperimentsRun(t *testing.T) {
 		if tb.String() == "" {
 			t.Errorf("%s renders empty", e.id)
 		}
+	}
+}
+
+// tinyMatrix writes a fast 2-cell spec and returns its path.
+func tinyMatrix(t *testing.T, dir string) string {
+	t.Helper()
+	spec := `
+name = "cmdtest"
+[run]
+sites = 3
+pages_per_site = 8
+sessions = 40
+users = 10
+length = 6000
+maintain_every = 2000
+[policy]
+policies = ["paper", "lru"]
+`
+	path := filepath.Join(dir, "cmdtest.toml")
+	if err := os.WriteFile(path, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func runCLI(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+// The matrix subcommand must emit the results JSON, append the table, and
+// rerun byte-identically with the same seed — the rig's core contract.
+func TestMatrixRunAndDeterminism(t *testing.T) {
+	dir := t.TempDir()
+	spec := tinyMatrix(t, dir)
+	outA := filepath.Join(dir, "a.json")
+	outB := filepath.Join(dir, "b.json")
+	tables := filepath.Join(dir, "tables.txt")
+
+	code, stdout, stderr := runCLI(t, "-matrix", spec, "-out", outA, "-tables", tables)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "Scenario matrix: cmdtest") {
+		t.Errorf("stdout missing table: %s", stdout)
+	}
+	if code, _, stderr := runCLI(t, "-matrix", spec, "-out", outB, "-tables", ""); code != 0 {
+		t.Fatalf("second run exit %d, stderr: %s", code, stderr)
+	}
+	a, err := os.ReadFile(outA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(outB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("same seed, different results JSON")
+	}
+	tb, err := os.ReadFile(tables)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(tb), "Scenario matrix: cmdtest") {
+		t.Errorf("tables file missing matrix table: %s", tb)
+	}
+}
+
+// -check must pass against a faithful baseline and fail — naming the
+// regressed cell and metric — against a perturbed one.
+func TestMatrixCheck(t *testing.T) {
+	dir := t.TempDir()
+	spec := tinyMatrix(t, dir)
+	base := filepath.Join(dir, "base.json")
+	if code, _, stderr := runCLI(t, "-matrix", spec, "-out", base, "-tables", ""); code != 0 {
+		t.Fatalf("baseline run exit %d, stderr: %s", code, stderr)
+	}
+
+	code, stdout, _ := runCLI(t, "-matrix", spec, "-check", "-baseline", base)
+	if code != 0 {
+		t.Fatalf("clean check exit %d: %s", code, stdout)
+	}
+
+	var doc struct {
+		Cells []struct {
+			ID      string             `json:"id"`
+			Metrics map[string]float64 `json:"metrics"`
+		} `json:"cells"`
+	}
+	data, err := os.ReadFile(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	doc.Cells[0].Metrics["hit_ratio"] = doc.Cells[0].Metrics["hit_ratio"]*2 + 0.5
+	perturbed, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	badBase := filepath.Join(dir, "perturbed.json")
+	if err := os.WriteFile(badBase, perturbed, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	code, stdout, _ = runCLI(t, "-matrix", spec, "-check", "-baseline", badBase)
+	if code == 0 {
+		t.Fatalf("perturbed check passed: %s", stdout)
+	}
+	if !strings.Contains(stdout, "REGRESSION") ||
+		!strings.Contains(stdout, doc.Cells[0].ID) ||
+		!strings.Contains(stdout, "hit_ratio") {
+		t.Errorf("regression output does not name cell and metric: %s", stdout)
+	}
+}
+
+// Experiment output under -json must be byte-identical across same-seed
+// runs (no timing lines, no map-order leaks) — c1 and x3 cover both the
+// workload generators and the cache sweeps.
+func TestExpJSONDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs two full experiment passes")
+	}
+	code, a, stderr := runCLI(t, "-exp", "c1,x3", "-json")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	code, b, stderr := runCLI(t, "-exp", "c1,x3", "-json")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	if a != b {
+		t.Fatalf("same seed, different -json output")
+	}
+	var probe any
+	dec := json.NewDecoder(strings.NewReader(a))
+	for dec.More() {
+		if err := dec.Decode(&probe); err != nil {
+			t.Fatalf("output is not a JSON stream: %v", err)
+		}
+	}
+}
+
+// Flag validation: bad combinations and unknown experiments exit 2.
+func TestCLIErrors(t *testing.T) {
+	if code, _, stderr := runCLI(t, "-check"); code != 2 ||
+		!strings.Contains(stderr, "require -matrix") {
+		t.Errorf("-check without -matrix: code %d, stderr %s", code, stderr)
+	}
+	if code, _, stderr := runCLI(t, "-exp", "nope"); code != 2 ||
+		!strings.Contains(stderr, "unknown experiment") {
+		t.Errorf("unknown exp: code %d, stderr %s", code, stderr)
+	}
+	if code, _, _ := runCLI(t, "-matrix", "/nonexistent/spec.toml"); code != 2 {
+		t.Errorf("missing spec: code %d", code)
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.toml")
+	os.WriteFile(bad, []byte("name = \"x\"\nbogus = 1\n"), 0o644)
+	if code, _, stderr := runCLI(t, "-matrix", bad); code != 2 ||
+		!strings.Contains(stderr, "unknown key bogus") {
+		t.Errorf("bad spec: code %d, stderr %s", code, stderr)
 	}
 }

@@ -12,6 +12,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"cbfww/internal/analyzer"
@@ -20,28 +21,37 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its environment injected so tests can drive the CLI.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("cbfww-loadgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		sites    = flag.Int("sites", 20, "number of origin sites")
-		pages    = flag.Int("pages", 50, "pages per site")
-		topics   = flag.Int("topics", 10, "ground-truth topics")
-		sessions = flag.Int("sessions", 2000, "navigation sessions to generate")
-		length   = flag.Int64("length", 30*24*3600, "trace length in ticks (1 tick = 1s)")
-		zipf     = flag.Float64("zipf", 0.9, "popularity skew s")
-		affinity = flag.Float64("affinity", 0.5, "topic-popularity affinity [0,1]")
-		churn    = flag.Float64("churn", 0.001, "expected page updates per tick")
-		seed     = flag.Int64("seed", 1, "random seed")
-		out      = flag.String("out", "-", "trace output file (- = stdout)")
-		urls     = flag.String("urls", "", "also dump page URLs + topics to this file")
-		report   = flag.Bool("report", false, "print analyzer report instead of the raw trace")
+		sites    = fs.Int("sites", 20, "number of origin sites")
+		pages    = fs.Int("pages", 50, "pages per site")
+		topics   = fs.Int("topics", 10, "ground-truth topics")
+		sessions = fs.Int("sessions", 2000, "navigation sessions to generate")
+		length   = fs.Int64("length", 30*24*3600, "trace length in ticks (1 tick = 1s)")
+		zipf     = fs.Float64("zipf", 0.9, "popularity skew s")
+		affinity = fs.Float64("affinity", 0.5, "topic-popularity affinity [0,1]")
+		churn    = fs.Float64("churn", 0.001, "expected page updates per tick")
+		seed     = fs.Int64("seed", 1, "random seed")
+		out      = fs.String("out", "-", "trace output file (- = stdout)")
+		urls     = fs.String("urls", "", "also dump page URLs + topics to this file")
+		report   = fs.Bool("report", false, "print analyzer report instead of the raw trace")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	clock := core.NewSimClock(0)
 	wcfg := workload.DefaultWebConfig()
 	wcfg.Sites, wcfg.PagesPerSite, wcfg.Topics, wcfg.Seed = *sites, *pages, *topics, *seed
 	g, err := workload.GenerateWeb(clock, wcfg)
 	if err != nil {
-		fatal(err)
+		return fatal(stderr, err)
 	}
 
 	tcfg := workload.DefaultTraceConfig()
@@ -53,48 +63,49 @@ func main() {
 	tcfg.Seed = *seed
 	tr, err := workload.GenerateTrace(g, clock, tcfg)
 	if err != nil {
-		fatal(err)
+		return fatal(stderr, err)
 	}
 
 	if *urls != "" {
 		f, err := os.Create(*urls)
 		if err != nil {
-			fatal(err)
+			return fatal(stderr, err)
 		}
 		for _, u := range g.PageURLs {
 			fmt.Fprintf(f, "%s topic=%d\n", u, g.TopicOf[u])
 		}
 		if err := f.Close(); err != nil {
-			fatal(err)
+			return fatal(stderr, err)
 		}
 	}
 
 	if *report {
 		rep := analyzer.Analyze(tr.Log, 3)
-		fmt.Print(rep)
-		fmt.Println("top 10 URLs:")
+		fmt.Fprint(stdout, rep)
+		fmt.Fprintln(stdout, "top 10 URLs:")
 		for _, uc := range rep.TopK(10) {
-			fmt.Printf("  %6d  %s\n", uc.Count, uc.URL)
+			fmt.Fprintf(stdout, "  %6d  %s\n", uc.Count, uc.URL)
 		}
-		return
+		return 0
 	}
 
-	w := os.Stdout
+	w := stdout
 	if *out != "-" {
 		f, err := os.Create(*out)
 		if err != nil {
-			fatal(err)
+			return fatal(stderr, err)
 		}
 		defer f.Close()
 		w = f
 	}
 	if _, err := tr.Log.WriteTo(w); err != nil {
-		fatal(err)
+		return fatal(stderr, err)
 	}
-	fmt.Fprintf(os.Stderr, "wrote %d records (%d content updates applied)\n", len(tr.Log), tr.Updates)
+	fmt.Fprintf(stderr, "wrote %d records (%d content updates applied)\n", len(tr.Log), tr.Updates)
+	return 0
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "cbfww-loadgen:", err)
-	os.Exit(1)
+func fatal(stderr io.Writer, err error) int {
+	fmt.Fprintln(stderr, "cbfww-loadgen:", err)
+	return 1
 }

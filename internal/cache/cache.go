@@ -90,6 +90,16 @@ func (c *listCache) Access(key string, size core.Bytes, now core.Time) bool {
 	return false
 }
 
+// Resize retargets the cache's byte capacity, evicting per policy until
+// the residents fit — the scenario matrix's capacity-shrink lever for the
+// bounded baselines.
+func (c *listCache) Resize(capacity core.Bytes) {
+	c.capacity = capacity
+	for c.used > c.capacity && c.ll.Len() > 0 {
+		c.evictOne()
+	}
+}
+
 func (c *listCache) evictOne() {
 	var el *list.Element
 	if c.evictBack {
@@ -168,6 +178,18 @@ func NewLFU(capacity core.Bytes) Cache {
 		name: "LFU", capacity: capacity, items: make(map[string]*scoreEntry),
 		score: func(_ *scoreCache, e *scoreEntry, _ core.Time) float64 {
 			return e.freq
+		},
+	}
+}
+
+// NewMFU returns a most-frequently-used cache (evicts the hottest entry —
+// pathological on Zipf traffic, kept as the paper's MFU query-modifier
+// counterpart and as the matrix's lower anchor).
+func NewMFU(capacity core.Bytes) Cache {
+	return &scoreCache{
+		name: "MFU", capacity: capacity, items: make(map[string]*scoreEntry),
+		score: func(_ *scoreCache, e *scoreEntry, _ core.Time) float64 {
+			return -e.freq
 		},
 	}
 }
@@ -251,6 +273,15 @@ func (c *scoreCache) Access(key string, size core.Bytes, now core.Time) bool {
 	c.items[key] = e
 	c.used += size
 	return false
+}
+
+// Resize retargets the cache's byte capacity, evicting lowest scores
+// until the residents fit.
+func (c *scoreCache) Resize(capacity core.Bytes) {
+	c.capacity = capacity
+	for c.used > c.capacity && c.h.Len() > 0 {
+		c.evictOne()
+	}
 }
 
 func (c *scoreCache) evictOne() {

@@ -7,6 +7,7 @@
 package experiments
 
 import (
+	"encoding/json"
 	"fmt"
 	"strings"
 )
@@ -71,6 +72,23 @@ func (t Table) String() string {
 		b.WriteString("note: " + n + "\n")
 	}
 	return b.String()
+}
+
+// JSON renders the table as indented JSON — the machine-readable twin of
+// String. Two runs with the same seed must produce identical bytes (the
+// regression rig's determinism contract), so nothing time- or
+// environment-dependent may ever enter a Table.
+func (t Table) JSON() ([]byte, error) {
+	data, err := json.MarshalIndent(struct {
+		Title  string     `json:"title"`
+		Header []string   `json:"header"`
+		Rows   [][]string `json:"rows"`
+		Notes  []string   `json:"notes,omitempty"`
+	}{t.Title, t.Header, t.Rows, t.Notes}, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
 }
 
 // pct formats a ratio as a percentage cell.

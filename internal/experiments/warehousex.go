@@ -211,8 +211,10 @@ func X2TopicSensor(seed int64) Table {
 			// Event pages get URL-carrying articles so Maintain can
 			// prefetch: announce every event-topic page at lead time.
 			for _, ev := range events {
-				for url, topic := range wd.g.TopicOf {
-					if topic == ev.Topic {
+				// PageURLs is generation-ordered: iterating it (not the
+				// TopicOf map) keeps the publish order deterministic.
+				for _, url := range wd.g.PageURLs {
+					if wd.g.TopicOf[url] == ev.Topic {
 						wd.trace.News.Publish(simweb.Article{
 							Time: ev.Start.Add(-ev.Lead), Headline: ev.Headline, URL: url,
 						})

@@ -1,0 +1,64 @@
+package scenario
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestTableGolden pins the rendering of a 2 (zipf) x 2 (capacity) x 2
+// (policy) matrix so table-format drift shows up in review, not in diffs
+// of bench_tables.txt after the fact.
+func TestTableGolden(t *testing.T) {
+	res := &Results{Name: "golden", Seed: 42}
+	for _, zipf := range []float64{0.7, 1.1} {
+		for _, capSched := range []string{"static", "shrink@0.5x0.25"} {
+			for _, pol := range []string{"paper", "lru"} {
+				// Synthetic but shaped like real output: metrics vary with
+				// the coordinates so every column exercises its formatting.
+				k := zipf + float64(len(capSched))/100 + float64(len(pol))/1000
+				res.Cells = append(res.Cells, CellResult{
+					ID:   "synthetic",
+					Zipf: zipf, OneTimerMass: 0.5, Churn: 0.001, Burst: "none",
+					Shards: 2, Mem: "2.0MB", Disk: "64.0MB", Backend: "heap",
+					Capacity: capSched, Policy: pol,
+					Metrics: map[string]float64{
+						"requests":             1000,
+						"hit_ratio":            0.5 * k / 2,
+						"mem_hit_ratio":        0.3 * k / 2,
+						"origin_fetches":       500 * k,
+						"stale_serves":         3,
+						"latency_mean":         40 * k,
+						"latency_p50":          10 * k,
+						"latency_p90":          100 * k,
+						"latency_p99":          200 * k,
+						"bytes_moved_memory":   2e6 * k,
+						"bytes_moved_disk":     8e6 * k,
+						"bytes_moved_tertiary": 1e6 * k,
+					},
+				})
+			}
+		}
+	}
+	got := res.Table().String()
+
+	path := filepath.Join("testdata", "table_2x2x2.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to regenerate): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("table drifted from golden (run with -update to accept):\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}

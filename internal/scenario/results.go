@@ -1,0 +1,130 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// Results is the machine-readable outcome of one matrix run — what
+// BENCH_<name>.json holds and what -check diffs against. Marshaling is
+// deterministic: struct fields keep declaration order, metric maps
+// marshal with sorted keys, and every value is in simulation ticks or
+// counts (never wall time), so a same-seed rerun is byte-identical.
+type Results struct {
+	Name  string       `json:"name"`
+	Seed  int64        `json:"seed"`
+	Cells []CellResult `json:"cells"`
+}
+
+// CellResult pairs one cell's coordinates with its measured metrics.
+type CellResult struct {
+	ID           string  `json:"id"`
+	Zipf         float64 `json:"zipf"`
+	OneTimerMass float64 `json:"one_timer_mass"`
+	Churn        float64 `json:"churn"`
+	Burst        string  `json:"burst"`
+	Shards       int     `json:"shards"`
+	Mem          string  `json:"mem"`
+	Disk         string  `json:"disk"`
+	Backend      string  `json:"backend"`
+	Capacity     string  `json:"capacity"`
+	Policy       string  `json:"policy"`
+
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// MarshalJSON renders the results indented, ready to write to disk.
+func (r *Results) JSON() ([]byte, error) {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// ParseResults reads a results file written by JSON.
+func ParseResults(data []byte) (*Results, error) {
+	var r Results
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("scenario: results: %v", err)
+	}
+	return &r, nil
+}
+
+// Regression is one gated metric that moved past its tolerance in the
+// wrong direction relative to the baseline.
+type Regression struct {
+	Cell   string
+	Metric string
+	Base   float64
+	Got    float64
+	Tol    float64
+}
+
+func (g Regression) String() string {
+	return fmt.Sprintf("%s: %s: baseline %.6g, got %.6g (tolerance %.0f%%)",
+		g.Cell, g.Metric, g.Base, g.Got, 100*g.Tol)
+}
+
+// Check compares a fresh run against a baseline under the spec's
+// per-metric tolerances and returns every regression, sorted by cell then
+// metric. Only gated metrics participate: higher-better metrics regress
+// when fresh < base*(1-tol), lower-better when fresh > base*(1+tol). A
+// baseline cell missing from the fresh run is itself a regression
+// (coverage must not silently shrink); fresh-only cells are ignored, so
+// growing the matrix does not require regenerating old baselines.
+func Check(baseline, fresh *Results, spec *Spec) []Regression {
+	freshBy := make(map[string]CellResult, len(fresh.Cells))
+	for _, c := range fresh.Cells {
+		freshBy[c.ID] = c
+	}
+	var regs []Regression
+	for _, bc := range baseline.Cells {
+		fc, ok := freshBy[bc.ID]
+		if !ok {
+			regs = append(regs, Regression{Cell: bc.ID, Metric: "(cell missing from fresh run)"})
+			continue
+		}
+		metrics := make([]string, 0, len(bc.Metrics))
+		for m := range bc.Metrics {
+			metrics = append(metrics, m)
+		}
+		sort.Strings(metrics)
+		for _, m := range metrics {
+			higherBetter, gated := GatedMetrics[m]
+			if !gated {
+				continue
+			}
+			base := bc.Metrics[m]
+			got, ok := fc.Metrics[m]
+			if !ok {
+				regs = append(regs, Regression{Cell: bc.ID, Metric: m + " (missing)", Base: base})
+				continue
+			}
+			tol := spec.Tolerance(m)
+			if regressed(base, got, tol, higherBetter) {
+				regs = append(regs, Regression{Cell: bc.ID, Metric: m, Base: base, Got: got, Tol: tol})
+			}
+		}
+	}
+	sort.Slice(regs, func(i, j int) bool {
+		if regs[i].Cell != regs[j].Cell {
+			return regs[i].Cell < regs[j].Cell
+		}
+		return regs[i].Metric < regs[j].Metric
+	})
+	return regs
+}
+
+func regressed(base, got, tol float64, higherBetter bool) bool {
+	if higherBetter {
+		return got < base*(1-tol)
+	}
+	if base == 0 {
+		// A lower-better metric that was zero has no relative slack: any
+		// appearance is a regression.
+		return got > 0
+	}
+	return got > base*(1+tol)
+}

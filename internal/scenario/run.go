@@ -1,0 +1,311 @@
+package scenario
+
+import (
+	"fmt"
+	"os"
+	"sort"
+
+	"cbfww/internal/cache"
+	"cbfww/internal/core"
+	"cbfww/internal/priority"
+	"cbfww/internal/storage"
+	"cbfww/internal/warehouse"
+	"cbfww/internal/workload"
+)
+
+// Runner expands a spec and executes every cell. Runs are fully
+// deterministic: all randomness flows from the spec seed, all latencies
+// are simulation ticks, and no wall-clock value reaches the results — so
+// the same spec and binary produce byte-identical JSON, which is what
+// makes checked-in baselines possible.
+type Runner struct {
+	Spec *Spec
+	// WorkDir roots the disk-backend cells' temp state; empty uses the
+	// OS temp dir. Each cell gets its own subdirectory, removed after
+	// the run.
+	WorkDir string
+	// Progress, when non-nil, is called with each cell ID before it runs.
+	Progress func(i, n int, id string)
+}
+
+// Run executes the matrix and returns its results, cells in expansion
+// order.
+func (r *Runner) Run() (*Results, error) {
+	cells := r.Spec.Cells()
+	res := &Results{Name: r.Spec.Name, Seed: r.Spec.Run.Seed}
+	for i, c := range cells {
+		if r.Progress != nil {
+			r.Progress(i+1, len(cells), c.ID())
+		}
+		m, err := r.runCell(c)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: cell %s: %w", c.ID(), err)
+		}
+		res.Cells = append(res.Cells, CellResult{
+			ID:           c.ID(),
+			Zipf:         c.Zipf,
+			OneTimerMass: c.OneTimerMass,
+			Churn:        c.Churn,
+			Burst:        c.BurstLabel,
+			Shards:       c.Shards,
+			Mem:          c.Mem.String(),
+			Disk:         c.Disk.String(),
+			Backend:      c.Backend,
+			Capacity:     c.CapacityLabel,
+			Policy:       c.Policy,
+			Metrics:      m,
+		})
+	}
+	return res, nil
+}
+
+// buildTrace regenerates the cell's world from scratch. Every cell gets
+// its own web and trace so nothing leaks between cells; cells sharing
+// workload axes get identical traces (same seed, same knobs), which is
+// what makes the policy columns comparable.
+func (r *Runner) buildTrace(c Cell) (*workload.GeneratedWeb, *workload.Trace, error) {
+	run := r.Spec.Run
+	clock := core.NewSimClock(0)
+	wcfg := workload.DefaultWebConfig()
+	wcfg.Sites, wcfg.PagesPerSite, wcfg.Seed = run.Sites, run.PagesPerSite, run.Seed
+	g, err := workload.GenerateWeb(clock, wcfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	tcfg := workload.DefaultTraceConfig()
+	tcfg.Users = run.Users
+	tcfg.Sessions = run.Sessions
+	tcfg.Length = run.Length
+	tcfg.Seed = run.Seed
+	tcfg.ZipfS = c.Zipf
+	// One-timer mass: deeper walks touch more distinct tail pages exactly
+	// once. mass 0 -> follow 0.2 (head-heavy revisits), 1 -> 0.8.
+	tcfg.FollowLinkProb = 0.2 + 0.6*c.OneTimerMass
+	tcfg.UpdatesPerTick = c.Churn
+	tcfg.TopicAffinity = 0.7
+	tcfg.Burst = workload.BurstSchedule{Count: c.Burst.Count, Intensity: c.Burst.Intensity}
+	tr, err := workload.GenerateTrace(g, clock, tcfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return g, tr, nil
+}
+
+func (r *Runner) runCell(c Cell) (map[string]float64, error) {
+	g, tr, err := r.buildTrace(c)
+	if err != nil {
+		return nil, err
+	}
+	if warehousePolicies[c.Policy] {
+		return r.runWarehouseCell(c, g, tr)
+	}
+	return r.runCacheCell(c, tr)
+}
+
+// runWarehouseCell replays the trace through the full warehouse under the
+// cell's admission policy and topology.
+func (r *Runner) runWarehouseCell(c Cell, g *workload.GeneratedWeb, tr *workload.Trace) (map[string]float64, error) {
+	run := r.Spec.Run
+	clock := core.NewSimClock(0)
+	cfg := warehouse.DefaultConfig()
+	cfg.Shards = c.Shards
+	cfg.Storage = storage.Config{
+		MemCapacity:  c.Mem,
+		DiskCapacity: c.Disk,
+		MemLatency:   0, DiskLatency: 10, TertiaryLatency: 100,
+		SummaryRatio: 0.05,
+	}
+	if c.Backend == "disk" {
+		dir, err := os.MkdirTemp(r.WorkDir, "cbfww-scenario-")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+		cfg.Storage.DataDir = dir
+	}
+	switch c.Policy {
+	case "newest-top":
+		cfg.Priority = priority.Config{
+			SimilarityWeight: 0, TopicWeight: 0,
+			MinSimilarity: 2, // unattainable: region evidence off
+			Default:       1,
+			Lambda:        0.3, EpochLength: 3600,
+		}
+	case "pessimist":
+		cfg.Priority = priority.Config{
+			SimilarityWeight: 0, TopicWeight: 0,
+			MinSimilarity: 2,
+			Default:       0,
+			Lambda:        0.3, EpochLength: 3600,
+		}
+	}
+	w, err := warehouse.New(cfg, clock, g.Web)
+	if err != nil {
+		return nil, err
+	}
+	defer w.Close()
+
+	shrink := c.Capacity.Shrink
+	shrinkAt := core.Time(float64(run.Length) * c.Capacity.At)
+	next := core.Time(run.MaintainEvery)
+	lats := make([]float64, 0, len(tr.Log))
+	for _, rec := range tr.Log {
+		if rec.Time.After(clock.Now()) {
+			clock.Set(rec.Time)
+		}
+		if shrink && clock.Now() >= shrinkAt {
+			mgr := w.StorageManager()
+			if err := mgr.Resize(scaleBytes(c.Mem, c.Capacity.Factor), scaleBytes(c.Disk, c.Capacity.Factor)); err != nil {
+				return nil, err
+			}
+			shrink = false
+		}
+		for clock.Now() >= next {
+			if _, err := w.Maintain(); err != nil {
+				return nil, err
+			}
+			next = next.Add(run.MaintainEvery)
+		}
+		res, err := w.Get(rec.User, rec.URL)
+		if err != nil {
+			return nil, err
+		}
+		lats = append(lats, float64(res.Latency))
+	}
+
+	st := w.Stats()
+	sst := w.StorageManager().Stats()
+	m := map[string]float64{
+		"requests":       float64(st.Requests),
+		"hit_ratio":      st.HitRatio(),
+		"mem_hit_ratio":  ratio(st.MemoryHits, st.Requests),
+		"origin_fetches": float64(st.OriginFetches),
+		"stale_serves":   float64(st.StaleServes),
+		"latency_mean":   st.MeanLatency(),
+	}
+	m["bytes_moved_memory"] = float64(sst.MovedBytes[storage.Memory])
+	m["bytes_moved_disk"] = float64(sst.MovedBytes[storage.Disk])
+	m["bytes_moved_tertiary"] = float64(sst.MovedBytes[storage.Tertiary])
+	addPercentiles(m, lats)
+	return m, nil
+}
+
+// runCacheCell replays the trace through a bounded (or infinite)
+// replacement policy sized to the cell's memory tier — the baselines the
+// paper argues against. A Modified record invalidates before access,
+// mirroring cache.Run.
+func (r *Runner) runCacheCell(c Cell, tr *workload.Trace) (map[string]float64, error) {
+	run := r.Spec.Run
+	mk, ok := cacheMakers[c.Policy]
+	if !ok {
+		return nil, fmt.Errorf("%w: policy %q", core.ErrInvalid, c.Policy)
+	}
+	cc := mk(c.Mem)
+
+	shrink := c.Capacity.Shrink
+	shrinkAt := core.Time(float64(run.Length) * c.Capacity.At)
+
+	var requests, hits, misses int
+	var movedMem core.Bytes
+	lats := make([]float64, 0, len(tr.Log))
+	for _, rec := range tr.Log {
+		if shrink && rec.Time >= shrinkAt {
+			if rs, ok := cc.(interface{ Resize(core.Bytes) }); ok {
+				rs.Resize(scaleBytes(c.Mem, c.Capacity.Factor))
+			}
+			shrink = false
+		}
+		requests++
+		before := cc.Used()
+		hit := cc.Access(rec.URL, rec.Bytes, rec.Time)
+		if rec.Modified {
+			// The origin changed under the cached copy: the access above
+			// refreshed bookkeeping, but serving it is a miss.
+			hit = false
+		}
+		if after := cc.Used(); after > before {
+			movedMem += after - before
+		}
+		if hit {
+			hits++
+			lats = append(lats, 0)
+		} else {
+			misses++
+			lats = append(lats, float64(run.OriginLatency))
+		}
+	}
+
+	m := map[string]float64{
+		"requests":             float64(requests),
+		"hit_ratio":            ratio(hits, requests),
+		"mem_hit_ratio":        ratio(hits, requests),
+		"origin_fetches":       float64(misses),
+		"stale_serves":         0,
+		"latency_mean":         meanOf(lats),
+		"bytes_moved_memory":   float64(movedMem),
+		"bytes_moved_disk":     0,
+		"bytes_moved_tertiary": 0,
+	}
+	addPercentiles(m, lats)
+	return m, nil
+}
+
+var cacheMakers = map[string]func(core.Bytes) cache.Cache{
+	"lru":      cache.NewLRU,
+	"mru":      cache.NewMRU,
+	"fifo":     cache.NewFIFO,
+	"lfu":      cache.NewLFU,
+	"mfu":      cache.NewMFU,
+	"gdsf":     cache.NewGDSF,
+	"size":     cache.NewSize,
+	"lru2":     func(b core.Bytes) cache.Cache { return cache.NewLRUK(b, 2) },
+	"infinite": func(core.Bytes) cache.Cache { return cache.NewInfinite() },
+}
+
+func scaleBytes(b core.Bytes, factor float64) core.Bytes {
+	s := core.Bytes(float64(b) * factor)
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+func ratio(num, den int) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
+func meanOf(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// addPercentiles records the nearest-rank latency percentiles.
+func addPercentiles(m map[string]float64, lats []float64) {
+	sorted := append([]float64(nil), lats...)
+	sort.Float64s(sorted)
+	pick := func(p float64) float64 {
+		if len(sorted) == 0 {
+			return 0
+		}
+		i := int(p*float64(len(sorted))+0.5) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(sorted) {
+			i = len(sorted) - 1
+		}
+		return sorted[i]
+	}
+	m["latency_p50"] = pick(0.50)
+	m["latency_p90"] = pick(0.90)
+	m["latency_p99"] = pick(0.99)
+}

@@ -1,0 +1,229 @@
+package scenario
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"cbfww/internal/core"
+)
+
+// tinySpec is a fast matrix that still crosses both runner kinds
+// (warehouse and cache policies) and both capacity schedules.
+func tinySpec(t *testing.T) *Spec {
+	t.Helper()
+	s := DefaultSpec()
+	s.Name = "tiny"
+	s.Run.Sites = 3
+	s.Run.PagesPerSite = 8
+	s.Run.Sessions = 60
+	s.Run.Users = 12
+	s.Run.Length = 8000
+	s.Run.MaintainEvery = 2000
+	s.Topology.Mem = []core.Bytes{256 * core.KB}
+	s.Topology.Disk = []core.Bytes{4 * core.MB}
+	s.Topology.Capacity = []string{"static", "shrink@0.5x0.25"}
+	s.Policies = []string{"paper", "lru", "infinite"}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("tinySpec invalid: %v", err)
+	}
+	return &s
+}
+
+func runTiny(t *testing.T) *Results {
+	t.Helper()
+	r := &Runner{Spec: tinySpec(t), WorkDir: t.TempDir()}
+	res, err := r.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return res
+}
+
+func TestRunnerDeterministic(t *testing.T) {
+	a, b := runTiny(t), runTiny(t)
+	aj, err := a.JSON()
+	if err != nil {
+		t.Fatalf("JSON: %v", err)
+	}
+	bj, err := b.JSON()
+	if err != nil {
+		t.Fatalf("JSON: %v", err)
+	}
+	if !bytes.Equal(aj, bj) {
+		t.Fatalf("same seed, different bytes:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", aj, bj)
+	}
+}
+
+func TestRunnerMetricsSane(t *testing.T) {
+	res := runTiny(t)
+	if len(res.Cells) != 6 { // 2 capacity schedules x 3 policies
+		t.Fatalf("cells = %d", len(res.Cells))
+	}
+	var sawStaticInf, sawShrunkLRU bool
+	for _, c := range res.Cells {
+		m := c.Metrics
+		if m["requests"] <= 0 {
+			t.Errorf("%s: no requests", c.ID)
+		}
+		if m["hit_ratio"] < 0 || m["hit_ratio"] > 1 {
+			t.Errorf("%s: hit_ratio = %v", c.ID, m["hit_ratio"])
+		}
+		for _, k := range []string{"origin_fetches", "stale_serves", "latency_mean",
+			"latency_p50", "latency_p90", "latency_p99",
+			"bytes_moved_memory", "bytes_moved_disk", "bytes_moved_tertiary"} {
+			if v, ok := m[k]; !ok || v < 0 {
+				t.Errorf("%s: metric %s = %v (present %v)", c.ID, k, v, ok)
+			}
+		}
+		if c.Policy == "infinite" && c.Capacity == "static" {
+			sawStaticInf = true
+			if m["hit_ratio"] <= 0 {
+				t.Errorf("infinite cache hit nothing: %v", m["hit_ratio"])
+			}
+		}
+		if c.Policy == "lru" && strings.HasPrefix(c.Capacity, "shrink") {
+			sawShrunkLRU = true
+		}
+		if warehousePolicies[c.Policy] && m["bytes_moved_memory"]+m["bytes_moved_disk"]+m["bytes_moved_tertiary"] <= 0 {
+			t.Errorf("%s: warehouse moved no bytes", c.ID)
+		}
+	}
+	if !sawStaticInf || !sawShrunkLRU {
+		t.Errorf("expected cells missing (staticInf=%v shrunkLRU=%v)", sawStaticInf, sawShrunkLRU)
+	}
+}
+
+// The shrink schedule must actually bite: the same LRU cell with a
+// capacity shrink can do no better than its static twin.
+func TestShrinkReducesCacheHits(t *testing.T) {
+	res := runTiny(t)
+	byCell := map[string]map[string]float64{}
+	for _, c := range res.Cells {
+		byCell[c.Policy+"/"+c.Capacity] = c.Metrics
+	}
+	static, shrunk := byCell["lru/static"], byCell["lru/shrink@0.5x0.25"]
+	if static == nil || shrunk == nil {
+		t.Fatalf("missing lru cells: %v", byCell)
+	}
+	if shrunk["hit_ratio"] > static["hit_ratio"]+1e-9 {
+		t.Errorf("shrunk LRU beats static: %v > %v", shrunk["hit_ratio"], static["hit_ratio"])
+	}
+}
+
+func TestCheckFlagsRegressions(t *testing.T) {
+	spec := tinySpec(t)
+	base := runTiny(t)
+	fresh := runTiny(t)
+
+	if regs := Check(base, fresh, spec); len(regs) != 0 {
+		t.Fatalf("identical runs regressed: %v", regs)
+	}
+
+	// Perturb one gated metric past tolerance: hit_ratio is higher-better,
+	// so a baseline far above the fresh value must trip.
+	perturbed := base.Cells[2].ID
+	base.Cells[2].Metrics["hit_ratio"] = base.Cells[2].Metrics["hit_ratio"]*2 + 0.5
+	regs := Check(base, fresh, spec)
+	if len(regs) != 1 {
+		t.Fatalf("regressions = %v, want exactly 1", regs)
+	}
+	if regs[0].Cell != perturbed || regs[0].Metric != "hit_ratio" {
+		t.Errorf("regression names %q/%q, want %q/hit_ratio", regs[0].Cell, regs[0].Metric, perturbed)
+	}
+	if !strings.Contains(regs[0].String(), "hit_ratio") {
+		t.Errorf("String() = %q", regs[0].String())
+	}
+
+	// A baseline-only cell is a coverage regression.
+	extra := base.Cells[0]
+	extra.ID = "zipf=9,ghost | cell | lru"
+	base.Cells = append(base.Cells, extra)
+	base.Cells[2].Metrics["hit_ratio"] = fresh.Cells[2].Metrics["hit_ratio"]
+	regs = Check(base, fresh, spec)
+	if len(regs) != 1 || !strings.Contains(regs[0].Metric, "missing") {
+		t.Errorf("missing-cell check = %v", regs)
+	}
+
+	// Informational metrics never gate.
+	base.Cells = base.Cells[:len(base.Cells)-1]
+	base.Cells[1].Metrics["bytes_moved_memory"] = 1e12
+	if regs := Check(base, fresh, spec); len(regs) != 0 {
+		t.Errorf("informational metric gated: %v", regs)
+	}
+}
+
+func TestCheckLowerBetterDirection(t *testing.T) {
+	spec := tinySpec(t)
+	mk := func(stale float64) *Results {
+		return &Results{Name: "d", Cells: []CellResult{{
+			ID: "only", Metrics: map[string]float64{"stale_serves": stale},
+		}}}
+	}
+	// Fresh got worse (more stale serves): regression.
+	if regs := Check(mk(100), mk(120), spec); len(regs) != 1 {
+		t.Errorf("worse lower-better metric not flagged: %v", regs)
+	}
+	// Fresh improved: fine.
+	if regs := Check(mk(100), mk(80), spec); len(regs) != 0 {
+		t.Errorf("improvement flagged: %v", regs)
+	}
+	// Zero baseline: any appearance regresses.
+	if regs := Check(mk(0), mk(1), spec); len(regs) != 1 {
+		t.Errorf("zero-baseline appearance not flagged: %v", regs)
+	}
+}
+
+func TestResultsRoundTrip(t *testing.T) {
+	res := runTiny(t)
+	data, err := res.JSON()
+	if err != nil {
+		t.Fatalf("JSON: %v", err)
+	}
+	back, err := ParseResults(data)
+	if err != nil {
+		t.Fatalf("ParseResults: %v", err)
+	}
+	again, err := back.JSON()
+	if err != nil {
+		t.Fatalf("JSON: %v", err)
+	}
+	if !bytes.Equal(data, again) {
+		t.Fatalf("round trip changed bytes")
+	}
+	if _, err := ParseResults([]byte("{")); err == nil {
+		t.Errorf("ParseResults accepted malformed JSON")
+	}
+}
+
+func TestBurstAxisRuns(t *testing.T) {
+	s := tinySpec(t)
+	s.Workload.Burst = []string{"2x0.8"}
+	s.Topology.Capacity = []string{"static"}
+	s.Policies = []string{"paper"}
+	res, err := (&Runner{Spec: s}).Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(res.Cells) != 1 || res.Cells[0].Burst != "2x0.8" {
+		t.Fatalf("cells = %+v", res.Cells)
+	}
+	if res.Cells[0].Metrics["requests"] <= 0 {
+		t.Errorf("burst cell served nothing")
+	}
+}
+
+func TestDiskBackendCell(t *testing.T) {
+	s := tinySpec(t)
+	s.Run.Sessions = 30
+	s.Topology.Backend = []string{"disk"}
+	s.Topology.Capacity = []string{"static"}
+	s.Policies = []string{"paper"}
+	res, err := (&Runner{Spec: s, WorkDir: t.TempDir()}).Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Cells[0].Metrics["requests"] <= 0 {
+		t.Errorf("disk cell served nothing")
+	}
+}

@@ -1,0 +1,37 @@
+package scenario
+
+import (
+	"fmt"
+
+	"cbfww/internal/experiments"
+)
+
+// Table renders the matrix results as the human-facing companion to the
+// JSON: one row per cell, headline metrics as columns. Axis values that
+// never vary are lifted into a note instead of repeated down a column,
+// keeping small matrices readable.
+func (r *Results) Table() experiments.Table {
+	t := experiments.Table{
+		Title:  fmt.Sprintf("Scenario matrix: %s (seed %d, %d cells)", r.Name, r.Seed, len(r.Cells)),
+		Header: []string{"workload", "topology", "policy", "hit", "memhit", "origin", "stale", "p99", "moved"},
+	}
+	for _, c := range r.Cells {
+		m := c.Metrics
+		moved := m["bytes_moved_memory"] + m["bytes_moved_disk"] + m["bytes_moved_tertiary"]
+		t.AddRow(
+			fmt.Sprintf("z=%g m=%g c=%g b=%s", c.Zipf, c.OneTimerMass, c.Churn, c.Burst),
+			fmt.Sprintf("s=%d %s/%s %s %s", c.Shards, c.Mem, c.Disk, c.Backend, c.Capacity),
+			c.Policy,
+			fmt.Sprintf("%5.1f%%", 100*m["hit_ratio"]),
+			fmt.Sprintf("%5.1f%%", 100*m["mem_hit_ratio"]),
+			fmt.Sprintf("%.0f", m["origin_fetches"]),
+			fmt.Sprintf("%.0f", m["stale_serves"]),
+			fmt.Sprintf("%.0f", m["latency_p99"]),
+			fmt.Sprintf("%.1fMB", moved/(1024*1024)),
+		)
+	}
+	t.AddNote("workload: z=zipf skew, m=one-timer mass, c=churn, b=burst schedule")
+	t.AddNote("topology: s=shards, mem/disk capacity, backend, capacity schedule")
+	t.AddNote("p99 in simulation ticks; moved sums bytes written across all tiers")
+	return t
+}

@@ -1,0 +1,228 @@
+package scenario
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"cbfww/internal/core"
+)
+
+// parseTOML decodes the TOML subset the scenario spec uses into nested
+// maps: '#' comments, [section] and [section.sub] tables, and
+// key = value lines where value is a basic string, integer, float, bool,
+// or a (possibly multi-line) array of those. It is deliberately small —
+// a validated-config reader, not a general TOML implementation — and
+// every violation names its line.
+func parseTOML(src string) (map[string]any, error) {
+	root := map[string]any{}
+	cur := root
+	lines := strings.Split(src, "\n")
+	for i := 0; i < len(lines); i++ {
+		lineNo := i + 1
+		line := strings.TrimSpace(stripComment(lines[i]))
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "[") {
+			if !strings.HasSuffix(line, "]") || strings.HasPrefix(line, "[[") {
+				return nil, tomlErr(lineNo, "malformed table header %q", line)
+			}
+			path := strings.TrimSpace(line[1 : len(line)-1])
+			if path == "" {
+				return nil, tomlErr(lineNo, "empty table header")
+			}
+			m := root
+			for _, part := range strings.Split(path, ".") {
+				if !validBareKey(part) {
+					return nil, tomlErr(lineNo, "bad table name %q", path)
+				}
+				switch sub := m[part].(type) {
+				case nil:
+					next := map[string]any{}
+					m[part] = next
+					m = next
+				case map[string]any:
+					m = sub
+				default:
+					return nil, tomlErr(lineNo, "table %q collides with a value", path)
+				}
+			}
+			cur = m
+			continue
+		}
+		eq := strings.Index(line, "=")
+		if eq <= 0 {
+			return nil, tomlErr(lineNo, "expected key = value, got %q", line)
+		}
+		key := strings.TrimSpace(line[:eq])
+		if !validBareKey(key) {
+			return nil, tomlErr(lineNo, "bad key %q", key)
+		}
+		raw := strings.TrimSpace(line[eq+1:])
+		// A multi-line array: keep consuming lines until brackets balance
+		// outside of strings.
+		for !bracketsBalanced(raw) {
+			i++
+			if i >= len(lines) {
+				return nil, tomlErr(lineNo, "unterminated array for key %q", key)
+			}
+			raw += " " + strings.TrimSpace(stripComment(lines[i]))
+		}
+		if raw == "" {
+			return nil, tomlErr(lineNo, "missing value for key %q", key)
+		}
+		v, err := parseTOMLValue(raw)
+		if err != nil {
+			return nil, tomlErr(lineNo, "key %q: %v", key, err)
+		}
+		if _, dup := cur[key]; dup {
+			return nil, tomlErr(lineNo, "duplicate key %q", key)
+		}
+		cur[key] = v
+	}
+	return root, nil
+}
+
+func tomlErr(line int, format string, args ...any) error {
+	return fmt.Errorf("scenario: %w: line %d: %s", core.ErrInvalid, line, fmt.Sprintf(format, args...))
+}
+
+func validBareKey(k string) bool {
+	if k == "" {
+		return false
+	}
+	for _, r := range k {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_', r == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// stripComment removes a trailing '#' comment, respecting quoted strings.
+func stripComment(line string) string {
+	inStr := false
+	for i := 0; i < len(line); i++ {
+		switch line[i] {
+		case '"':
+			if !inStr {
+				inStr = true
+			} else if i == 0 || line[i-1] != '\\' {
+				inStr = false
+			}
+		case '#':
+			if !inStr {
+				return line[:i]
+			}
+		}
+	}
+	return line
+}
+
+// bracketsBalanced reports whether every '[' outside a string has its ']'.
+func bracketsBalanced(s string) bool {
+	depth := 0
+	inStr := false
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			if !inStr {
+				inStr = true
+			} else if i == 0 || s[i-1] != '\\' {
+				inStr = false
+			}
+		case '[':
+			if !inStr {
+				depth++
+			}
+		case ']':
+			if !inStr {
+				depth--
+			}
+		}
+	}
+	return depth == 0
+}
+
+func parseTOMLValue(raw string) (any, error) {
+	switch {
+	case strings.HasPrefix(raw, `"`):
+		s, err := strconv.Unquote(raw)
+		if err != nil {
+			return nil, fmt.Errorf("bad string %s", raw)
+		}
+		return s, nil
+	case strings.HasPrefix(raw, "["):
+		if !strings.HasSuffix(raw, "]") {
+			return nil, fmt.Errorf("unterminated array %s", raw)
+		}
+		items, err := splitArray(raw[1 : len(raw)-1])
+		if err != nil {
+			return nil, err
+		}
+		out := make([]any, 0, len(items))
+		for _, it := range items {
+			v, err := parseTOMLValue(it)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+		}
+		return out, nil
+	case raw == "true":
+		return true, nil
+	case raw == "false":
+		return false, nil
+	default:
+		clean := strings.ReplaceAll(raw, "_", "")
+		if n, err := strconv.ParseInt(clean, 10, 64); err == nil {
+			return n, nil
+		}
+		if f, err := strconv.ParseFloat(clean, 64); err == nil {
+			return f, nil
+		}
+		return nil, fmt.Errorf("unrecognized value %q", raw)
+	}
+}
+
+// splitArray splits a bracketless array body on top-level commas,
+// tolerating a trailing comma and nested arrays/strings.
+func splitArray(body string) ([]string, error) {
+	var items []string
+	depth := 0
+	inStr := false
+	start := 0
+	for i := 0; i < len(body); i++ {
+		switch body[i] {
+		case '"':
+			if !inStr {
+				inStr = true
+			} else if body[i-1] != '\\' {
+				inStr = false
+			}
+		case '[':
+			if !inStr {
+				depth++
+			}
+		case ']':
+			if !inStr {
+				depth--
+			}
+		case ',':
+			if !inStr && depth == 0 {
+				items = append(items, strings.TrimSpace(body[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	if inStr || depth != 0 {
+		return nil, fmt.Errorf("malformed array [%s]", body)
+	}
+	if last := strings.TrimSpace(body[start:]); last != "" {
+		items = append(items, last)
+	}
+	return items, nil
+}

@@ -157,6 +157,7 @@ func (m *Manager) admit(id core.ObjectID, size core.Bytes, version int, prio cor
 	o.copies[Tertiary] = copyState{present: true, version: version}
 	m.objects[id] = o
 	m.used[Tertiary] += size
+	m.stats.MovedBytes[Tertiary] += size
 	m.placeLocked()
 	return nil
 }
@@ -197,6 +198,7 @@ func (m *Manager) AdmitAll(batch []Admission) error {
 		o.copies[Tertiary] = copyState{present: true, version: v}
 		m.objects[a.ID] = o
 		m.used[Tertiary] += a.Size
+		m.stats.MovedBytes[Tertiary] += a.Size
 	}
 	m.placeLocked()
 	return nil
@@ -420,6 +422,7 @@ func (m *Manager) updateLocked(o *object, newVersion int, payload []byte) error 
 			if err := m.backends[t].Put(BlobKey{ID: o.id, Version: newVersion, Summary: c.summaryOnly}, data); err != nil {
 				return fmt.Errorf("storage: update %v: %w", o.id, err)
 			}
+			m.stats.MovedBytes[t] += core.Bytes(len(data))
 		}
 		c.version = newVersion
 		fastCopy = true
@@ -431,6 +434,7 @@ func (m *Manager) updateLocked(o *object, newVersion int, payload []byte) error 
 			if err := m.backends[Tertiary].Put(BlobKey{ID: o.id, Version: newVersion}, payload); err != nil {
 				return fmt.Errorf("storage: update %v: %w", o.id, err)
 			}
+			m.stats.MovedBytes[Tertiary] += core.Bytes(len(payload))
 		}
 		c.version = newVersion
 	}
@@ -473,6 +477,7 @@ func (m *Manager) Backup() {
 			if err := m.backends[Tertiary].Put(BlobKey{ID: o.id, Version: ver}, data); err != nil {
 				continue // leave the old copy standing; retried next sweep
 			}
+			m.stats.MovedBytes[Tertiary] += core.Bytes(len(data))
 			if !ct.present {
 				m.used[Tertiary] += o.size
 			}
@@ -543,6 +548,30 @@ func (m *Manager) ResidentIDs(t Tier) []core.ObjectID {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
+}
+
+// Resize retargets the finite tiers' capacities at runtime and
+// immediately re-places the whole population under the new targets —
+// shrinking demotes the lowest-priority residents (their fast copies are
+// deleted; the tertiary copy always survives), growing promotes the
+// highest-priority spillovers back up. This is the capacity-shrink-
+// mid-workload lever the scenario matrix exercises.
+func (m *Manager) Resize(mem, disk core.Bytes) error {
+	if mem < 0 || disk < 0 {
+		return fmt.Errorf("storage: resize: %w: capacities %v/%v", core.ErrInvalid, mem, disk)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.cfg.MemCapacity, m.cfg.DiskCapacity = mem, disk
+	m.placeLocked()
+	return nil
+}
+
+// Capacities returns the current finite-tier capacity targets.
+func (m *Manager) Capacities() (mem, disk core.Bytes) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.cfg.MemCapacity, m.cfg.DiskCapacity
 }
 
 // Stats returns a copy of the activity counters.

@@ -67,6 +67,10 @@ func (m *Manager) placeLocked() {
 // are deleted). For metadata-only objects there are no bytes to move and
 // the promoted copy is labeled with the current version, as before.
 func (m *Manager) applyPlacement(o *object, t Tier, want, summaryOnly bool) {
+	moved := o.size
+	if summaryOnly {
+		moved = o.summarySize(m.cfg.SummaryRatio)
+	}
 	c := &o.copies[t]
 	switch {
 	case want && !c.present:
@@ -79,6 +83,7 @@ func (m *Manager) applyPlacement(o *object, t Tier, want, summaryOnly bool) {
 			ver = srcVer
 		}
 		*c = copyState{present: true, version: ver, summaryOnly: summaryOnly}
+		m.stats.MovedBytes[t] += moved
 	case want && c.present && c.summaryOnly != summaryOnly:
 		ver := o.version
 		if o.hasPayload {
@@ -94,6 +99,7 @@ func (m *Manager) applyPlacement(o *object, t Tier, want, summaryOnly bool) {
 		}
 		c.summaryOnly = summaryOnly
 		c.version = ver
+		m.stats.MovedBytes[t] += moved
 	case !want && c.present:
 		if o.hasPayload {
 			m.backends[t].Delete(c.key(o.id))

@@ -1,0 +1,130 @@
+package storage
+
+import (
+	"errors"
+	"testing"
+
+	"cbfww/internal/core"
+)
+
+// resizeTestManager disables the large-document summary path (threshold
+// 1.0: nothing is "big") so placement is a pure water-fill and the
+// resize assertions are about capacity, not levels of detail.
+func resizeTestManager(t *testing.T) *Manager {
+	t.Helper()
+	m, err := NewManager(Config{
+		MemCapacity:  100,
+		DiskCapacity: 1000,
+		MemLatency:   0, DiskLatency: 10, TertiaryLatency: 100,
+		SummaryRatio:     0.1,
+		SummaryThreshold: 1.0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { m.Close() })
+	return m
+}
+
+// Resize must re-run placement under the new capacities: objects that no
+// longer fit in memory spill down the hierarchy instead of vanishing —
+// the scenario matrix's capacity-shrink lever.
+func TestResizeShrinkSpillsDown(t *testing.T) {
+	m := resizeTestManager(t)
+	for id := core.ObjectID(1); id <= 2; id++ {
+		if err := m.Admit(id, 40, 1, 0.9); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tier, ok := m.Contains(1); !ok || tier != Memory {
+		t.Fatalf("object 1 not in memory before resize")
+	}
+
+	if err := m.Resize(40, 1000); err != nil {
+		t.Fatal(err)
+	}
+	if mem, disk := m.Capacities(); mem != 40 || disk != 1000 {
+		t.Errorf("Capacities = %v, %v", mem, disk)
+	}
+	inMem := 0
+	for id := core.ObjectID(1); id <= 2; id++ {
+		tier, ok := m.Contains(id)
+		if !ok {
+			t.Fatalf("object %d lost by resize", id)
+		}
+		if tier == Memory {
+			inMem++
+		}
+	}
+	if inMem != 1 {
+		t.Errorf("memory residents after shrink = %d, want 1", inMem)
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Growing back re-promotes.
+	if err := m.Resize(100, 1000); err != nil {
+		t.Fatal(err)
+	}
+	for id := core.ObjectID(1); id <= 2; id++ {
+		if tier, ok := m.Contains(id); !ok || tier != Memory {
+			t.Errorf("object %d tier after grow = %v, %v", id, tier, ok)
+		}
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResizeRejectsNegative(t *testing.T) {
+	m := resizeTestManager(t)
+	if err := m.Resize(-1, 10); !errors.Is(err, core.ErrInvalid) {
+		t.Errorf("negative mem err = %v", err)
+	}
+	if err := m.Resize(10, -1); !errors.Is(err, core.ErrInvalid) {
+		t.Errorf("negative disk err = %v", err)
+	}
+}
+
+// MovedBytes must account the bytes written into each tier: admission
+// lands copies at every tier, a shrink-driven demotion deletes (moves
+// nothing), and a re-promotion writes into memory again. The counters
+// never decrease.
+func TestMovedBytesAccounting(t *testing.T) {
+	m := resizeTestManager(t)
+	for id := core.ObjectID(1); id <= 2; id++ {
+		if err := m.Admit(id, 40, 1, 0.9); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := m.Stats()
+	for tier := Memory; tier <= Tertiary; tier++ {
+		if st.MovedBytes[tier] < 80 {
+			t.Errorf("moved[%v] = %v after two 40B admissions, want >= 80", tier, st.MovedBytes[tier])
+		}
+	}
+
+	// Shrink: one object leaves memory — deletion, not movement.
+	if err := m.Resize(40, 1000); err != nil {
+		t.Fatal(err)
+	}
+	afterShrink := m.Stats()
+	if afterShrink.MovedBytes[Memory] != st.MovedBytes[Memory] {
+		t.Errorf("demotion moved memory bytes: %v -> %v", st.MovedBytes[Memory], afterShrink.MovedBytes[Memory])
+	}
+
+	// Grow: the demoted object is promoted back — a fresh memory write.
+	if err := m.Resize(100, 1000); err != nil {
+		t.Fatal(err)
+	}
+	afterGrow := m.Stats()
+	if afterGrow.MovedBytes[Memory] < afterShrink.MovedBytes[Memory]+40 {
+		t.Errorf("promotion did not count: %v -> %v", afterShrink.MovedBytes[Memory], afterGrow.MovedBytes[Memory])
+	}
+	for tier := Memory; tier <= Tertiary; tier++ {
+		if afterGrow.MovedBytes[tier] < st.MovedBytes[tier] {
+			t.Errorf("moved[%v] decreased: %v -> %v", tier, st.MovedBytes[tier], afterGrow.MovedBytes[tier])
+		}
+	}
+}

@@ -182,4 +182,9 @@ type Stats struct {
 	Backups    int
 	// CostTotal accumulates access latency, the E-F3 metric.
 	CostTotal core.Duration
+	// MovedBytes accumulates, per tier, the bytes written into that tier
+	// by admissions, placement copies, updates and backups (downgrades
+	// delete bytes and move nothing). Indexed by Memory/Disk/Tertiary —
+	// the scenario matrix's bytes-moved-per-tier metric.
+	MovedBytes [numTiers]core.Bytes
 }

@@ -1,0 +1,95 @@
+package workload
+
+import (
+	"testing"
+
+	"cbfww/internal/core"
+)
+
+func TestBurstScheduleExpand(t *testing.T) {
+	b := BurstSchedule{Count: 2, Intensity: 0.8, FirstTopic: 3}
+	evs := b.Expand(0, 30000)
+	if len(evs) != 2 {
+		t.Fatalf("events = %d", len(evs))
+	}
+	// Midpoints at 1/3 and 2/3 of the window, default length 5%.
+	wantLen := core.Duration(30000 / 20)
+	for i, ev := range evs {
+		mid := core.Time(int64(30000) * int64(i+1) / 3)
+		if ev.Start != mid.Add(-wantLen/2) || ev.Length != wantLen {
+			t.Errorf("event %d = start %v len %v, want start %v len %v",
+				i, ev.Start, ev.Length, mid.Add(-wantLen/2), wantLen)
+		}
+		if ev.Topic != 3+i || ev.Intensity != 0.8 {
+			t.Errorf("event %d topic/intensity = %d/%v", i, ev.Topic, ev.Intensity)
+		}
+		if ev.Headline == "" {
+			t.Errorf("event %d has no headline", i)
+		}
+	}
+
+	// Zero values schedule nothing.
+	for _, z := range []BurstSchedule{{}, {Count: 2}, {Intensity: 0.5}} {
+		if got := z.Expand(0, 30000); len(got) != 0 {
+			t.Errorf("%+v expanded to %d events", z, len(got))
+		}
+	}
+	// Explicit length wins; sub-tick lengths clamp to 1.
+	if evs := (BurstSchedule{Count: 1, Intensity: 1, Length: 7}).Expand(0, 100); evs[0].Length != 7 {
+		t.Errorf("explicit length = %v", evs[0].Length)
+	}
+	if evs := (BurstSchedule{Count: 1, Intensity: 1}).Expand(0, 5); evs[0].Length != 1 {
+		t.Errorf("clamped length = %v", evs[0].Length)
+	}
+}
+
+// The Burst knob must actually skew the generated trace: during burst
+// windows, event-topic pages should see a much larger share of requests
+// than outside them.
+func TestBurstScheduleSkewsTrace(t *testing.T) {
+	clock := core.NewSimClock(0)
+	wcfg := DefaultWebConfig()
+	wcfg.Sites, wcfg.PagesPerSite, wcfg.Seed = 5, 12, 1
+	g, err := GenerateWeb(clock, wcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tcfg := DefaultTraceConfig()
+	tcfg.Sessions = 400
+	tcfg.Length = 40000
+	tcfg.Seed = 1
+	tcfg.Burst = BurstSchedule{Count: 1, Intensity: 0.9, FirstTopic: 2}
+	tr, err := GenerateTrace(g, clock, tcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	evs := tcfg.Burst.Expand(tcfg.Start, tcfg.Length)
+	if len(evs) != 1 {
+		t.Fatalf("expanded events = %d", len(evs))
+	}
+	ev := evs[0]
+	var inHits, inTotal, outHits, outTotal int
+	for _, rec := range tr.Log {
+		onTopic := g.TopicOf[rec.URL] == ev.Topic
+		if !rec.Time.Before(ev.Start) && rec.Time.Before(ev.Start.Add(ev.Length)) {
+			inTotal++
+			if onTopic {
+				inHits++
+			}
+		} else {
+			outTotal++
+			if onTopic {
+				outHits++
+			}
+		}
+	}
+	if inTotal == 0 || outTotal == 0 {
+		t.Fatalf("no traffic to compare (in=%d out=%d)", inTotal, outTotal)
+	}
+	inShare := float64(inHits) / float64(inTotal)
+	outShare := float64(outHits) / float64(outTotal)
+	if inShare < 2*outShare {
+		t.Errorf("burst did not skew traffic: topic share %.3f in-window vs %.3f outside", inShare, outShare)
+	}
+}

@@ -28,6 +28,51 @@ type Event struct {
 	Lead     core.Duration
 }
 
+// BurstSchedule is the declarative form of a hot-spot event series: Count
+// bursts spread evenly over the trace window, each redirecting Intensity
+// of the traffic to a rotating topic for Length ticks. It expands into
+// Events, so a scenario spec can say "two bursts at 0.8 intensity"
+// without hand-placing timestamps. The zero value schedules nothing.
+type BurstSchedule struct {
+	// Count is the number of bursts; 0 disables the schedule.
+	Count int
+	// Length is the per-burst duration; 0 defaults to 5% of the trace.
+	Length core.Duration
+	// Intensity is the traffic fraction redirected while a burst is live.
+	Intensity float64
+	// FirstTopic is where the topic rotation starts (burst i hits topic
+	// FirstTopic+i, wrapped by the generator at use time).
+	FirstTopic int
+}
+
+// Expand materializes the schedule into concrete Events over a trace of
+// the given start and length. Burst midpoints sit at the (i+1)/(Count+1)
+// fractions of the window, so a single burst lands mid-trace.
+func (b BurstSchedule) Expand(start core.Time, length core.Duration) []Event {
+	if b.Count <= 0 || b.Intensity <= 0 || length <= 0 {
+		return nil
+	}
+	bl := b.Length
+	if bl <= 0 {
+		bl = length / 20
+	}
+	if bl < 1 {
+		bl = 1
+	}
+	evs := make([]Event, 0, b.Count)
+	for i := 0; i < b.Count; i++ {
+		mid := start.Add(core.Duration(int64(length) * int64(i+1) / int64(b.Count+1)))
+		evs = append(evs, Event{
+			Start:     mid.Add(-bl / 2),
+			Length:    bl,
+			Topic:     b.FirstTopic + i,
+			Intensity: b.Intensity,
+			Headline:  fmt.Sprintf("burst %d topic %d", i+1, b.FirstTopic+i),
+		})
+	}
+	return evs
+}
+
 // TraceConfig shapes a generated access trace.
 type TraceConfig struct {
 	// Users is the client population size.
@@ -58,6 +103,9 @@ type TraceConfig struct {
 	TopicAffinity float64
 	// Events are the hot-spot surges.
 	Events []Event
+	// Burst declaratively adds evenly spaced surges on top of Events (the
+	// scenario matrix's burst-schedule axis).
+	Burst BurstSchedule
 	// Seed drives all randomness.
 	Seed int64
 }
@@ -114,8 +162,13 @@ func GenerateTrace(g *GeneratedWeb, clock *core.SimClock, cfg TraceConfig) (*Tra
 		sortStrings(urls)
 	}
 
+	events := cfg.Events
+	if bursts := cfg.Burst.Expand(cfg.Start, cfg.Length); len(bursts) > 0 {
+		events = append(append([]Event{}, cfg.Events...), bursts...)
+	}
+
 	news := simweb.NewNewsFeed("simnews")
-	for _, ev := range cfg.Events {
+	for _, ev := range events {
 		news.Publish(simweb.Article{
 			Time:     ev.Start.Add(-ev.Lead),
 			Headline: ev.Headline,
@@ -152,7 +205,7 @@ func GenerateTrace(g *GeneratedWeb, clock *core.SimClock, cfg TraceConfig) (*Tra
 		user := fmt.Sprintf("user%03d", rng.Intn(cfg.Users))
 		entry := g.PageURLs[perm[zipf.Sample()]]
 		// During an event, traffic is redirected to the event topic.
-		for _, ev := range cfg.Events {
+		for _, ev := range events {
 			if at >= ev.Start && at.Before(ev.Start.Add(ev.Length)) && rng.Float64() < ev.Intensity {
 				urls := byTopic[ev.Topic%len(g.Vocab.Topics)]
 				if len(urls) > 0 {
