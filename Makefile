@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench bench-read bench-store test-disk tables matrix matrix-check matrix-baseline serve faults soak fuzz cluster chaos examples clean
+.PHONY: all build test race cover bench bench-read bench-store bench-serve test-disk tables matrix matrix-check matrix-baseline serve faults soak fuzz cluster chaos examples clean
 
 all: build test
 
@@ -35,6 +35,14 @@ bench-read:
 # bench_tables.txt's "storage engine" table.
 bench-store:
 	$(GO) test -bench AccessByTier -benchmem -benchtime=2s -run '^$$' ./internal/storage/
+
+# Serve-path gate: the warm heap-tier GET /body benchmark plus the
+# allocs/op ceiling test — fails when the zero-copy serve path regresses
+# to materializing bodies (CI runs this in the bench-smoke job).
+bench-serve:
+	$(GO) test -bench ServeBody -benchmem -benchtime=100x \
+		-run 'ServeBodyHeapAllocCeiling|HeapStreamAllocs' \
+		./internal/gateway/ ./internal/storage/
 
 # The storage and warehouse suites against real file-backed tiers (what
 # the storage-disk CI job runs).

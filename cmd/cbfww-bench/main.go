@@ -9,6 +9,7 @@
 //	cbfww-bench -seed 7                      # change the workload seed
 //	cbfww-bench -matrix scenarios/default.toml          # run a matrix
 //	cbfww-bench -matrix spec.toml -check -baseline b.json  # regression gate
+//	cbfww-bench -check a.json b.json         # diff two saved A/B runs
 package main
 
 import (
@@ -89,8 +90,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *matrix != "" {
 		return runMatrix(*matrix, *outPath, *tables, *baseline, *check, stdout, stderr)
 	}
+	if *check && fs.NArg() == 2 {
+		// Two-file mode: diff a pair of saved results (A/B runs of the same
+		// spec) without re-running anything.
+		return diffResults(fs.Arg(0), fs.Arg(1), stdout, stderr)
+	}
 	if *check || *baseline != "" {
-		fmt.Fprintln(stderr, "cbfww-bench: -check/-baseline require -matrix")
+		fmt.Fprintln(stderr, "cbfww-bench: -check needs -matrix, or two results files: -check a.json b.json")
 		return 2
 	}
 
@@ -144,6 +150,44 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "[%s finished in %v]\n\n", e.id, time.Since(start).Round(time.Millisecond))
 	}
 	return 0
+}
+
+// diffResults gates fresh (the B run) against base (the A run), two saved
+// matrix-results files, under the default tolerance of 5% on every gated
+// metric — the offline half of an A/B comparison: run the matrix once per
+// build with -out, then diff the files without re-running either side.
+func diffResults(basePath, freshPath string, stdout, stderr io.Writer) int {
+	load := func(path string) (*scenario.Results, error) {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		return scenario.ParseResults(data)
+	}
+	base, err := load(basePath)
+	if err != nil {
+		fmt.Fprintf(stderr, "cbfww-bench: baseline: %v\n", err)
+		return 2
+	}
+	fresh, err := load(freshPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "cbfww-bench: fresh: %v\n", err)
+		return 2
+	}
+	// No spec in this mode: every gated metric gets the default slack.
+	spec := &scenario.Spec{Tolerances: map[string]float64{"default": 0.05}}
+	regs := scenario.Check(base, fresh, spec)
+	if len(regs) == 0 {
+		fmt.Fprintf(stdout, "cbfww-bench: %s: %d cells within tolerance of %s\n",
+			freshPath, len(fresh.Cells), basePath)
+		return 0
+	}
+	for _, g := range regs {
+		fmt.Fprintf(stdout, "REGRESSION %s\n", g)
+	}
+	fmt.Fprintf(stderr, "cbfww-bench: %s: %d regression(s) against %s\n",
+		freshPath, len(regs), basePath)
+	return 1
 }
 
 // runMatrix loads, runs, and either emits or checks a scenario matrix.

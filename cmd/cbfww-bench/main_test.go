@@ -162,6 +162,67 @@ func TestMatrixCheck(t *testing.T) {
 	}
 }
 
+// TestCheckDiffTwoFiles drives the offline A/B mode: `-check a.json
+// b.json` diffs two saved results files without re-running the matrix,
+// passing on identical runs and naming cell + metric on a regression.
+func TestCheckDiffTwoFiles(t *testing.T) {
+	dir := t.TempDir()
+	spec := tinyMatrix(t, dir)
+	a := filepath.Join(dir, "a.json")
+	if code, _, stderr := runCLI(t, "-matrix", spec, "-out", a, "-tables", ""); code != 0 {
+		t.Fatalf("A run exit %d, stderr: %s", code, stderr)
+	}
+
+	// A vs itself: nothing can regress.
+	code, stdout, stderr := runCLI(t, "-check", a, a)
+	if code != 0 {
+		t.Fatalf("self diff exit %d: %s / %s", code, stdout, stderr)
+	}
+	if !strings.Contains(stdout, "within tolerance") {
+		t.Errorf("self diff output: %s", stdout)
+	}
+
+	// Degrade one gated metric in the B file past the 5% default slack.
+	var doc struct {
+		Cells []struct {
+			ID      string             `json:"id"`
+			Metrics map[string]float64 `json:"metrics"`
+		} `json:"cells"`
+	}
+	data, err := os.ReadFile(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	doc.Cells[0].Metrics["hit_ratio"] *= 0.5
+	worse, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := filepath.Join(dir, "b.json")
+	if err := os.WriteFile(b, worse, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	code, stdout, _ = runCLI(t, "-check", a, b)
+	if code != 1 {
+		t.Fatalf("degraded diff exit %d, want 1: %s", code, stdout)
+	}
+	if !strings.Contains(stdout, "REGRESSION") ||
+		!strings.Contains(stdout, doc.Cells[0].ID) ||
+		!strings.Contains(stdout, "hit_ratio") {
+		t.Errorf("diff output does not name cell and metric: %s", stdout)
+	}
+
+	// The other direction — B as baseline, A as fresh — is an improvement,
+	// not a regression.
+	if code, stdout, _ := runCLI(t, "-check", b, a); code != 0 {
+		t.Errorf("improvement flagged as regression (exit %d): %s", code, stdout)
+	}
+}
+
 // Experiment output under -json must be byte-identical across same-seed
 // runs (no timing lines, no map-order leaks) — c1 and x3 cover both the
 // workload generators and the cache sweeps.
@@ -192,8 +253,17 @@ func TestExpJSONDeterministic(t *testing.T) {
 // Flag validation: bad combinations and unknown experiments exit 2.
 func TestCLIErrors(t *testing.T) {
 	if code, _, stderr := runCLI(t, "-check"); code != 2 ||
-		!strings.Contains(stderr, "require -matrix") {
+		!strings.Contains(stderr, "needs -matrix") {
 		t.Errorf("-check without -matrix: code %d, stderr %s", code, stderr)
+	}
+	// Two-file mode needs exactly two positional files.
+	if code, _, stderr := runCLI(t, "-check", "only-one.json"); code != 2 ||
+		!strings.Contains(stderr, "needs -matrix") {
+		t.Errorf("-check with one file: code %d, stderr %s", code, stderr)
+	}
+	if code, _, stderr := runCLI(t, "-check", "/nonexistent/a.json", "/nonexistent/b.json"); code != 2 ||
+		!strings.Contains(stderr, "baseline") {
+		t.Errorf("-check with missing files: code %d, stderr %s", code, stderr)
 	}
 	if code, _, stderr := runCLI(t, "-exp", "nope"); code != 2 ||
 		!strings.Contains(stderr, "unknown experiment") {

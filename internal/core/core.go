@@ -214,4 +214,7 @@ var (
 	ErrConstraint = errors.New("constraint violated")
 	// ErrClosed reports use of a component after Close.
 	ErrClosed = errors.New("closed")
+	// ErrCorrupt reports stored bytes that fail integrity verification
+	// (torn segment frame, CRC mismatch, truncated record).
+	ErrCorrupt = errors.New("corrupt data")
 )

@@ -3,6 +3,7 @@ package gateway
 import (
 	"bytes"
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"net/url"
@@ -16,6 +17,29 @@ import (
 	"cbfww/internal/warehouse"
 	"cbfww/internal/workload"
 )
+
+// getPeerPage fetches and parses a framed /peer/fetch answer, returning
+// the status code for non-200 responses.
+func getPeerPage(t *testing.T, client *http.Client, u string) (peers.PeerPage, int) {
+	t.Helper()
+	resp, err := client.Get(u)
+	if err != nil {
+		t.Fatalf("GET %s: %v", u, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return peers.PeerPage{}, resp.StatusCode
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, peers.FrameContentType) {
+		t.Fatalf("peer fetch content type = %q, want %q", ct, peers.FrameContentType)
+	}
+	m, page, err := peers.ReadFrame(resp.Body)
+	if err != nil {
+		t.Fatalf("read frame %s: %v", u, err)
+	}
+	return peers.PeerPage{Page: page, Source: m.Source, LatencyTicks: m.LatencyTicks, Stale: m.Stale}, resp.StatusCode
+}
 
 // newClusterGateway builds warehouse + server with a peer ring configured
 // as self plus the given peers (addresses need not be live).
@@ -322,8 +346,8 @@ func TestPeerFetchEndpoint(t *testing.T) {
 	}
 	fetchesAfterAdmit := g.Web.TotalFetches()
 
-	var pp peers.PeerPage
-	if code := getJSON(t, ts.Client(), ts.URL+peers.PeerFetchPath+"?url="+url.QueryEscape(u), &pp); code != http.StatusOK {
+	pp, code := getPeerPage(t, ts.Client(), ts.URL+peers.PeerFetchPath+"?url="+url.QueryEscape(u))
+	if code != http.StatusOK {
 		t.Fatalf("peer fetch of resident page = %d, want 200", code)
 	}
 	if pp.Page.URL != u || pp.Page.Body == "" {
@@ -385,8 +409,7 @@ func TestPeerPutEndpoint(t *testing.T) {
 	}
 	// The pushed copy is resident: /peer/fetch serves it without any
 	// origin traffic.
-	var pp peers.PeerPage
-	if code := getJSON(t, ts.Client(), ts.URL+peers.PeerFetchPath+"?url="+url.QueryEscape(u), &pp); code != http.StatusOK {
+	if _, code := getPeerPage(t, ts.Client(), ts.URL+peers.PeerFetchPath+"?url="+url.QueryEscape(u)); code != http.StatusOK {
 		t.Fatalf("peer fetch after push = %d, want 200 resident", code)
 	}
 	if got := g.Web.TotalFetches(); got != fetchesBefore {

@@ -448,7 +448,12 @@ func (s *Server) handleFetch(w http.ResponseWriter, r *http.Request) {
 // hold — instead of a JSON envelope. Serving metadata rides in headers:
 // X-CBFWW-Source (tier name or "origin"), X-CBFWW-Version, and
 // X-CBFWW-Stale on degraded serves. It shares /fetch's full fetch-through
-// path, so a cold URL is admitted exactly as if fetched.
+// path, so a cold URL is admitted exactly as if fetched — but a warm one
+// moves store→socket through the tier's BlobReader (a single Write for
+// heap blobs, sendfile-eligible io.Copy for disk files, a pooled pread
+// loop for segments) instead of materializing Page.Body. Content-Length
+// comes from the stored size, so HEAD answers the size without moving a
+// byte and GET responses skip chunked encoding.
 func (s *Server) handleBody(w http.ResponseWriter, r *http.Request) {
 	url := r.URL.Query().Get("url")
 	if url == "" {
@@ -458,7 +463,7 @@ func (s *Server) handleBody(w http.ResponseWriter, r *http.Request) {
 	if s.routeToOwner(w, r, url) {
 		return
 	}
-	res, err := s.wh.GetCtx(r.Context(), r.URL.Query().Get("user"), url)
+	res, bs, err := s.wh.GetBodyCtx(r.Context(), r.URL.Query().Get("user"), url)
 	if err != nil {
 		var open *resilience.BreakerOpenError
 		if errors.As(err, &open) {
@@ -467,14 +472,19 @@ func (s *Server) handleBody(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
+	defer bs.Close()
 	h := w.Header()
 	h.Set("Content-Type", "text/plain; charset=utf-8")
+	h.Set("Content-Length", strconv.FormatInt(bs.Len(), 10))
 	h.Set("X-CBFWW-Source", res.Source)
 	h.Set("X-CBFWW-Version", strconv.Itoa(res.Page.Version))
 	if res.Stale {
 		h.Set("X-CBFWW-Stale", "1")
 	}
-	io.WriteString(w, res.Page.Body)
+	if r.Method == http.MethodHead {
+		return
+	}
+	bs.WriteTo(w)
 }
 
 // QueryRow is one /query result row: the projected values in SELECT order,
@@ -589,17 +599,32 @@ func (s *Server) handlePeerFetch(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set(peers.HeaderNode, cl.Self())
 		cl.CountForwarded(r.Header.Get(peers.HeaderFrom))
 	}
-	res, ok := s.wh.GetResident(r.URL.Query().Get("user"), url)
+	res, bs, ok := s.wh.GetResidentStream(r.URL.Query().Get("user"), url)
 	if !ok {
 		writeError(w, fmt.Errorf("gateway: peer fetch %q: %w", url, core.ErrNotFound))
 		return
 	}
-	writeJSON(w, http.StatusOK, peers.PeerPage{
-		Page:         res.Page,
-		Source:       res.Source,
-		LatencyTicks: int64(res.Latency),
-		Stale:        res.Stale,
-	})
+	defer bs.Close()
+	// Framed answer: JSON meta line + raw body, streamed from the serving
+	// tier. The prober recognizes the content type; plain-JSON peers never
+	// ask for it (they just see a content type they don't special-case and
+	// fail the probe closed, falling back to the origin).
+	meta := peers.PageMeta(res.Page)
+	meta.URL = url
+	meta.BodyLen = bs.Len()
+	meta.Source = res.Source
+	meta.LatencyTicks = int64(res.Latency)
+	meta.Stale = res.Stale
+	line, err := peers.EncodeFrameMeta(meta)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", peers.FrameContentType)
+	h.Set("Content-Length", strconv.FormatInt(int64(len(line))+bs.Len(), 10))
+	w.Write(line)
+	bs.WriteTo(w)
 }
 
 // handlePeerPut receives a replication push: a replica-set member admitted
@@ -609,7 +634,14 @@ func (s *Server) handlePeerFetch(w http.ResponseWriter, r *http.Request) {
 // in this way — so pushes cannot storm.
 func (s *Server) handlePeerPut(w http.ResponseWriter, r *http.Request) {
 	var pp peers.PeerPut
-	if err := json.NewDecoder(io.LimitReader(r.Body, 16<<20)).Decode(&pp); err != nil {
+	if strings.HasPrefix(r.Header.Get("Content-Type"), peers.FrameContentType) {
+		m, page, err := peers.ReadFrame(r.Body)
+		if err != nil {
+			writeError(w, fmt.Errorf("gateway: peer put: %w: %w", core.ErrInvalid, err))
+			return
+		}
+		pp = peers.PeerPut{URL: m.URL, Page: page}
+	} else if err := json.NewDecoder(io.LimitReader(r.Body, 16<<20)).Decode(&pp); err != nil {
 		writeError(w, fmt.Errorf("gateway: peer put: %w: %w", core.ErrInvalid, err))
 		return
 	}

@@ -133,7 +133,7 @@ func (c *Cluster) Proxy(w http.ResponseWriter, r *http.Request, owner string) bo
 		pc.proxied.Add(1)
 		h := w.Header()
 		for _, k := range []string{
-			"Content-Type", "Retry-After", "Location",
+			"Content-Type", "Content-Length", "Retry-After", "Location",
 			HeaderNode, HeaderOwner, "X-CBFWW-Stale", "X-CBFWW-Source", "X-CBFWW-Version",
 		} {
 			if v := resp.Header.Get(k); v != "" {
@@ -230,7 +230,14 @@ func (c *Cluster) probe(ctx context.Context, peer, url string) (PeerPage, bool, 
 		return PeerPage{}, false, fmt.Errorf("peers: probe %s: status %d", peer, resp.StatusCode)
 	}
 	var pp PeerPage
-	if err := json.NewDecoder(io.LimitReader(resp.Body, maxPeerBody)).Decode(&pp); err != nil {
+	if strings.HasPrefix(resp.Header.Get("Content-Type"), FrameContentType) {
+		// Framed answer: meta line + raw body, streamed by the serving node.
+		m, page, err := ReadFrame(resp.Body)
+		if err != nil {
+			return PeerPage{}, false, fmt.Errorf("peers: probe %s: %w", peer, err)
+		}
+		pp = PeerPage{Page: page, Source: m.Source, LatencyTicks: m.LatencyTicks, Stale: m.Stale}
+	} else if err := json.NewDecoder(io.LimitReader(resp.Body, maxPeerBody)).Decode(&pp); err != nil {
 		return PeerPage{}, false, fmt.Errorf("peers: probe %s: decode: %w", peer, err)
 	}
 	if pp.Page.URL == "" {
@@ -250,19 +257,25 @@ func (c *Cluster) roundTrip(ctx context.Context, addr, pathAndQuery, hops string
 	return c.client.Do(req)
 }
 
-// put pushes one admitted payload to peer's /peer/put. Any non-2xx
-// answer is a failure — the peer was reachable but refused, and the
-// caller's park-and-retry path handles both the same way.
+// put pushes one admitted payload to peer's /peer/put as a frame: the
+// meta line plus the raw body, chained readers with no concatenated
+// buffer and no JSON escaping of megabyte bodies. Any non-2xx answer is a
+// failure — the peer was reachable but refused, and the caller's
+// park-and-retry path handles both the same way.
 func (c *Cluster) put(ctx context.Context, peer, url string, page simweb.Page) error {
-	body, err := json.Marshal(PeerPut{URL: url, Page: page})
-	if err != nil {
-		return fmt.Errorf("peers: put %s: encode: %w", peer, err)
-	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, "http://"+peer+PeerPutPath, bytes.NewReader(body))
+	meta := PageMeta(page)
+	meta.URL = url
+	line, err := EncodeFrameMeta(meta)
 	if err != nil {
 		return fmt.Errorf("peers: put %s: %w", peer, err)
 	}
-	req.Header.Set("Content-Type", "application/json")
+	body := io.MultiReader(bytes.NewReader(line), strings.NewReader(page.Body))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, "http://"+peer+PeerPutPath, body)
+	if err != nil {
+		return fmt.Errorf("peers: put %s: %w", peer, err)
+	}
+	req.ContentLength = int64(len(line)) + int64(len(page.Body))
+	req.Header.Set("Content-Type", FrameContentType)
 	req.Header.Set(HeaderFrom, c.Self())
 	resp, err := c.client.Do(req)
 	if err != nil {

@@ -37,7 +37,14 @@ func newHealthPeer() *healthPeer {
 	})
 	mux.HandleFunc("POST "+PeerPutPath, func(w http.ResponseWriter, r *http.Request) {
 		var pp PeerPut
-		if err := json.NewDecoder(r.Body).Decode(&pp); err != nil {
+		if strings.HasPrefix(r.Header.Get("Content-Type"), FrameContentType) {
+			m, page, err := ReadFrame(r.Body)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			pp = PeerPut{URL: m.URL, Page: page}
+		} else if err := json.NewDecoder(r.Body).Decode(&pp); err != nil {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}

@@ -2,6 +2,7 @@ package storage
 
 import (
 	"fmt"
+	"io"
 	"path/filepath"
 	"sort"
 	"sync"
@@ -40,6 +41,17 @@ type BlobStore interface {
 	Put(k BlobKey, data []byte) error
 	// Get returns the blob stored under k, or core.ErrNotFound.
 	Get(k BlobKey) ([]byte, error)
+	// Open returns a streaming reader over the blob stored under k, or
+	// core.ErrNotFound. Backends with integrity framing (the segment
+	// store) verify it here and return core.ErrCorrupt on damage, so a
+	// caller that gets a reader never sees a short stream. The caller
+	// must Close the reader.
+	Open(k BlobKey) (BlobReader, error)
+	// PutFrom stores the next n bytes of r under k, replacing any
+	// previous blob with that key. It is Put without the body-sized
+	// intermediate buffer: file-backed tiers stream r to their medium
+	// through bounded chunk buffers.
+	PutFrom(k BlobKey, r io.Reader, n int64) error
 	// Delete removes k. Deleting an absent key is a no-op.
 	Delete(k BlobKey) error
 	// Contains reports whether k is stored.

@@ -3,6 +3,7 @@ package storage
 import (
 	"bytes"
 	"fmt"
+	"io"
 	"testing"
 
 	"cbfww/internal/core"
@@ -64,13 +65,30 @@ func BenchmarkAccessByTier(b *testing.B) {
 			}
 			for tier := Memory; tier < numTiers; tier++ {
 				id := ids[tier]
-				b.Run(fmt.Sprintf("backing=%s/size=%s/tier=%s", backing, size.label, tier), func(b *testing.B) {
+				b.Run(fmt.Sprintf("backing=%s/size=%s/tier=%s/mode=fetch", backing, size.label, tier), func(b *testing.B) {
 					b.ReportAllocs()
 					b.SetBytes(size.bytes)
 					for i := 0; i < b.N; i++ {
 						if _, _, err := m.Fetch(id); err != nil {
 							b.Fatal(err)
 						}
+					}
+				})
+				// The streaming rows move the same bytes through Open +
+				// WriteTo instead of materializing a []byte: B/op must stay
+				// flat as the payload grows, on every backend.
+				b.Run(fmt.Sprintf("backing=%s/size=%s/tier=%s/mode=stream", backing, size.label, tier), func(b *testing.B) {
+					b.ReportAllocs()
+					b.SetBytes(size.bytes)
+					for i := 0; i < b.N; i++ {
+						_, br, err := m.FetchStream(id)
+						if err != nil {
+							b.Fatal(err)
+						}
+						if _, err := br.WriteTo(io.Discard); err != nil {
+							b.Fatal(err)
+						}
+						br.Close()
 					}
 				})
 			}

@@ -257,6 +257,59 @@ func (m *Manager) Fetch(id core.ObjectID) (AccessResult, []byte, error) {
 	return res, data, nil
 }
 
+// FetchStream serves the object like Fetch — identical placement and
+// usage accounting — but returns a streaming reader over the payload
+// instead of materialized bytes, so the caller can move them to a socket
+// or another tier without a body-sized heap buffer. The caller must Close
+// the reader. Objects admitted without payload return a nil reader.
+func (m *Manager) FetchStream(id core.ObjectID) (AccessResult, BlobReader, error) {
+	m.mu.Lock()
+	res, o, err := m.accessLocked(id)
+	m.mu.Unlock()
+	if err != nil || !o.hasPayload {
+		return res, nil, err
+	}
+	// As with Fetch, the backend open happens outside the manager lock; a
+	// concurrent placement that deletes the copy surfaces as ErrNotFound.
+	br, err := m.backends[res.Tier].Open(BlobKey{ID: id, Version: res.Version})
+	if err != nil {
+		return res, nil, err
+	}
+	return res, br, nil
+}
+
+// PeekStream is Peek with a streaming reader: the fastest full copy's
+// payload and content version, without touching the access stats. The
+// caller must Close the reader.
+func (m *Manager) PeekStream(id core.ObjectID) (BlobReader, int, error) {
+	m.mu.RLock()
+	o, ok := m.objects[id]
+	if !ok || !o.hasPayload {
+		m.mu.RUnlock()
+		return nil, 0, fmt.Errorf("storage: peek %v: %w", id, core.ErrNotFound)
+	}
+	var (
+		tier  Tier
+		ver   int
+		found bool
+	)
+	for t := Memory; t < numTiers; t++ {
+		if c := o.copies[t]; c.present && !c.summaryOnly {
+			tier, ver, found = t, c.version, true
+			break
+		}
+	}
+	m.mu.RUnlock()
+	if !found {
+		return nil, 0, fmt.Errorf("storage: peek %v: no full copy resident: %w", id, core.ErrNotFound)
+	}
+	br, err := m.backends[tier].Open(BlobKey{ID: id, Version: ver})
+	if err != nil {
+		return nil, 0, err
+	}
+	return br, ver, nil
+}
+
 // Peek returns the payload bytes and content version of the fastest full
 // copy without touching the access stats — the rehydration and index-feed
 // read path. Objects without payload return core.ErrNotFound.
@@ -467,17 +520,24 @@ func (m *Manager) Backup() {
 			continue
 		}
 		if o.hasPayload {
-			data, ver, ok := m.readFullLocked(o)
-			if !ok || (ct.present && ver <= ct.version) {
+			br, ver, ok := m.openFullLocked(o)
+			if !ok {
 				continue // nothing fresher to copy from
+			}
+			if ct.present && ver <= ct.version {
+				br.Close()
+				continue
 			}
 			if ct.present {
 				m.backends[Tertiary].Delete(ct.key(o.id))
 			}
-			if err := m.backends[Tertiary].Put(BlobKey{ID: o.id, Version: ver}, data); err != nil {
+			n := br.Len()
+			err := m.backends[Tertiary].PutFrom(BlobKey{ID: o.id, Version: ver}, br, n)
+			br.Close()
+			if err != nil {
 				continue // leave the old copy standing; retried next sweep
 			}
-			m.stats.MovedBytes[Tertiary] += core.Bytes(len(data))
+			m.stats.MovedBytes[Tertiary] += core.Bytes(n)
 			if !ct.present {
 				m.used[Tertiary] += o.size
 			}

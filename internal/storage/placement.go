@@ -117,15 +117,29 @@ func (m *Manager) applyPlacement(o *object, t Tier, want, summaryOnly bool) {
 // copyBlobLocked materializes o's bytes at tier t — the full body or its
 // levels-of-detail summary — sourcing from the fastest tier holding a
 // full copy. Returns the version the written blob carries. Requires m.mu.
+//
+// Full copies stream reader→writer (io.Copy under PutFrom) so a 4MB
+// migration never doubles resident heap; summary copies still materialize
+// because the summarize hook needs the whole payload in hand.
 func (m *Manager) copyBlobLocked(o *object, t Tier, summaryOnly bool) (int, bool) {
-	data, srcVer, ok := m.readFullLocked(o)
+	if summaryOnly {
+		data, srcVer, ok := m.readFullLocked(o)
+		if !ok {
+			return 0, false
+		}
+		data = m.summarize(data, o.summarySize(m.cfg.SummaryRatio))
+		if err := m.backends[t].Put(BlobKey{ID: o.id, Version: srcVer, Summary: true}, data); err != nil {
+			return 0, false
+		}
+		return srcVer, true
+	}
+	br, srcVer, ok := m.openFullLocked(o)
 	if !ok {
 		return 0, false
 	}
-	if summaryOnly {
-		data = m.summarize(data, o.summarySize(m.cfg.SummaryRatio))
-	}
-	if err := m.backends[t].Put(BlobKey{ID: o.id, Version: srcVer, Summary: summaryOnly}, data); err != nil {
+	err := m.backends[t].PutFrom(BlobKey{ID: o.id, Version: srcVer}, br, br.Len())
+	br.Close()
+	if err != nil {
 		return 0, false
 	}
 	return srcVer, true
@@ -140,6 +154,20 @@ func (m *Manager) readFullLocked(o *object) ([]byte, int, bool) {
 		}
 		if data, err := m.backends[t].Get(c.key(o.id)); err == nil {
 			return data, c.version, true
+		}
+	}
+	return nil, 0, false
+}
+
+// openFullLocked opens a stream over o's fastest full copy. Requires m.mu.
+func (m *Manager) openFullLocked(o *object) (BlobReader, int, bool) {
+	for t := Memory; t < numTiers; t++ {
+		c := o.copies[t]
+		if !c.present || c.summaryOnly {
+			continue
+		}
+		if br, err := m.backends[t].Open(c.key(o.id)); err == nil {
+			return br, c.version, true
 		}
 	}
 	return nil, 0, false

@@ -39,7 +39,8 @@ type GetResult struct {
 // Get serves url for user: the warehouse's fetch-through path. An empty
 // user is allowed (anonymous access skips profile updates).
 func (w *Warehouse) Get(user, url string) (GetResult, error) {
-	return w.get(context.Background(), user, url, false)
+	out, _, err := w.get(context.Background(), user, url, false, false)
+	return out, err
 }
 
 // GetCtx is Get bounded by a context: cancellation or deadline expiry
@@ -47,13 +48,14 @@ func (w *Warehouse) Get(user, url string) (GetResult, error) {
 // Origin is checked before each fetch). This is the entry point network
 // daemons use to enforce per-request deadlines.
 func (w *Warehouse) GetCtx(ctx context.Context, user, url string) (GetResult, error) {
-	return w.get(ctx, user, url, false)
+	out, _, err := w.get(ctx, user, url, false, false)
+	return out, err
 }
 
 // Prefetch pulls url into the warehouse without a user request (Topic
 // Sensor-driven anticipation). It never counts as a request in Stats.
 func (w *Warehouse) Prefetch(url string) error {
-	_, err := w.get(context.Background(), "", url, true)
+	_, _, err := w.get(context.Background(), "", url, true, false)
 	return err
 }
 
@@ -69,10 +71,15 @@ func (w *Warehouse) Refresh(ctx context.Context, url string) (GetResult, error) 
 	if st == nil {
 		return GetResult{}, fmt.Errorf("warehouse: refresh %q: %w", url, core.ErrNotFound)
 	}
-	return w.refetch(ctx, sh, "", url, st, true)
+	out, _, err := w.refetch(ctx, sh, "", url, st, true, false)
+	return out, err
 }
 
-func (w *Warehouse) get(ctx context.Context, user, url string, prefetch bool) (GetResult, error) {
+// get is the shared body of every serve entry point. With stream set, the
+// returned GetResult carries an empty Page.Body and the body arrives via
+// the BodyStream (which the caller must Close); without it the page is
+// materialized as always and the stream is nil.
+func (w *Warehouse) get(ctx context.Context, user, url string, prefetch, stream bool) (GetResult, *BodyStream, error) {
 	sh := w.shardOf(url)
 	sh.lock()
 	now := w.clock.Now()
@@ -86,8 +93,8 @@ func (w *Warehouse) get(ctx context.Context, user, url string, prefetch bool) (G
 			if err != nil {
 				// Dead origin: the copy-control promise (§5.2) — serve the
 				// admitted copy, marked stale since freshness is unknowable.
-				if out, ok := w.serveStale(sh, user, url, st, prefetch); ok {
-					return out, nil
+				if out, bs, ok := w.serveStale(sh, user, url, st, prefetch, stream); ok {
+					return out, bs, nil
 				}
 				// The local copy is unreadable too; fall through to the
 				// refetch path, which surfaces the origin error.
@@ -104,13 +111,13 @@ func (w *Warehouse) get(ctx context.Context, user, url string, prefetch bool) (G
 			}
 		}
 		if fresh {
-			return w.serveResident(ctx, sh, user, url, st, prefetch)
+			return w.serveResident(ctx, sh, user, url, st, prefetch, stream)
 		}
 		// Content changed: refetch and re-admit the new version.
 		if !prefetch {
 			sh.stats.Refetches++
 		}
-		return w.refetch(ctx, sh, user, url, st, prefetch)
+		return w.refetch(ctx, sh, user, url, st, prefetch, stream)
 	}
 	sh.mu.Unlock()
 
@@ -122,7 +129,7 @@ func (w *Warehouse) get(ctx context.Context, user, url string, prefetch bool) (G
 	// costs the origin exactly one fetch.
 	fr, src, err := w.missFetch(ctx, url)
 	if err != nil {
-		return GetResult{}, fmt.Errorf("warehouse: fetch %q: %w", url, err)
+		return GetResult{}, nil, fmt.Errorf("warehouse: fetch %q: %w", url, err)
 	}
 	sh.lock()
 	defer sh.mu.Unlock()
@@ -136,9 +143,18 @@ func (w *Warehouse) get(ctx context.Context, user, url string, prefetch bool) (G
 	if st := sh.pages[url]; st != nil {
 		// A concurrent request admitted the URL while we were fetching:
 		// serve the resident copy and drop our duplicate fetch.
-		return w.serveResident(ctx, sh, user, url, st, prefetch)
+		return w.serveResident(ctx, sh, user, url, st, prefetch, stream)
 	}
-	return w.admitNew(sh, user, url, fr, src, prefetch)
+	out, err := w.admitNew(sh, user, url, fr, src, prefetch)
+	if err != nil {
+		return GetResult{}, nil, err
+	}
+	var bs *BodyStream
+	if stream {
+		bs = materializedBody(out.Page.Body)
+		out.Page.Body = ""
+	}
+	return out, bs, nil
 }
 
 // Miss-fetch provenance: where a first-sight page's bytes came from.
@@ -168,20 +184,22 @@ func (w *Warehouse) missFetch(ctx context.Context, url string) (simweb.FetchResu
 // into another fetch. The serve still counts as a request and feeds
 // usage tracking: cluster-internal demand is still demand.
 func (w *Warehouse) GetResident(user, url string) (GetResult, bool) {
+	out, _, ok := w.getResident(user, url, false)
+	return out, ok
+}
+
+// getResident is the shared body of GetResident and GetResidentStream.
+func (w *Warehouse) getResident(user, url string, stream bool) (GetResult, *BodyStream, bool) {
 	sh := w.shardOf(url)
 	sh.lock()
 	defer sh.mu.Unlock()
 	st := sh.pages[url]
 	if st == nil {
-		return GetResult{}, false
+		return GetResult{}, nil, false
 	}
-	res, data, err := w.store.Fetch(st.container)
+	res, page, bs, err := w.readResident(st, url, stream)
 	if err != nil {
-		return GetResult{}, false
-	}
-	page, err := decodePagePayload(url, data)
-	if err != nil {
-		return GetResult{}, false
+		return GetResult{}, nil, false
 	}
 	out := GetResult{
 		Page:    page,
@@ -192,28 +210,61 @@ func (w *Warehouse) GetResident(user, url string) (GetResult, bool) {
 	}
 	out.Priority, _ = w.store.Priority(st.container)
 	w.afterServe(sh, user, url, st, out, false)
-	return out, true
+	return out, bs, true
+}
+
+// readResident fetches st's container and decodes it, materialized or
+// streaming. In stream mode the returned page carries an empty Body and
+// the BodyStream holds the bytes — tier-backed when the blob is in the
+// streamable format, buffered (the codec-era fallback) otherwise. The
+// access is counted either way; on error no stream is returned.
+func (w *Warehouse) readResident(st *pageState, url string, stream bool) (storage.AccessResult, simweb.Page, *BodyStream, error) {
+	if !stream {
+		res, data, err := w.store.Fetch(st.container)
+		if err != nil {
+			return res, simweb.Page{}, nil, err
+		}
+		page, err := decodePagePayload(url, data)
+		return res, page, nil, err
+	}
+	res, br, err := w.store.FetchStream(st.container)
+	if err != nil {
+		return res, simweb.Page{}, nil, err
+	}
+	if br == nil { // containers always carry payload; treat as lost bytes
+		return res, simweb.Page{}, nil, fmt.Errorf("warehouse: body of %q: %w", url, core.ErrNotFound)
+	}
+	page, bodyLen, streamed, err := decodePageStream(url, br)
+	if err != nil {
+		br.Close()
+		return res, simweb.Page{}, nil, err
+	}
+	bs := &BodyStream{n: bodyLen}
+	if streamed {
+		bs.br = br
+	} else {
+		br.Close()
+		bs.body = page.Body
+		page.Body = ""
+	}
+	return res, page, bs, nil
 }
 
 // serveResident serves a warehouse-resident page. Requires sh.mu (write),
 // where sh is the shard owning url.
-func (w *Warehouse) serveResident(ctx context.Context, sh *shard, user, url string, st *pageState, prefetch bool) (GetResult, error) {
-	res, data, err := w.store.Fetch(st.container)
+func (w *Warehouse) serveResident(ctx context.Context, sh *shard, user, url string, st *pageState, prefetch, stream bool) (GetResult, *BodyStream, error) {
+	res, page, bs, err := w.readResident(st, url, stream)
 	if err != nil {
-		// The body was lost (tier failures without recovery); fall back to
-		// the origin path.
-		return w.refetch(ctx, sh, user, url, st, prefetch)
-	}
-	page, err := decodePagePayload(url, data)
-	if err != nil {
-		// The stored copy is unreadable (corruption): refetch.
-		return w.refetch(ctx, sh, user, url, st, prefetch)
+		// The body was lost (tier failures without recovery) or unreadable
+		// (corruption); fall back to the origin path.
+		return w.refetch(ctx, sh, user, url, st, prefetch, stream)
 	}
 	if page.Version < st.version {
 		// The bytes lag what this warehouse already served — a tier loss
 		// was recovered from an older tertiary backup. Refetch current
 		// content (the origin failing degrades to the stale copy below).
-		return w.refetch(ctx, sh, user, url, st, prefetch)
+		bs.Close()
+		return w.refetch(ctx, sh, user, url, st, prefetch, stream)
 	}
 	out := GetResult{
 		Page:    page,
@@ -224,21 +275,17 @@ func (w *Warehouse) serveResident(ctx context.Context, sh *shard, user, url stri
 	}
 	out.Priority, _ = w.store.Priority(st.container)
 	w.afterServe(sh, user, url, st, out, prefetch)
-	return out, nil
+	return out, bs, nil
 }
 
 // serveStale serves a resident page known (or suspected) to lag the
 // origin — the degraded mode behind the copy-control promise: once
 // admitted, content outlives its origin. Returns false when no readable
 // copy exists (lost tiers, corrupt blob). Requires sh.mu (write).
-func (w *Warehouse) serveStale(sh *shard, user, url string, st *pageState, prefetch bool) (GetResult, bool) {
-	res, data, err := w.store.Fetch(st.container)
+func (w *Warehouse) serveStale(sh *shard, user, url string, st *pageState, prefetch, stream bool) (GetResult, *BodyStream, bool) {
+	res, page, bs, err := w.readResident(st, url, stream)
 	if err != nil {
-		return GetResult{}, false
-	}
-	page, err := decodePagePayload(url, data)
-	if err != nil {
-		return GetResult{}, false
+		return GetResult{}, nil, false
 	}
 	out := GetResult{
 		Page:    page,
@@ -250,26 +297,26 @@ func (w *Warehouse) serveStale(sh *shard, user, url string, st *pageState, prefe
 	out.Priority, _ = w.store.Priority(st.container)
 	sh.stats.StaleServes++
 	w.afterServe(sh, user, url, st, out, prefetch)
-	return out, true
+	return out, bs, true
 }
 
 // refetch replaces a resident page's content with the origin's current
 // version. A failing origin degrades to the stale resident copy when one
 // is readable. Requires sh.mu (write).
-func (w *Warehouse) refetch(ctx context.Context, sh *shard, user, url string, st *pageState, prefetch bool) (GetResult, error) {
+func (w *Warehouse) refetch(ctx context.Context, sh *shard, user, url string, st *pageState, prefetch, stream bool) (GetResult, *BodyStream, error) {
 	fr, err := w.originFetch(ctx, url)
 	if err != nil {
-		if out, ok := w.serveStale(sh, user, url, st, prefetch); ok {
-			return out, nil
+		if out, bs, ok := w.serveStale(sh, user, url, st, prefetch, stream); ok {
+			return out, bs, nil
 		}
-		return GetResult{}, fmt.Errorf("warehouse: refetch %q: %w", url, err)
+		return GetResult{}, nil, fmt.Errorf("warehouse: refetch %q: %w", url, err)
 	}
 	if !prefetch {
 		sh.stats.OriginFetches++
 	}
 	p := fr.Page
 	if err := w.absorbContent(sh, st, url, &p); err != nil {
-		return GetResult{}, err
+		return GetResult{}, nil, err
 	}
 	out := GetResult{
 		Page:    p,
@@ -284,7 +331,12 @@ func (w *Warehouse) refetch(ctx context.Context, sh *shard, user, url string, st
 	if rep := w.replicator(); rep != nil {
 		rep(url, p)
 	}
-	return out, nil
+	var bs *BodyStream
+	if stream {
+		bs = materializedBody(out.Page.Body)
+		out.Page.Body = ""
+	}
+	return out, bs, nil
 }
 
 // absorbContent replaces a resident page's content with p: consistency

@@ -3,10 +3,13 @@ package warehouse
 import (
 	"encoding/binary"
 	"fmt"
+	"io"
+	"strings"
 
 	"cbfww/internal/core"
 	"cbfww/internal/object"
 	"cbfww/internal/simweb"
+	"cbfww/internal/storage"
 )
 
 // bodyLoader returns the lazy body resolver the hierarchy objects for url
@@ -20,15 +23,27 @@ func (w *Warehouse) bodyLoader(url string) object.BodyLoader {
 		if !ok {
 			return "", fmt.Errorf("warehouse: body of %q: %w", url, core.ErrNotFound)
 		}
-		data, _, err := w.store.Peek(o.ID)
+		br, _, err := w.store.PeekStream(o.ID)
 		if err != nil {
 			return "", err
 		}
-		p, err := decodePagePayload(url, data)
+		defer br.Close()
+		p, bodyLen, streamed, err := decodePageStream(url, br)
 		if err != nil {
 			return "", err
 		}
-		return p.Body, nil
+		if !streamed {
+			return p.Body, nil
+		}
+		var sb strings.Builder
+		sb.Grow(int(bodyLen))
+		buf := storage.CopyBuffer()
+		_, err = io.CopyBuffer(&sb, io.LimitReader(br, bodyLen), buf)
+		storage.PutCopyBuffer(buf)
+		if err != nil {
+			return "", err
+		}
+		return sb.String(), nil
 	}
 }
 
@@ -39,51 +54,139 @@ func (w *Warehouse) bodyLoader(url string) object.BodyLoader {
 // copy that survives a restart is a servable page, not just an index
 // entry.
 //
-// Layout (all integers varint/uvarint, strings uvarint-length-prefixed):
+// Layout, format 2 (all integers varint/uvarint, strings uvarint-length-
+// prefixed):
 //
-//	tag(1) version lastMod size title body nAnchors {text target}*
+//	tag(1)=2 headerLen(u32 BE) header body
+//	header = version lastMod size bodyLen title nAnchors {text target}*
+//
+// The body sits at the END of the blob, after a self-sized metadata
+// header, so the serve path can decode everything it needs from a small
+// prefix and stream the body store→socket without materializing it
+// (decodePageStream). Format 1 — the codec-era layout with the body
+// inline between title and anchors — is still decoded on read, so blobs
+// admitted by earlier builds survive a restart; they just take the
+// buffered fallback instead of the streaming path.
 //
 // The codec is deliberately hand-rolled: payloads are written on every
 // admission and refetch and decoded on every warehouse hit, so the
 // format avoids reflection (gob) and field names (json), and summary
 // blobs produced by truncating the body stay decodable.
 
-// pagePayloadTag identifies (and versions) the payload format.
-const pagePayloadTag = 1
+// Payload format tags. pagePayloadTagV1 is the legacy body-inline layout
+// (read-only); pagePayloadTag is the streamable header+body layout every
+// new blob is written in.
+const (
+	pagePayloadTagV1 = 1
+	pagePayloadTag   = 2
+)
 
-// encodePagePayload serializes the servable content of p.
+// pagePayloadPrefixLen is the fixed-size blob prefix before the header:
+// the tag byte plus the big-endian header length.
+const pagePayloadPrefixLen = 1 + 4
+
+// encodePagePayload serializes the servable content of p in format 2.
 func encodePagePayload(p *simweb.Page) []byte {
-	n := 1 + 3*binary.MaxVarintLen64 +
+	hn := 3*binary.MaxVarintLen64 +
+		uvarintLen(len(p.Body)) +
 		uvarintLen(len(p.Title)) + len(p.Title) +
-		uvarintLen(len(p.Body)) + len(p.Body) +
 		uvarintLen(len(p.Anchors))
 	for _, a := range p.Anchors {
-		n += uvarintLen(len(a.Text)) + len(a.Text) +
+		hn += uvarintLen(len(a.Text)) + len(a.Text) +
 			uvarintLen(len(a.Target)) + len(a.Target)
 	}
-	buf := make([]byte, 0, n)
-	buf = append(buf, pagePayloadTag)
+	buf := make([]byte, 0, pagePayloadPrefixLen+hn+len(p.Body))
+	buf = append(buf, pagePayloadTag, 0, 0, 0, 0) // headerLen patched below
 	buf = binary.AppendUvarint(buf, uint64(p.Version))
 	buf = binary.AppendVarint(buf, int64(p.LastMod))
 	buf = binary.AppendVarint(buf, int64(p.Size))
+	buf = binary.AppendUvarint(buf, uint64(len(p.Body)))
 	buf = appendString(buf, p.Title)
-	buf = appendString(buf, p.Body)
 	buf = binary.AppendUvarint(buf, uint64(len(p.Anchors)))
 	for _, a := range p.Anchors {
 		buf = appendString(buf, a.Text)
 		buf = appendString(buf, a.Target)
 	}
-	return buf
+	binary.BigEndian.PutUint32(buf[1:pagePayloadPrefixLen], uint32(len(buf)-pagePayloadPrefixLen))
+	return append(buf, p.Body...)
 }
 
-// decodePagePayload parses a payload blob back into a servable page. The
-// URL is not stored in the blob (the blob key already identifies the
-// object); the caller supplies it.
+// decodePagePayload parses a payload blob (either format) back into a
+// servable page. The URL is not stored in the blob (the blob key already
+// identifies the object); the caller supplies it.
 func decodePagePayload(url string, data []byte) (simweb.Page, error) {
 	var p simweb.Page
-	if len(data) == 0 || data[0] != pagePayloadTag {
+	if len(data) == 0 {
+		return p, fmt.Errorf("warehouse: page payload: %w: empty blob", core.ErrInvalid)
+	}
+	switch data[0] {
+	case pagePayloadTagV1:
+		return decodePagePayloadV1(url, data)
+	case pagePayloadTag:
+	default:
 		return p, fmt.Errorf("warehouse: page payload: %w: bad tag", core.ErrInvalid)
 	}
+	if len(data) < pagePayloadPrefixLen {
+		return p, fmt.Errorf("warehouse: page payload: %w: truncated prefix", core.ErrInvalid)
+	}
+	hlen := int(binary.BigEndian.Uint32(data[1:pagePayloadPrefixLen]))
+	if hlen > len(data)-pagePayloadPrefixLen {
+		return p, fmt.Errorf("warehouse: page payload: %w: header length %d exceeds blob", core.ErrInvalid, hlen)
+	}
+	p, bodyLen, err := decodePageHeader(url, data[pagePayloadPrefixLen:pagePayloadPrefixLen+hlen])
+	if err != nil {
+		return simweb.Page{}, err
+	}
+	body := data[pagePayloadPrefixLen+hlen:]
+	if int64(len(body)) < bodyLen {
+		// A prefix-cut summary blob (the summarize fallback) may truncate
+		// mid-body; serve what survived rather than refusing the blob.
+		bodyLen = int64(len(body))
+	}
+	p.Body = string(body[:bodyLen])
+	return p, nil
+}
+
+// decodePageHeader parses the format-2 metadata header (everything but
+// the body), returning the page with an empty Body plus the declared body
+// length.
+func decodePageHeader(url string, header []byte) (simweb.Page, int64, error) {
+	d := payloadReader{buf: header}
+	version := d.uvarint()
+	lastMod := d.varint()
+	size := d.varint()
+	bodyLen := d.uvarint()
+	title := d.string()
+	nAnchors := d.uvarint()
+	var anchors []simweb.Anchor
+	// An anchor costs at least two length bytes; reject counts the buffer
+	// cannot possibly hold before allocating.
+	if d.err == nil && nAnchors > 0 && nAnchors <= uint64(len(d.buf)-d.off)/2+1 {
+		anchors = make([]simweb.Anchor, 0, nAnchors)
+		for i := uint64(0); i < nAnchors && d.err == nil; i++ {
+			text := d.string()
+			target := d.string()
+			anchors = append(anchors, simweb.Anchor{Text: text, Target: target})
+		}
+	} else if nAnchors > 0 && d.err == nil {
+		d.err = fmt.Errorf("warehouse: page payload: %w: anchor count %d exceeds buffer", core.ErrInvalid, nAnchors)
+	}
+	if d.err != nil {
+		return simweb.Page{}, 0, d.err
+	}
+	return simweb.Page{
+		URL:     url,
+		Title:   title,
+		Anchors: anchors,
+		Size:    core.Bytes(size),
+		Version: int(version),
+		LastMod: core.Time(lastMod),
+	}, int64(bodyLen), nil
+}
+
+// decodePagePayloadV1 parses the legacy body-inline layout.
+func decodePagePayloadV1(url string, data []byte) (simweb.Page, error) {
+	var p simweb.Page
 	d := payloadReader{buf: data[1:]}
 	version := d.uvarint()
 	lastMod := d.varint()
@@ -92,8 +195,6 @@ func decodePagePayload(url string, data []byte) (simweb.Page, error) {
 	body := d.string()
 	nAnchors := d.uvarint()
 	var anchors []simweb.Anchor
-	// An anchor costs at least two length bytes; reject counts the buffer
-	// cannot possibly hold before allocating.
 	if d.err == nil && nAnchors > 0 && nAnchors <= uint64(len(d.buf)-d.off)/2+1 {
 		anchors = make([]simweb.Anchor, 0, nAnchors)
 		for i := uint64(0); i < nAnchors && d.err == nil; i++ {
@@ -117,6 +218,63 @@ func decodePagePayload(url string, data []byte) (simweb.Page, error) {
 		LastMod: core.Time(lastMod),
 	}
 	return p, nil
+}
+
+// decodePageStream decodes payload metadata from br without materializing
+// the body. For a format-2 blob it reads only the prefix and header,
+// returning the page with an empty Body, the body length, and
+// streamed=true; br is left positioned at the body's first byte, holding
+// exactly bodyLen unread bytes. For a codec-era (format-1) blob the whole
+// stream is buffered and decoded — streamed=false and the returned page
+// carries its Body — since that layout cannot be split without a scan.
+func decodePageStream(url string, br storage.BlobReader) (p simweb.Page, bodyLen int64, streamed bool, err error) {
+	var prefix [pagePayloadPrefixLen]byte
+	if _, err := io.ReadFull(br, prefix[:1]); err != nil {
+		return p, 0, false, fmt.Errorf("warehouse: page payload: %w: empty blob", core.ErrInvalid)
+	}
+	switch prefix[0] {
+	case pagePayloadTagV1:
+		data := make([]byte, br.Len())
+		data[0] = prefix[0]
+		if _, err := io.ReadFull(br, data[1:]); err != nil {
+			return p, 0, false, fmt.Errorf("warehouse: page payload: %w: short blob", core.ErrInvalid)
+		}
+		p, err = decodePagePayloadV1(url, data)
+		if err != nil {
+			return simweb.Page{}, 0, false, err
+		}
+		return p, int64(len(p.Body)), false, nil
+	case pagePayloadTag:
+	default:
+		return p, 0, false, fmt.Errorf("warehouse: page payload: %w: bad tag", core.ErrInvalid)
+	}
+	if _, err := io.ReadFull(br, prefix[1:]); err != nil {
+		return p, 0, false, fmt.Errorf("warehouse: page payload: %w: truncated prefix", core.ErrInvalid)
+	}
+	hlen := int64(binary.BigEndian.Uint32(prefix[1:]))
+	rest := br.Len() - pagePayloadPrefixLen
+	if hlen > rest {
+		return p, 0, false, fmt.Errorf("warehouse: page payload: %w: header length %d exceeds blob", core.ErrInvalid, hlen)
+	}
+	hbuf := storage.CopyBuffer()
+	defer storage.PutCopyBuffer(hbuf)
+	header := hbuf
+	if int64(len(header)) < hlen {
+		header = make([]byte, hlen)
+	}
+	header = header[:hlen]
+	if _, err := io.ReadFull(br, header); err != nil {
+		return p, 0, false, fmt.Errorf("warehouse: page payload: %w: truncated header", core.ErrInvalid)
+	}
+	p, bodyLen, err = decodePageHeader(url, header)
+	if err != nil {
+		return simweb.Page{}, 0, false, err
+	}
+	if bodyLen > rest-hlen {
+		// Prefix-cut summary blob: stream what survived the cut.
+		bodyLen = rest - hlen
+	}
+	return p, bodyLen, true, nil
 }
 
 // summarizePagePayload is the Storage Manager's Summarize hook: it builds

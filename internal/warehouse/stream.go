@@ -1,0 +1,83 @@
+package warehouse
+
+import (
+	"context"
+	"io"
+
+	"cbfww/internal/storage"
+)
+
+// BodyStream is a one-shot handle on a served page's body. On the
+// streaming serve path (GetBodyCtx, GetResidentStream) the GetResult's
+// Page carries empty Body and the bytes come through here instead —
+// backed directly by the serving tier's BlobReader when the blob is in
+// the streamable payload format, or by an already-materialized string for
+// origin fetches and codec-era blobs (the buffered fallback).
+//
+// Like storage.BlobReader, WriteTo picks the cheapest transfer: the
+// tier reader's own strategy (single Write for heap, sendfile-eligible
+// io.Copy for disk files, pooled pread loop for segments) or one
+// io.WriteString for the materialized fallback. Callers must Close; Close
+// on a nil stream is a no-op.
+type BodyStream struct {
+	br   storage.BlobReader // tier-backed stream; nil when materialized
+	body string             // materialized body (fallback)
+	off  int
+	n    int64
+}
+
+// materializedBody wraps an in-memory body as a BodyStream.
+func materializedBody(body string) *BodyStream {
+	return &BodyStream{body: body, n: int64(len(body))}
+}
+
+// Len returns the total body size in bytes, regardless of read position.
+func (b *BodyStream) Len() int64 { return b.n }
+
+func (b *BodyStream) Read(p []byte) (int, error) {
+	if b.br != nil {
+		return b.br.Read(p)
+	}
+	if b.off >= len(b.body) {
+		return 0, io.EOF
+	}
+	n := copy(p, b.body[b.off:])
+	b.off += n
+	return n, nil
+}
+
+func (b *BodyStream) WriteTo(w io.Writer) (int64, error) {
+	if b.br != nil {
+		return b.br.WriteTo(w)
+	}
+	if b.off >= len(b.body) {
+		return 0, nil
+	}
+	n, err := io.WriteString(w, b.body[b.off:])
+	b.off += n
+	return int64(n), err
+}
+
+// Close releases the underlying tier reader, if any. Safe on nil.
+func (b *BodyStream) Close() error {
+	if b == nil || b.br == nil {
+		return nil
+	}
+	return b.br.Close()
+}
+
+// GetBodyCtx is GetCtx on the streaming serve path: the returned
+// GetResult is identical except Page.Body is empty — the body arrives
+// through the BodyStream, read straight from the serving tier when the
+// stored blob allows it. The caller must Close the stream (also after
+// errors are ruled out; on error the stream is nil).
+func (w *Warehouse) GetBodyCtx(ctx context.Context, user, url string) (GetResult, *BodyStream, error) {
+	return w.get(ctx, user, url, false, true)
+}
+
+// GetResidentStream is GetResident on the streaming serve path: resident
+// copies only, body via BodyStream, no origin or peer contact. The caller
+// must Close the stream.
+func (w *Warehouse) GetResidentStream(user, url string) (GetResult, *BodyStream, bool) {
+	return w.getResident(user, url, true)
+}
