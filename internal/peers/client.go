@@ -263,6 +263,11 @@ func (c *Cluster) roundTrip(ctx context.Context, addr, pathAndQuery, hops string
 // failure — the peer was reachable but refused, and the caller's
 // park-and-retry path handles both the same way.
 func (c *Cluster) put(ctx context.Context, peer, url string, page simweb.Page) error {
+	if int64(len(page.Body)) > maxPeerBody {
+		// The receiver's ReadFrame would reject the frame anyway; fail here
+		// with a reason instead of an opaque 4xx from the far side.
+		return fmt.Errorf("peers: put %s: body %d bytes exceeds peer cap %d", peer, len(page.Body), maxPeerBody)
+	}
 	meta := PageMeta(page)
 	meta.URL = url
 	line, err := EncodeFrameMeta(meta)

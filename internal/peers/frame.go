@@ -70,12 +70,20 @@ func (m FrameMeta) Page(body string) simweb.Page {
 	}
 }
 
+// maxFrameMeta bounds the JSON meta line of a frame — generous for any
+// real page's metadata, but it keeps a malicious peer from streaming an
+// endless "line". The body is bounded separately, by BodyLen alone.
+const maxFrameMeta = 1 << 20
+
 // ReadFrame parses one framed page off r: the meta line, then exactly
 // BodyLen body bytes (materialized — every current consumer re-admits the
-// page, which needs the body in hand). Reads are bounded by maxPeerBody
-// on top of whatever limit r itself carries.
+// page, which needs the body in hand). The meta line and body carry
+// separate bounds: the line is read through a maxFrameMeta limit, then
+// the validated BodyLen (<= maxPeerBody) is the sole bound on the body —
+// a maximal body does not lose the meta line's length off its budget.
 func ReadFrame(r io.Reader) (FrameMeta, simweb.Page, error) {
-	rd := bufio.NewReader(io.LimitReader(r, maxPeerBody))
+	lr := &io.LimitedReader{R: r, N: maxFrameMeta}
+	rd := bufio.NewReader(lr)
 	line, err := rd.ReadBytes('\n')
 	if err != nil {
 		return FrameMeta{}, simweb.Page{}, fmt.Errorf("peers: frame: meta line: %w", err)
@@ -86,6 +94,12 @@ func ReadFrame(r io.Reader) (FrameMeta, simweb.Page, error) {
 	}
 	if m.BodyLen < 0 || m.BodyLen > maxPeerBody {
 		return FrameMeta{}, simweb.Page{}, fmt.Errorf("peers: frame: body length %d out of range", m.BodyLen)
+	}
+	// Re-arm the limit for the body; rd may already hold a buffered prefix
+	// of it, which counts toward BodyLen.
+	lr.N = m.BodyLen - int64(rd.Buffered())
+	if lr.N < 0 {
+		lr.N = 0
 	}
 	var sb strings.Builder
 	sb.Grow(int(m.BodyLen))

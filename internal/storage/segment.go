@@ -329,8 +329,10 @@ func (s *SegmentStore) MaybeCompact() error {
 }
 
 // Compact rewrites the live records into fresh segments and deletes the
-// old files — stop-the-world, which is acceptable for a background medium
-// whose writer (Backup) already runs off the serving path.
+// old files — stop-the-world for writers and new opens, but safe against
+// in-flight streams: Open hands each reader its own descriptor on the
+// segment file, so closing and unlinking the store's handles here leaves
+// those readers on the (now anonymous) old bytes until they Close.
 func (s *SegmentStore) Compact() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()

@@ -16,8 +16,8 @@ import (
 // one-shot reader: Read/WriteTo consume the payload front to back, Len
 // reports the total payload size (independent of how much has been read),
 // and Close releases whatever the backend pinned (an open file for the
-// disk tier, nothing for heap and segment tiers). Callers must Close every
-// reader, including after partial reads.
+// disk and segment tiers, nothing for the heap tier). Callers must Close
+// every reader, including after partial reads.
 //
 // The point of the interface is the io.WriterTo leg: io.Copy (and
 // net/http's ResponseWriter.ReadFrom path) consult it first, so each
@@ -100,11 +100,16 @@ func (r *fileReader) WriteTo(w io.Writer) (int64, error) {
 func (r *fileReader) Len() int64   { return r.size }
 func (r *fileReader) Close() error { return r.f.Close() }
 
-// sectionReader is the segment store's BlobReader: a pread window over the
-// (shared, already-open) segment file. It owns no file handle — Close is a
-// no-op — and WriteTo moves bytes through a pooled chunk buffer, so the
-// only per-stream allocation is the reader itself.
+// sectionReader is the segment store's BlobReader: a pread window over a
+// segment file descriptor the reader owns (Open reopens the segment by
+// path rather than sharing the store's handle, so Compact closing and
+// unlinking the store's files cannot truncate an in-flight stream — the
+// owned descriptor keeps the unlinked bytes readable, exactly like the
+// disk tier). Close releases the descriptor. WriteTo moves bytes through
+// a pooled chunk buffer, so the only per-stream allocation beyond the fd
+// is the reader itself.
 type sectionReader struct {
+	f    *os.File
 	sr   *io.SectionReader
 	size int64
 }
@@ -137,7 +142,7 @@ func (r *sectionReader) WriteTo(w io.Writer) (int64, error) {
 }
 
 func (r *sectionReader) Len() int64   { return r.size }
-func (r *sectionReader) Close() error { return nil }
+func (r *sectionReader) Close() error { return r.f.Close() }
 
 // --- memStore streaming ---
 
@@ -235,9 +240,12 @@ func (s *DiskStore) PutFrom(k BlobKey, r io.Reader, n int64) error {
 // window over the payload. Verification streams through a pooled chunk
 // buffer — the body is never materialized — and any mismatch (torn
 // header, truncated payload, bad checksum) surfaces as core.ErrCorrupt
-// rather than a short read at serve time. The window stays valid after
-// Open returns because segment files are append-only; only Compact
-// retires them, and Compact runs off the serving path.
+// rather than a short read at serve time. The reader gets its own
+// descriptor on the segment file (opened by path under the read lock, so
+// Compact — which needs the write lock — cannot remove the file first);
+// once Open returns, that owned descriptor keeps the window readable
+// even if Compact closes and unlinks the store's shared handles while
+// the stream is still in flight.
 func (s *SegmentStore) Open(k BlobKey) (BlobReader, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -245,9 +253,13 @@ func (s *SegmentStore) Open(k BlobKey) (BlobReader, error) {
 	if !ok {
 		return nil, fmt.Errorf("storage: segment open %v: %w", k, core.ErrNotFound)
 	}
-	f := s.files[loc.seg]
+	f, err := os.Open(filepath.Join(s.dir, segName(loc.seg)))
+	if err != nil {
+		return nil, fmt.Errorf("storage: segment open %v: %w", k, err)
+	}
 	var hdr [segHeaderLen]byte
 	if _, err := f.ReadAt(hdr[:], loc.off-segHeaderLen); err != nil {
+		f.Close()
 		return nil, fmt.Errorf("storage: segment open %v: torn header: %w", k, core.ErrCorrupt)
 	}
 	if hdr[0] != segMagic || hdr[1] != segKindPut ||
@@ -255,6 +267,7 @@ func (s *SegmentStore) Open(k BlobKey) (BlobReader, error) {
 		int(binary.BigEndian.Uint32(hdr[11:15])) != k.Version ||
 		(hdr[2] == 1) != k.Summary ||
 		int(binary.BigEndian.Uint32(hdr[15:19])) != loc.n {
+		f.Close()
 		return nil, fmt.Errorf("storage: segment open %v: frame mismatch: %w", k, core.ErrCorrupt)
 	}
 	crc := crc32.NewIEEE()
@@ -263,17 +276,21 @@ func (s *SegmentStore) Open(k BlobKey) (BlobReader, error) {
 	sec := io.NewSectionReader(f, loc.off, int64(loc.n))
 	if _, err := io.CopyBuffer(onlyWriter{crc}, sec, buf); err != nil {
 		PutCopyBuffer(buf)
+		f.Close()
 		return nil, fmt.Errorf("storage: segment open %v: torn payload: %w", k, core.ErrCorrupt)
 	}
 	PutCopyBuffer(buf)
 	var trailer [segTrailerLen]byte
 	if _, err := f.ReadAt(trailer[:], loc.off+int64(loc.n)); err != nil {
+		f.Close()
 		return nil, fmt.Errorf("storage: segment open %v: torn trailer: %w", k, core.ErrCorrupt)
 	}
 	if binary.BigEndian.Uint32(trailer[:]) != crc.Sum32() {
+		f.Close()
 		return nil, fmt.Errorf("storage: segment open %v: checksum mismatch: %w", k, core.ErrCorrupt)
 	}
 	return &sectionReader{
+		f:    f,
 		sr:   io.NewSectionReader(f, loc.off, int64(loc.n)),
 		size: int64(loc.n),
 	}, nil

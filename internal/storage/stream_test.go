@@ -184,6 +184,70 @@ func TestSegmentOpenTornRecord(t *testing.T) {
 	}
 }
 
+// TestSegmentStreamSurvivesCompact: a stream opened before Compact keeps
+// serving its exact bytes after Compact has closed and unlinked the old
+// segment files, because the reader owns its descriptor. The regression
+// was a truncated response after Content-Length was committed whenever
+// the background Backup→MaybeCompact pass raced an in-flight tertiary
+// GET /body.
+func TestSegmentStreamSurvivesCompact(t *testing.T) {
+	seg, err := OpenSegmentStore(filepath.Join(t.TempDir(), "tertiary"), 256*core.KB)
+	if err != nil {
+		t.Fatalf("OpenSegmentStore: %v", err)
+	}
+	defer seg.Close()
+	k := BlobKey{ID: 31, Version: 1}
+	data := streamPayload(96 * 1024)
+	if err := seg.Put(k, data); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	// Churn another key so the compaction has garbage to drop.
+	for i := 0; i < 4; i++ {
+		if err := seg.Put(BlobKey{ID: 32, Version: 1}, streamPayload(32*1024)); err != nil {
+			t.Fatalf("Put churn: %v", err)
+		}
+	}
+
+	br, err := seg.Open(k)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer br.Close()
+	head := make([]byte, 1024)
+	if _, err := io.ReadFull(br, head); err != nil {
+		t.Fatalf("read head: %v", err)
+	}
+
+	if err := seg.Compact(); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	if seg.Compactions != 1 {
+		t.Fatalf("Compactions = %d, want 1", seg.Compactions)
+	}
+
+	rest, err := io.ReadAll(br)
+	if err != nil {
+		t.Fatalf("read after Compact: %v", err)
+	}
+	if got := append(head, rest...); !bytes.Equal(got, data) {
+		t.Fatalf("stream across Compact = %d bytes, differs from stored %d", len(got), len(data))
+	}
+	if err := br.Close(); err != nil {
+		t.Errorf("Close after Compact: %v", err)
+	}
+
+	// The store itself still serves the key from the rewritten segments.
+	br2, err := seg.Open(k)
+	if err != nil {
+		t.Fatalf("Open after Compact: %v", err)
+	}
+	got, err := io.ReadAll(br2)
+	br2.Close()
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("post-Compact read = %d bytes, %v; want stored payload", len(got), err)
+	}
+}
+
 // TestFetchStreamAccounting: FetchStream counts accesses and serves the
 // same bytes Fetch would, per tier.
 func TestFetchStreamAccounting(t *testing.T) {

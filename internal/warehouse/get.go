@@ -234,7 +234,7 @@ func (w *Warehouse) readResident(st *pageState, url string, stream bool) (storag
 	if br == nil { // containers always carry payload; treat as lost bytes
 		return res, simweb.Page{}, nil, fmt.Errorf("warehouse: body of %q: %w", url, core.ErrNotFound)
 	}
-	page, bodyLen, streamed, err := decodePageStream(url, br)
+	page, bodyLen, slack, streamed, err := decodePageStream(url, br)
 	if err != nil {
 		br.Close()
 		return res, simweb.Page{}, nil, err
@@ -242,6 +242,8 @@ func (w *Warehouse) readResident(st *pageState, url string, stream bool) (storag
 	bs := &BodyStream{n: bodyLen}
 	if streamed {
 		bs.br = br
+		bs.rem = bodyLen
+		bs.slack = slack > 0
 	} else {
 		br.Close()
 		bs.body = page.Body

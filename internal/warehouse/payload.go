@@ -28,7 +28,7 @@ func (w *Warehouse) bodyLoader(url string) object.BodyLoader {
 			return "", err
 		}
 		defer br.Close()
-		p, bodyLen, streamed, err := decodePageStream(url, br)
+		p, bodyLen, _, streamed, err := decodePageStream(url, br)
 		if err != nil {
 			return "", err
 		}
@@ -224,37 +224,39 @@ func decodePagePayloadV1(url string, data []byte) (simweb.Page, error) {
 // the body. For a format-2 blob it reads only the prefix and header,
 // returning the page with an empty Body, the body length, and
 // streamed=true; br is left positioned at the body's first byte, holding
-// exactly bodyLen unread bytes. For a codec-era (format-1) blob the whole
+// bodyLen unread body bytes (plus slack trailing bytes when a malformed
+// blob declares a body shorter than the payload that follows — readers
+// must stop at bodyLen). For a codec-era (format-1) blob the whole
 // stream is buffered and decoded — streamed=false and the returned page
 // carries its Body — since that layout cannot be split without a scan.
-func decodePageStream(url string, br storage.BlobReader) (p simweb.Page, bodyLen int64, streamed bool, err error) {
+func decodePageStream(url string, br storage.BlobReader) (p simweb.Page, bodyLen, slack int64, streamed bool, err error) {
 	var prefix [pagePayloadPrefixLen]byte
 	if _, err := io.ReadFull(br, prefix[:1]); err != nil {
-		return p, 0, false, fmt.Errorf("warehouse: page payload: %w: empty blob", core.ErrInvalid)
+		return p, 0, 0, false, fmt.Errorf("warehouse: page payload: %w: empty blob", core.ErrInvalid)
 	}
 	switch prefix[0] {
 	case pagePayloadTagV1:
 		data := make([]byte, br.Len())
 		data[0] = prefix[0]
 		if _, err := io.ReadFull(br, data[1:]); err != nil {
-			return p, 0, false, fmt.Errorf("warehouse: page payload: %w: short blob", core.ErrInvalid)
+			return p, 0, 0, false, fmt.Errorf("warehouse: page payload: %w: short blob", core.ErrInvalid)
 		}
 		p, err = decodePagePayloadV1(url, data)
 		if err != nil {
-			return simweb.Page{}, 0, false, err
+			return simweb.Page{}, 0, 0, false, err
 		}
-		return p, int64(len(p.Body)), false, nil
+		return p, int64(len(p.Body)), 0, false, nil
 	case pagePayloadTag:
 	default:
-		return p, 0, false, fmt.Errorf("warehouse: page payload: %w: bad tag", core.ErrInvalid)
+		return p, 0, 0, false, fmt.Errorf("warehouse: page payload: %w: bad tag", core.ErrInvalid)
 	}
 	if _, err := io.ReadFull(br, prefix[1:]); err != nil {
-		return p, 0, false, fmt.Errorf("warehouse: page payload: %w: truncated prefix", core.ErrInvalid)
+		return p, 0, 0, false, fmt.Errorf("warehouse: page payload: %w: truncated prefix", core.ErrInvalid)
 	}
 	hlen := int64(binary.BigEndian.Uint32(prefix[1:]))
 	rest := br.Len() - pagePayloadPrefixLen
 	if hlen > rest {
-		return p, 0, false, fmt.Errorf("warehouse: page payload: %w: header length %d exceeds blob", core.ErrInvalid, hlen)
+		return p, 0, 0, false, fmt.Errorf("warehouse: page payload: %w: header length %d exceeds blob", core.ErrInvalid, hlen)
 	}
 	hbuf := storage.CopyBuffer()
 	defer storage.PutCopyBuffer(hbuf)
@@ -264,17 +266,17 @@ func decodePageStream(url string, br storage.BlobReader) (p simweb.Page, bodyLen
 	}
 	header = header[:hlen]
 	if _, err := io.ReadFull(br, header); err != nil {
-		return p, 0, false, fmt.Errorf("warehouse: page payload: %w: truncated header", core.ErrInvalid)
+		return p, 0, 0, false, fmt.Errorf("warehouse: page payload: %w: truncated header", core.ErrInvalid)
 	}
 	p, bodyLen, err = decodePageHeader(url, header)
 	if err != nil {
-		return simweb.Page{}, 0, false, err
+		return simweb.Page{}, 0, 0, false, err
 	}
 	if bodyLen > rest-hlen {
 		// Prefix-cut summary blob: stream what survived the cut.
 		bodyLen = rest - hlen
 	}
-	return p, bodyLen, true, nil
+	return p, bodyLen, (rest - hlen) - bodyLen, true, nil
 }
 
 // summarizePagePayload is the Storage Manager's Summarize hook: it builds

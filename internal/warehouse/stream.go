@@ -17,13 +17,18 @@ import (
 // Like storage.BlobReader, WriteTo picks the cheapest transfer: the
 // tier reader's own strategy (single Write for heap, sendfile-eligible
 // io.Copy for disk files, pooled pread loop for segments) or one
-// io.WriteString for the materialized fallback. Callers must Close; Close
-// on a nil stream is a no-op.
+// io.WriteString for the materialized fallback. Read and WriteTo never
+// emit more than Len() bytes, even over a malformed blob whose payload
+// outruns its declared body length — Len() is what handleBody and the
+// peer endpoints commit as Content-Length, so overrunning it would break
+// HTTP framing. Callers must Close; Close on a nil stream is a no-op.
 type BodyStream struct {
-	br   storage.BlobReader // tier-backed stream; nil when materialized
-	body string             // materialized body (fallback)
-	off  int
-	n    int64
+	br    storage.BlobReader // tier-backed stream; nil when materialized
+	rem   int64              // body bytes left to serve on the br branch
+	slack bool               // br holds trailing bytes beyond the declared body
+	body  string             // materialized body (fallback)
+	off   int
+	n     int64
 }
 
 // materializedBody wraps an in-memory body as a BodyStream.
@@ -36,7 +41,15 @@ func (b *BodyStream) Len() int64 { return b.n }
 
 func (b *BodyStream) Read(p []byte) (int, error) {
 	if b.br != nil {
-		return b.br.Read(p)
+		if b.rem <= 0 {
+			return 0, io.EOF
+		}
+		if int64(len(p)) > b.rem {
+			p = p[:b.rem]
+		}
+		n, err := b.br.Read(p)
+		b.rem -= int64(n)
+		return n, err
 	}
 	if b.off >= len(b.body) {
 		return 0, io.EOF
@@ -48,7 +61,21 @@ func (b *BodyStream) Read(p []byte) (int, error) {
 
 func (b *BodyStream) WriteTo(w io.Writer) (int64, error) {
 	if b.br != nil {
-		return b.br.WriteTo(w)
+		if b.rem <= 0 {
+			return 0, nil
+		}
+		if !b.slack {
+			// The reader holds exactly rem bytes: its own WriteTo is the
+			// cheapest transfer and cannot overrun.
+			n, err := b.br.WriteTo(w)
+			b.rem -= n
+			return n, err
+		}
+		// Malformed blob: payload outruns the declared body. Copy exactly
+		// rem so we never exceed the Content-Length committed from Len().
+		n, err := io.Copy(w, io.LimitReader(b.br, b.rem))
+		b.rem -= n
+		return n, err
 	}
 	if b.off >= len(b.body) {
 		return 0, nil
