@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench bench-read bench-store bench-serve test-disk tables matrix matrix-check matrix-baseline serve faults soak fuzz cluster chaos examples clean
+.PHONY: all build test race cover bench bench-read bench-store bench-serve test-disk test-mmap tables matrix matrix-check matrix-baseline serve faults soak fuzz cluster chaos examples clean
 
 all: build test
 
@@ -48,6 +48,12 @@ bench-serve:
 # the storage-disk CI job runs).
 test-disk:
 	CBFWW_DISK_TIER=1 $(GO) test -race ./internal/storage/... ./internal/warehouse/...
+
+# Same suites with the middle tier on the mmap arena store (what the
+# storage-mmap CI job runs): CBFWW_MMAP_TIER swaps the default tier
+# table's disk tier onto the mmap backend.
+test-mmap:
+	CBFWW_DISK_TIER=1 CBFWW_MMAP_TIER=1 $(GO) test -race ./internal/storage/... ./internal/warehouse/...
 
 # Paper tables via the CLI (same experiments, readable output).
 tables:

@@ -33,7 +33,7 @@ type experiment struct {
 	run   func(seed int64) experiments.Table
 }
 
-func catalog() []experiment {
+func catalog(tierStacks []string) []experiment {
 	noSeed := func(f func() experiments.Table) func(int64) experiments.Table {
 		return func(int64) experiments.Table { return f() }
 	}
@@ -59,6 +59,9 @@ func catalog() []experiment {
 		{"a3", "ablation: admission-estimate decay", experiments.A3AdmissionDecay},
 		{"b1", "blob store: content-addressed dedup", experiments.B1BlobDedup},
 		{"l1", "§4.4: tertiary locality of reference", experiments.L1TertiaryLocality},
+		{"tc", "access cost vs tier capacity (-tiers selects stacks)", func(seed int64) experiments.Table {
+			return experiments.TierCurves(seed, tierStacks)
+		}},
 	}
 }
 
@@ -82,9 +85,31 @@ func run(args []string, stdout, stderr io.Writer) int {
 		tables   = fs.String("tables", "bench_tables.txt", "append the matrix table to this file (empty disables)")
 		baseline = fs.String("baseline", "", "baseline results JSON for -check (default: the -out path)")
 		check    = fs.Bool("check", false, "compare the fresh matrix run against -baseline; exit 1 on regression, writing nothing")
+		tiers    = fs.String("tiers", "classic,mmap", "comma-separated tier stacks for the tc experiment (classic, mmap)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	var tierStacks []string
+	knownStacks := map[string]bool{}
+	for _, s := range experiments.TierCurveStacks {
+		knownStacks[s] = true
+	}
+	for _, s := range strings.Split(*tiers, ",") {
+		s = strings.TrimSpace(strings.ToLower(s))
+		if s == "" {
+			continue
+		}
+		if !knownStacks[s] {
+			fmt.Fprintf(stderr, "cbfww-bench: unknown tier stack %q (known: %s)\n",
+				s, strings.Join(experiments.TierCurveStacks, ", "))
+			return 2
+		}
+		tierStacks = append(tierStacks, s)
+	}
+	if len(tierStacks) == 0 {
+		tierStacks = experiments.TierCurveStacks
 	}
 
 	if *matrix != "" {
@@ -100,7 +125,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	all := catalog()
+	all := catalog(tierStacks)
 	if *listOnly {
 		for _, e := range all {
 			fmt.Fprintf(stdout, "%-4s %s\n", e.id, e.title)

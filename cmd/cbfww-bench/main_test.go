@@ -7,13 +7,15 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"cbfww/internal/experiments"
 )
 
 // The experiment catalog must have unique, non-empty IDs and working
 // generators — cmd-level sanity for the harness users script against.
 func TestCatalogIDsUnique(t *testing.T) {
 	seen := map[string]bool{}
-	for _, e := range catalog() {
+	for _, e := range catalog(experiments.TierCurveStacks) {
 		if e.id == "" || e.title == "" || e.run == nil {
 			t.Errorf("incomplete entry %+v", e)
 		}
@@ -31,7 +33,7 @@ func TestCatalogIDsUnique(t *testing.T) {
 // wiring (the expensive ones are covered by internal/experiments tests).
 func TestCatalogCheapExperimentsRun(t *testing.T) {
 	cheap := map[string]bool{"t1": true, "t2": true, "f2": true, "f6": true, "x4": true, "b1": true}
-	for _, e := range catalog() {
+	for _, e := range catalog(experiments.TierCurveStacks) {
 		if !cheap[e.id] {
 			continue
 		}

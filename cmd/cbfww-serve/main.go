@@ -48,6 +48,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"runtime/metrics"
 	"strings"
 	"syscall"
 	"time"
@@ -86,6 +87,19 @@ type options struct {
 
 	// pprof mounts net/http/pprof under /debug/pprof/ on the gateway.
 	pprof bool
+	// admin mounts POST /admin/resize on the gateway (operator surface,
+	// gated like -pprof).
+	admin bool
+
+	// mmapTier, when positive, inserts an mmap-backed warm tier of this
+	// capacity between memory and disk (the four-tier stack).
+	mmapTier int64
+	// memPressure, when positive, is the live-heap budget in bytes: a
+	// sampling loop shrinks the heap tier's capacity target when the Go
+	// heap outgrows it and restores the configured target as pressure
+	// subsides. pressureEvery is the sampling cadence.
+	memPressure   int64
+	pressureEvery time.Duration
 
 	// Cluster membership: join lists every ring member (comma-separated
 	// host:port; self is added if absent), advertise overrides the
@@ -131,6 +145,17 @@ type daemon struct {
 	maintainEvery time.Duration
 	stopMaintain  chan struct{}
 	maintainDone  chan struct{}
+
+	// Memory-pressure loop state: the heap budget, the heap tier's
+	// configured (unpressured) capacity target, and the sampling cadence.
+	memPressure   int64
+	baseMemCap    core.Bytes
+	pressureEvery time.Duration
+	stopPressure  chan struct{}
+	pressureDone  chan struct{}
+	// pressureSignal, when non-nil, receives a token after every sampling
+	// pass (dropped when full) — test synchronization, like sweepSignal.
+	pressureSignal chan struct{}
 	// sweepSignal, when non-nil, receives a token after every completed
 	// maintenance sweep (dropped when full). Tests synchronize on it
 	// instead of sleeping and hoping the ticker fired.
@@ -146,6 +171,14 @@ func build(opts options) (*daemon, error) {
 	// it, and the daemon checkpoints on shutdown / rehydrates on start.
 	// Empty keeps every tier in the heap (the simulation shape).
 	cfg.DataDir = opts.dataDir
+	if opts.mmapTier > 0 {
+		// Four-tier stack: heap / mmap arena / disk / segment log. The warm
+		// tier needs a data directory to map its arena file under.
+		if opts.dataDir == "" {
+			return nil, fmt.Errorf("cbfww-serve: -mmap-tier requires -data-dir")
+		}
+		cfg.Storage = cfg.Storage.WithMmapTier(core.Bytes(opts.mmapTier))
+	}
 	if opts.schemaFile != "" {
 		text, err := os.ReadFile(opts.schemaFile)
 		if err != nil {
@@ -241,17 +274,88 @@ func build(opts options) (*daemon, error) {
 		Resilient:    resilient,
 		Faults:       faults,
 		EnablePprof:  opts.pprof,
+		EnableAdmin:  opts.admin,
 		Cluster:      cluster,
 		Redirect:     opts.redirect,
 	}, wh)
 	if err != nil {
 		return nil, err
 	}
-	return &daemon{
+	d := &daemon{
 		srv: srv, wh: wh, cluster: cluster,
 		join: splitJoin(opts.join), advertise: opts.advertise,
 		urls: urls, maintainEvery: opts.maintainEvery,
-	}, nil
+		memPressure: opts.memPressure, pressureEvery: opts.pressureEvery,
+	}
+	if d.memPressure > 0 {
+		if d.pressureEvery <= 0 {
+			d.pressureEvery = 5 * time.Second
+		}
+		// The configured target is what the tier returns to when the heap
+		// shrinks back under budget.
+		d.baseMemCap = wh.StorageManager().Tiers()[0].Capacity
+	}
+	return d, nil
+}
+
+// liveHeapBytes samples the Go runtime's live-heap size: bytes occupied
+// by reachable or not-yet-swept objects, the number an operator's memory
+// budget actually constrains.
+func liveHeapBytes() int64 {
+	s := []metrics.Sample{{Name: "/memory/classes/heap/objects:bytes"}}
+	metrics.Read(s)
+	if s[0].Value.Kind() != metrics.KindUint64 {
+		return 0
+	}
+	return int64(s[0].Value.Uint64())
+}
+
+// pressureLoop retargets the heap tier from live heap statistics: when
+// the Go heap exceeds the -mem-pressure budget, the tier shrinks by the
+// overage (the incremental resize demotes only the lowest-priority
+// delta, so each sample's cost is proportional to the change); when the
+// heap falls back under budget the tier is restored toward its
+// configured target. The tier never drops below 1/16 of that target —
+// a pressured warehouse still serves its hottest pages from memory.
+func (d *daemon) pressureLoop() {
+	defer close(d.pressureDone)
+	mgr := d.wh.StorageManager()
+	tier0 := mgr.TierName(0)
+	floor := d.baseMemCap / 16
+	if floor < 1 {
+		floor = 1
+	}
+	current := d.baseMemCap
+	t := time.NewTicker(d.pressureEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			target := d.baseMemCap
+			if over := liveHeapBytes() - d.memPressure; over > 0 {
+				target -= core.Bytes(over)
+				if target < floor {
+					target = floor
+				}
+			}
+			if target != current {
+				if err := mgr.ResizeTiers(map[string]core.Bytes{tier0: target}); err != nil {
+					log.Printf("mem-pressure resize: %v", err)
+				} else {
+					log.Printf("mem-pressure: %s tier target %d -> %d bytes", tier0, current, target)
+					current = target
+				}
+			}
+			if d.pressureSignal != nil {
+				select {
+				case d.pressureSignal <- struct{}{}:
+				default:
+				}
+			}
+		case <-d.stopPressure:
+			return
+		}
+	}
 }
 
 // start binds the listener and, when configured, the maintenance loop.
@@ -271,6 +375,11 @@ func (d *daemon) start() error {
 		// The prober and replication worker only matter with peers to
 		// probe and push to.
 		d.cluster.Start()
+	}
+	if d.memPressure > 0 {
+		d.stopPressure = make(chan struct{})
+		d.pressureDone = make(chan struct{})
+		go d.pressureLoop()
 	}
 	if d.maintainEvery > 0 {
 		d.stopMaintain = make(chan struct{})
@@ -311,6 +420,11 @@ func (d *daemon) shutdown(ctx context.Context) error {
 		<-d.maintainDone
 		d.stopMaintain = nil
 	}
+	if d.stopPressure != nil {
+		close(d.stopPressure)
+		<-d.pressureDone
+		d.stopPressure = nil
+	}
 	// Stop probing and replicating before the drain: peers are likely
 	// shutting down too, and a dying node has no business marking them
 	// Down or pushing payloads at them.
@@ -342,6 +456,10 @@ func main() {
 	flag.DurationVar(&opts.breakerCooldown, "breaker-cooldown", 30*time.Second, "open-breaker cool-down before a half-open probe")
 	flag.Float64Var(&opts.faultRate, "fault-rate", 0, "injected origin error probability (in-process origin only)")
 	flag.BoolVar(&opts.pprof, "pprof", false, "serve net/http/pprof profiles under /debug/pprof/ (do not expose publicly)")
+	flag.BoolVar(&opts.admin, "admin", false, "serve POST /admin/resize for live tier-capacity retargets (do not expose publicly)")
+	flag.Int64Var(&opts.mmapTier, "mmap-tier", 0, "insert an mmap-backed warm tier of this many bytes between memory and disk (requires -data-dir; 0 = off)")
+	flag.Int64Var(&opts.memPressure, "mem-pressure", 0, "live-heap budget in bytes: shrink the memory tier when the Go heap exceeds it (0 = off)")
+	flag.DurationVar(&opts.pressureEvery, "pressure-every", 5*time.Second, "heap sampling cadence for -mem-pressure")
 	flag.StringVar(&opts.join, "join", "", "comma-separated cluster members (host:port,...); empty = standalone")
 	flag.StringVar(&opts.advertise, "advertise", "", "self address peers should use (default: the bound listen address)")
 	flag.BoolVar(&opts.redirect, "redirect", false, "307-redirect to the owner node instead of proxying")

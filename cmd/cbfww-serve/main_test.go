@@ -8,6 +8,7 @@ import (
 	"encoding/json"
 	"io"
 	"net/http"
+	"strings"
 	"testing"
 	"time"
 )
@@ -182,6 +183,112 @@ func TestServeMaintenanceLoop(t *testing.T) {
 	// already stopped.
 	if d.stopMaintain != nil {
 		t.Fatal("maintenance loop not cleared after shutdown")
+	}
+}
+
+// TestServeMmapTierAndMemPressure brings the daemon up on the four-tier
+// stack (-mmap-tier) with an impossible heap budget (-mem-pressure 1):
+// the pressure loop must shrink the memory tier to its floor, the /stats
+// storage section must show all four tiers, and /admin/resize must
+// retarget the warm tier live.
+func TestServeMmapTierAndMemPressure(t *testing.T) {
+	d, err := build(options{
+		addr:          "127.0.0.1:0",
+		sites:         2,
+		pages:         6,
+		seed:          3,
+		workers:       4,
+		dataDir:       t.TempDir(),
+		fetchTimeout:  5 * time.Second,
+		admin:         true,
+		mmapTier:      1 << 20,
+		memPressure:   1, // 1-byte budget: any Go heap is over it
+		pressureEvery: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	d.pressureSignal = make(chan struct{}, 4)
+	if err := d.start(); err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	base := "http://" + d.srv.Addr()
+	client := &http.Client{Timeout: 10 * time.Second}
+
+	// Admit something so the stack is live, then wait for a pressure tick.
+	resp, err := client.Get(base + "/fetch?url=" + d.urls[0])
+	if err != nil {
+		t.Fatalf("fetch: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	for i := 0; i < 2; i++ {
+		select {
+		case <-d.pressureSignal:
+		case <-time.After(10 * time.Second):
+			t.Fatal("pressure loop never sampled")
+		}
+	}
+
+	var stats struct {
+		Storage []struct {
+			Name     string `json:"name"`
+			Backend  string `json:"backend"`
+			Capacity int64  `json:"capacity"`
+		} `json:"storage"`
+	}
+	resp, err = client.Get(base + "/stats")
+	if err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err := json.Unmarshal(body, &stats); err != nil {
+		t.Fatalf("stats decode: %v", err)
+	}
+	if len(stats.Storage) != 4 {
+		t.Fatalf("storage section has %d tiers, want 4 (%s)", len(stats.Storage), body)
+	}
+	if stats.Storage[1].Name != "mmap" || stats.Storage[1].Backend != "mmap" {
+		t.Errorf("tier 1 = %+v, want the mmap warm tier", stats.Storage[1])
+	}
+	// The loop shrinks the tier by the heap's overage past the budget —
+	// with a 1-byte budget that is (almost) the whole live heap — clamped
+	// to the floor. Either way the target must be strictly below the
+	// configured capacity and never under the floor.
+	floor := int64(d.baseMemCap / 16)
+	if got := stats.Storage[0].Capacity; got >= int64(d.baseMemCap) || got < floor {
+		t.Errorf("pressured memory capacity = %d, want in [%d, %d)", got, floor, int64(d.baseMemCap))
+	}
+
+	// Live retarget of the warm tier through the admin surface.
+	resp, err = client.Post(base+"/admin/resize", "application/json",
+		strings.NewReader(`{"targets": {"mmap": 2097152}}`))
+	if err != nil {
+		t.Fatalf("admin resize: %v", err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("admin resize = %d (%s)", resp.StatusCode, body)
+	}
+	var rr struct {
+		Storage []struct {
+			Name     string `json:"name"`
+			Capacity int64  `json:"capacity"`
+		} `json:"storage"`
+	}
+	if err := json.Unmarshal(body, &rr); err != nil {
+		t.Fatalf("resize decode: %v", err)
+	}
+	if rr.Storage[1].Name != "mmap" || rr.Storage[1].Capacity != 2097152 {
+		t.Errorf("resized mmap tier = %+v", rr.Storage[1])
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := d.shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
 	}
 }
 

@@ -1,0 +1,111 @@
+package gateway
+
+// POST /admin/resize: the operator surface for live capacity retargets.
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"cbfww/internal/core"
+	"cbfww/internal/warehouse"
+)
+
+func newAdminGateway(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	g := testWeb(t)
+	wh, err := warehouse.New(warehouse.DefaultConfig(), core.NewSimClock(0), g.Web)
+	if err != nil {
+		t.Fatalf("warehouse.New: %v", err)
+	}
+	s, err := New(cfg, wh)
+	if err != nil {
+		t.Fatalf("gateway.New: %v", err)
+	}
+	return s
+}
+
+func postResize(t *testing.T, base, body string) (*http.Response, func()) {
+	t.Helper()
+	resp, err := http.Post(base+"/admin/resize", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /admin/resize: %v", err)
+	}
+	return resp, func() { resp.Body.Close() }
+}
+
+func TestAdminResize(t *testing.T) {
+	s := newAdminGateway(t, Config{EnableAdmin: true})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, done := postResize(t, ts.URL, `{"targets": {"memory": 1048576}}`)
+	defer done()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("resize status = %d", resp.StatusCode)
+	}
+	var rr ResizeResponse
+	if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	var found bool
+	for _, ti := range rr.Storage {
+		if ti.Name == "memory" {
+			found = true
+			if ti.Capacity != 1048576 {
+				t.Errorf("memory capacity = %v, want 1048576", ti.Capacity)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no memory tier in resize response")
+	}
+
+	// The /stats storage section reflects the retarget.
+	var st StatsResponse
+	if code := getJSON(t, http.DefaultClient, ts.URL+"/stats", &st); code != http.StatusOK {
+		t.Fatalf("/stats status = %d", code)
+	}
+	if len(st.Storage) == 0 {
+		t.Fatal("/stats has no storage section")
+	}
+	if st.Storage[0].Name != "memory" || st.Storage[0].Capacity != 1048576 {
+		t.Errorf("stats storage[0] = %+v", st.Storage[0])
+	}
+	if st.Storage[len(st.Storage)-1].Capacity != 0 {
+		t.Errorf("anchor tier not unbounded in stats: %+v", st.Storage[len(st.Storage)-1])
+	}
+}
+
+func TestAdminResizeRejectsBadTargets(t *testing.T) {
+	s := newAdminGateway(t, Config{EnableAdmin: true})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	for _, body := range []string{
+		`{"targets": {"nvm": 10}}`,      // unknown tier
+		`{"targets": {"tertiary": 10}}`, // anchor is unbounded
+		`{"targets": {"memory": -1}}`,   // negative
+		`{}`,                            // no targets
+		`not json`,
+	} {
+		resp, done := postResize(t, ts.URL, body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("resize %q status = %d, want 400", body, resp.StatusCode)
+		}
+		done()
+	}
+}
+
+func TestAdminResizeGatedOff(t *testing.T) {
+	s := newAdminGateway(t, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	resp, done := postResize(t, ts.URL, `{"targets": {"memory": 10}}`)
+	defer done()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("ungated /admin/resize status = %d, want 404", resp.StatusCode)
+	}
+}

@@ -60,6 +60,7 @@ import (
 	"cbfww/internal/peers"
 	"cbfww/internal/resilience"
 	"cbfww/internal/simweb"
+	"cbfww/internal/storage"
 	"cbfww/internal/warehouse"
 )
 
@@ -86,6 +87,10 @@ type Config struct {
 	// /debug/pprof/. Off by default: the profiles expose internals
 	// (goroutine stacks, heap contents) no public daemon should serve.
 	EnablePprof bool
+	// EnableAdmin mounts POST /admin/resize, the live capacity-retarget
+	// endpoint. Off by default for the same reason as pprof: resizing
+	// tiers is an operator surface, not a public one.
+	EnableAdmin bool
 	// Cluster, when set, makes this gateway one node of a peer ring:
 	// /fetch and /body route to the URL's owner, /peer/fetch answers
 	// resident-only probes, and /stats grows a "cluster" section. Nil (or
@@ -170,6 +175,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST "+peers.PeerPutPath, s.instrument("peer_put", s.handlePeerPut))
 	mux.HandleFunc("GET /stats", s.instrument("stats", s.handleStats))
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	if s.cfg.EnableAdmin {
+		mux.HandleFunc("POST /admin/resize", s.instrument("admin_resize", s.handleAdminResize))
+	}
 	if s.cfg.EnablePprof {
 		// net/http/pprof registers on DefaultServeMux as an import side
 		// effect; route the same handlers here without touching the
@@ -674,6 +682,46 @@ func retryAfterSeconds(d time.Duration) int {
 	return s
 }
 
+// ResizeRequest is the POST /admin/resize body: capacity targets in
+// bytes, keyed by tier name as listed in /stats' storage section. Tiers
+// not named keep their current targets; the unbounded anchor cannot be
+// resized.
+type ResizeRequest struct {
+	Targets map[string]int64 `json:"targets"`
+}
+
+// ResizeResponse echoes the tier table after the retarget, so the
+// operator sees occupancy against the new capacities immediately.
+type ResizeResponse struct {
+	Storage []storage.TierInfo `json:"storage"`
+}
+
+// handleAdminResize retargets tier capacities on the live manager: the
+// incremental re-placement demotes or re-promotes only the delta set,
+// so a resize on a loaded daemon is proportional to the change, not the
+// corpus. Mounted only under Config.EnableAdmin.
+func (s *Server) handleAdminResize(w http.ResponseWriter, r *http.Request) {
+	var req ResizeRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		writeError(w, fmt.Errorf("gateway: admin resize: %w: %w", core.ErrInvalid, err))
+		return
+	}
+	if len(req.Targets) == 0 {
+		writeError(w, fmt.Errorf("gateway: admin resize: %w: no targets", core.ErrInvalid))
+		return
+	}
+	targets := make(map[string]core.Bytes, len(req.Targets))
+	for name, b := range req.Targets {
+		targets[name] = core.Bytes(b)
+	}
+	mgr := s.wh.StorageManager()
+	if err := mgr.ResizeTiers(targets); err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ResizeResponse{Storage: mgr.Tiers()})
+}
+
 // StatsResponse is the /stats payload.
 type StatsResponse struct {
 	Gateway    GatewayStats                `json:"gateway"`
@@ -687,6 +735,9 @@ type StatsResponse struct {
 	// probe counters, breaker states. Always present — disabled with no
 	// peers on a standalone daemon — so dashboards need no shape branch.
 	Cluster peers.ClusterStats `json:"cluster"`
+	// Storage is the live tier table: one row per tier with capacity
+	// target, occupancy, cumulative moved/demoted bytes and access cost.
+	Storage []storage.TierInfo `json:"storage"`
 }
 
 // ShardSnapshot is one warehouse lock stripe's share of the load.
@@ -762,6 +813,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Warehouse:  whStats,
 		Shards:     shards,
 		Cluster:    s.cfg.Cluster.Stats(),
+		Storage:    s.wh.StorageManager().Tiers(),
 	})
 }
 

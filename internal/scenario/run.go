@@ -115,13 +115,24 @@ func (r *Runner) runWarehouseCell(c Cell, g *workload.GeneratedWeb, tr *workload
 		MemLatency:   0, DiskLatency: 10, TertiaryLatency: 100,
 		SummaryRatio: 0.05,
 	}
-	if c.Backend == "disk" {
+	switch c.Backend {
+	case "disk", "mmap":
 		dir, err := os.MkdirTemp(r.WorkDir, "cbfww-scenario-")
 		if err != nil {
 			return nil, err
 		}
 		defer os.RemoveAll(dir)
 		cfg.Storage.DataDir = dir
+		if c.Backend == "mmap" {
+			// The arena-mapped store backs the middle tier; names stay the
+			// classic memory/disk/tertiary so every metric key — and hence
+			// every baseline comparison — lines up across backends.
+			cfg.Storage.Tiers = []storage.TierSpec{
+				{Name: "memory", Backend: "heap", Capacity: c.Mem, Latency: cfg.Storage.MemLatency},
+				{Name: "disk", Backend: "mmap", Capacity: c.Disk, Latency: cfg.Storage.DiskLatency},
+				{Name: "tertiary", Backend: "segment", Capacity: 0, Latency: cfg.Storage.TertiaryLatency},
+			}
+		}
 	}
 	switch c.Policy {
 	case "newest-top":
@@ -145,20 +156,26 @@ func (r *Runner) runWarehouseCell(c Cell, g *workload.GeneratedWeb, tr *workload
 	}
 	defer w.Close()
 
-	shrink := c.Capacity.Shrink
-	shrinkAt := core.Time(float64(run.Length) * c.Capacity.At)
+	mgr := w.StorageManager()
+	// Snapshot the as-built finite capacities: schedule events scale these
+	// bases, so oscillations return to the exact starting targets.
+	base := mgr.Tiers()
+	events := capacityEvents(c.Capacity, run.Length)
 	next := core.Time(run.MaintainEvery)
 	lats := make([]float64, 0, len(tr.Log))
 	for _, rec := range tr.Log {
 		if rec.Time.After(clock.Now()) {
 			clock.Set(rec.Time)
 		}
-		if shrink && clock.Now() >= shrinkAt {
-			mgr := w.StorageManager()
-			if err := mgr.Resize(scaleBytes(c.Mem, c.Capacity.Factor), scaleBytes(c.Disk, c.Capacity.Factor)); err != nil {
+		for len(events) > 0 && clock.Now() >= events[0].at {
+			targets := make(map[string]core.Bytes, len(base)-1)
+			for _, ti := range base[:len(base)-1] {
+				targets[ti.Name] = scaleBytes(ti.Capacity, events[0].factor)
+			}
+			if err := mgr.ResizeTiers(targets); err != nil {
 				return nil, err
 			}
-			shrink = false
+			events = events[1:]
 		}
 		for clock.Now() >= next {
 			if _, err := w.Maintain(); err != nil {
@@ -174,7 +191,6 @@ func (r *Runner) runWarehouseCell(c Cell, g *workload.GeneratedWeb, tr *workload
 	}
 
 	st := w.Stats()
-	sst := w.StorageManager().Stats()
 	m := map[string]float64{
 		"requests":       float64(st.Requests),
 		"hit_ratio":      st.HitRatio(),
@@ -183,9 +199,12 @@ func (r *Runner) runWarehouseCell(c Cell, g *workload.GeneratedWeb, tr *workload
 		"stale_serves":   float64(st.StaleServes),
 		"latency_mean":   st.MeanLatency(),
 	}
-	m["bytes_moved_memory"] = float64(sst.MovedBytes[storage.Memory])
-	m["bytes_moved_disk"] = float64(sst.MovedBytes[storage.Disk])
-	m["bytes_moved_tertiary"] = float64(sst.MovedBytes[storage.Tertiary])
+	// One moved/demoted pair per live tier-table row, keyed by tier name,
+	// so deeper stacks report every level without touching this code.
+	for _, ti := range mgr.Tiers() {
+		m["bytes_moved_"+ti.Name] = float64(ti.Moved)
+		m["bytes_demoted_"+ti.Name] = float64(ti.Demoted)
+	}
 	addPercentiles(m, lats)
 	return m, nil
 }
@@ -202,18 +221,17 @@ func (r *Runner) runCacheCell(c Cell, tr *workload.Trace) (map[string]float64, e
 	}
 	cc := mk(c.Mem)
 
-	shrink := c.Capacity.Shrink
-	shrinkAt := core.Time(float64(run.Length) * c.Capacity.At)
+	events := capacityEvents(c.Capacity, run.Length)
 
 	var requests, hits, misses int
 	var movedMem core.Bytes
 	lats := make([]float64, 0, len(tr.Log))
 	for _, rec := range tr.Log {
-		if shrink && rec.Time >= shrinkAt {
+		for len(events) > 0 && rec.Time >= events[0].at {
 			if rs, ok := cc.(interface{ Resize(core.Bytes) }); ok {
-				rs.Resize(scaleBytes(c.Mem, c.Capacity.Factor))
+				rs.Resize(scaleBytes(c.Mem, events[0].factor))
 			}
-			shrink = false
+			events = events[1:]
 		}
 		requests++
 		before := cc.Used()
@@ -260,6 +278,37 @@ var cacheMakers = map[string]func(core.Bytes) cache.Cache{
 	"size":     cache.NewSize,
 	"lru2":     func(b core.Bytes) cache.Cache { return cache.NewLRUK(b, 2) },
 	"infinite": func(core.Bytes) cache.Cache { return cache.NewInfinite() },
+}
+
+// capacityEvent is one scheduled retarget: at tick at, scale the cell's
+// as-built capacities by factor.
+type capacityEvent struct {
+	at     core.Time
+	factor float64
+}
+
+// capacityEvents expands a parsed capacity schedule over a trace of the
+// given length. Shrink and grow fire once at the At fraction; oscillate
+// fires at every multiple of At, alternating the factor with a return to
+// the original targets.
+func capacityEvents(cs CapacitySpec, length core.Duration) []capacityEvent {
+	if cs.Static() {
+		return nil
+	}
+	if cs.Mode != "oscillate" {
+		return []capacityEvent{{core.Time(float64(length) * cs.At), cs.Factor}}
+	}
+	var evs []capacityEvent
+	factor := cs.Factor
+	for frac := cs.At; frac < 1; frac += cs.At {
+		evs = append(evs, capacityEvent{core.Time(float64(length) * frac), factor})
+		if factor == cs.Factor {
+			factor = 1
+		} else {
+			factor = cs.Factor
+		}
+	}
+	return evs
 }
 
 func scaleBytes(b core.Bytes, factor float64) core.Bytes {

@@ -227,3 +227,40 @@ func TestDiskBackendCell(t *testing.T) {
 		t.Errorf("disk cell served nothing")
 	}
 }
+
+// backend=mmap runs the middle tier on the arena store, under a
+// mid-workload grow — the dynamic-capacity cell the tier table exists for.
+func TestMmapBackendCellWithGrow(t *testing.T) {
+	s := tinySpec(t)
+	s.Run.Sessions = 30
+	s.Topology.Backend = []string{"mmap"}
+	s.Topology.Capacity = []string{"grow@0.5x2"}
+	s.Policies = []string{"paper"}
+	res, err := (&Runner{Spec: s, WorkDir: t.TempDir()}).Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	m := res.Cells[0].Metrics
+	if m["requests"] <= 0 {
+		t.Errorf("mmap cell served nothing")
+	}
+	if m["bytes_moved_disk"] <= 0 {
+		t.Errorf("mmap-backed middle tier moved no bytes")
+	}
+}
+
+// An oscillating schedule shrinks and restores repeatedly: the shrink
+// legs must show up as demoted bytes, the grow legs as re-promotions.
+func TestOscillateScheduleDemotes(t *testing.T) {
+	s := tinySpec(t)
+	s.Topology.Capacity = []string{"oscillate@0.25x0.25"}
+	s.Policies = []string{"paper"}
+	res, err := (&Runner{Spec: s, WorkDir: t.TempDir()}).Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	m := res.Cells[0].Metrics
+	if m["bytes_demoted_memory"] <= 0 {
+		t.Errorf("oscillation demoted nothing from memory: %v", m)
+	}
+}

@@ -78,12 +78,16 @@ type TopologyAxes struct {
 	// Mem and Disk are tier capacity targets.
 	Mem  []core.Bytes
 	Disk []core.Bytes
-	// Backend is "heap" (all-in-memory simulation backends) or "disk"
-	// (real file-per-blob + segment backends in a temp dir).
+	// Backend is "heap" (all-in-memory simulation backends), "disk"
+	// (real file-per-blob + segment backends in a temp dir) or "mmap"
+	// (the middle tier on the arena-mapped store, disk-shaped names so
+	// cells stay comparable across backends).
 	Backend []string
-	// Capacity entries are "static" or "shrink@<frac>x<factor>": at frac
-	// of the trace, retarget both finite tiers to factor × their size —
-	// the capacity-shrink-mid-workload scenario class.
+	// Capacity entries are "static" or "<mode>@<frac>x<factor>" with mode
+	// shrink, grow or oscillate: at frac of the trace, retarget every
+	// finite tier to factor × its size. Oscillate re-fires at each
+	// multiple of frac, alternating factor and 1 — the
+	// capacity-changes-mid-workload scenario class.
 	Capacity []string
 }
 
@@ -95,12 +99,16 @@ type BurstSpec struct {
 
 // CapacitySpec is a parsed Capacity axis value.
 type CapacitySpec struct {
-	// Shrink is false for "static".
-	Shrink bool
-	// At is the trace fraction at which the resize fires; Factor scales
-	// both tier capacities.
+	// Mode is "static", "shrink", "grow" or "oscillate".
+	Mode string
+	// At is the trace fraction at which the first retarget fires; Factor
+	// scales every finite tier's capacity. Oscillate fires again at each
+	// multiple of At, alternating Factor and 1.
 	At, Factor float64
 }
+
+// Static reports whether the schedule never retargets capacities.
+func (c CapacitySpec) Static() bool { return c.Mode == "" || c.Mode == "static" }
 
 // Cell is one fully instantiated point of the cross-product.
 type Cell struct {
@@ -276,8 +284,8 @@ func (s *Spec) Validate() error {
 		}
 	}
 	for _, b := range s.Topology.Backend {
-		if b != "heap" && b != "disk" {
-			return fmt.Errorf("scenario: %w: topology.backend %q (want heap or disk)", core.ErrInvalid, b)
+		if b != "heap" && b != "disk" && b != "mmap" {
+			return fmt.Errorf("scenario: %w: topology.backend %q (want heap, disk or mmap)", core.ErrInvalid, b)
 		}
 	}
 	for _, c := range s.Topology.Capacity {
@@ -317,18 +325,42 @@ func ParseBurst(s string) (BurstSpec, error) {
 }
 
 // ParseCapacity parses a Capacity axis entry: "static" or
-// "shrink@<frac>x<factor>".
+// "<mode>@<frac>x<factor>" with mode shrink (factor < 1), grow
+// (factor > 1) or oscillate (either direction, alternating with 1).
 func ParseCapacity(s string) (CapacitySpec, error) {
 	if s == "static" {
-		return CapacitySpec{}, nil
+		return CapacitySpec{Mode: "static"}, nil
 	}
-	var c CapacitySpec
-	if _, err := fmt.Sscanf(s, "shrink@%fx%f", &c.At, &c.Factor); err != nil ||
-		c.At <= 0 || c.At >= 1 || c.Factor <= 0 || c.Factor > 4 {
-		return CapacitySpec{}, fmt.Errorf("scenario: %w: capacity %q (want \"static\" or \"shrink@<frac>x<factor>\", e.g. \"shrink@0.5x0.25\")",
+	bad := func() (CapacitySpec, error) {
+		return CapacitySpec{}, fmt.Errorf("scenario: %w: capacity %q (want \"static\" or \"<shrink|grow|oscillate>@<frac>x<factor>\", e.g. \"shrink@0.5x0.25\"; shrink needs factor < 1, grow > 1, both in (0, 4])",
 			core.ErrInvalid, s)
 	}
-	c.Shrink = true
+	mode, sched, ok := strings.Cut(s, "@")
+	if !ok {
+		return bad()
+	}
+	var c CapacitySpec
+	if _, err := fmt.Sscanf(sched, "%fx%f", &c.At, &c.Factor); err != nil ||
+		c.At <= 0 || c.At >= 1 || c.Factor <= 0 || c.Factor > 4 {
+		return bad()
+	}
+	switch mode {
+	case "shrink":
+		if c.Factor >= 1 {
+			return bad()
+		}
+	case "grow":
+		if c.Factor <= 1 {
+			return bad()
+		}
+	case "oscillate":
+		if c.Factor == 1 {
+			return bad()
+		}
+	default:
+		return bad()
+	}
+	c.Mode = mode
 	return c, nil
 }
 

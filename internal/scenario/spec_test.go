@@ -170,16 +170,56 @@ func TestParseBurst(t *testing.T) {
 }
 
 func TestParseCapacity(t *testing.T) {
-	if c, err := ParseCapacity("static"); err != nil || c.Shrink {
+	if c, err := ParseCapacity("static"); err != nil || !c.Static() {
 		t.Errorf("static = %+v, %v", c, err)
 	}
 	c, err := ParseCapacity("shrink@0.5x0.25")
-	if err != nil || !c.Shrink || c.At != 0.5 || c.Factor != 0.25 {
+	if err != nil || c.Mode != "shrink" || c.At != 0.5 || c.Factor != 0.25 {
 		t.Errorf("shrink = %+v, %v", c, err)
 	}
-	for _, bad := range []string{"", "shrink", "shrink@0x0.5", "shrink@1x0.5", "shrink@0.5x0", "shrink@0.5x9"} {
+	c, err = ParseCapacity("grow@0.25x2")
+	if err != nil || c.Mode != "grow" || c.At != 0.25 || c.Factor != 2 {
+		t.Errorf("grow = %+v, %v", c, err)
+	}
+	c, err = ParseCapacity("oscillate@0.2x0.5")
+	if err != nil || c.Mode != "oscillate" || c.At != 0.2 || c.Factor != 0.5 {
+		t.Errorf("oscillate = %+v, %v", c, err)
+	}
+	for _, bad := range []string{
+		"", "shrink", "shrink@0x0.5", "shrink@1x0.5", "shrink@0.5x0", "shrink@0.5x9",
+		"shrink@0.5x2",    // shrink must shrink
+		"grow@0.5x0.5",    // grow must grow
+		"oscillate@0.5x1", // a no-op schedule
+		"halve@0.5x0.5",   // unknown mode
+	} {
 		if _, err := ParseCapacity(bad); err == nil {
 			t.Errorf("ParseCapacity(%q) accepted", bad)
+		}
+	}
+}
+
+func TestCapacityEvents(t *testing.T) {
+	static, _ := ParseCapacity("static")
+	if evs := capacityEvents(static, 1000); len(evs) != 0 {
+		t.Errorf("static events = %v", evs)
+	}
+	shrink, _ := ParseCapacity("shrink@0.5x0.25")
+	if evs := capacityEvents(shrink, 1000); len(evs) != 1 || evs[0].at != 500 || evs[0].factor != 0.25 {
+		t.Errorf("shrink events = %v", evs)
+	}
+	grow, _ := ParseCapacity("grow@0.25x2")
+	if evs := capacityEvents(grow, 1000); len(evs) != 1 || evs[0].at != 250 || evs[0].factor != 2 {
+		t.Errorf("grow events = %v", evs)
+	}
+	osc, _ := ParseCapacity("oscillate@0.25x0.5")
+	evs := capacityEvents(osc, 1000)
+	if len(evs) != 3 {
+		t.Fatalf("oscillate events = %v", evs)
+	}
+	want := []capacityEvent{{250, 0.5}, {500, 1}, {750, 0.5}}
+	for i, ev := range evs {
+		if ev != want[i] {
+			t.Errorf("oscillate event %d = %v, want %v", i, ev, want[i])
 		}
 	}
 }

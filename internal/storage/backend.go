@@ -133,33 +133,49 @@ func (s *memStore) Len() int {
 func (s *memStore) Sync() error  { return nil }
 func (s *memStore) Close() error { return nil }
 
-// openBackends builds the three tier stores for the configuration: all
-// in-heap when DataDir is empty, otherwise heap + file-per-blob disk +
-// segment-log tertiary rooted under the data directory.
-func openBackends(cfg Config) ([numTiers]BlobStore, error) {
-	var b [numTiers]BlobStore
+// openBackends builds one blob store per tier-table row: all in-heap
+// when DataDir is empty, otherwise each persistent tier rooted under
+// DataDir/<tier name> ("disk" and "tertiary" on the default table, so
+// legacy data directories keep their paths).
+func openBackends(cfg Config, tiers []TierSpec) ([]BlobStore, error) {
+	b := make([]BlobStore, len(tiers))
 	if cfg.DataDir == "" {
-		for t := Memory; t < numTiers; t++ {
+		for t := range b {
 			b[t] = newMemStore()
 		}
 		return b, nil
 	}
-	disk, err := OpenDiskStore(filepath.Join(cfg.DataDir, "disk"))
-	if err != nil {
-		return b, err
+	closeAll := func() {
+		for _, s := range b {
+			if s != nil {
+				s.Close()
+			}
+		}
 	}
 	segSize := cfg.SegmentSize
 	if segSize <= 0 {
 		segSize = 4 * core.MB
 	}
-	tert, err := OpenSegmentStore(filepath.Join(cfg.DataDir, "tertiary"), segSize)
-	if err != nil {
-		disk.Close()
-		return b, err
+	for t, ts := range tiers {
+		dir := filepath.Join(cfg.DataDir, ts.Name)
+		var err error
+		switch ts.Backend {
+		case "heap":
+			b[t] = newMemStore()
+		case "disk":
+			b[t], err = OpenDiskStore(dir)
+		case "mmap":
+			b[t], err = OpenMmapStore(dir)
+		case "segment":
+			b[t], err = OpenSegmentStore(dir, segSize)
+		default:
+			err = fmt.Errorf("storage: %w: unknown backend %q", core.ErrInvalid, ts.Backend)
+		}
+		if err != nil {
+			closeAll()
+			return nil, err
+		}
 	}
-	b[Memory] = newMemStore()
-	b[Disk] = disk
-	b[Tertiary] = tert
 	return b, nil
 }
 

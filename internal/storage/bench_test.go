@@ -30,7 +30,7 @@ var benchSizes = []struct {
 // tertiary segment log. Capacities scale with the payload (memory holds
 // one object, disk two) so the pinning works at every size.
 func BenchmarkAccessByTier(b *testing.B) {
-	for _, backing := range []string{"heap", "disk"} {
+	for _, backing := range []string{"heap", "disk", "mmap"} {
 		for _, size := range benchSizes {
 			cfg := Config{
 				MemCapacity:  core.Bytes(size.bytes),
@@ -39,8 +39,18 @@ func BenchmarkAccessByTier(b *testing.B) {
 				SummaryRatio:     0.1,
 				SummaryThreshold: 1, // no "large documents": full copies only
 			}
-			if backing == "disk" {
+			switch backing {
+			case "disk":
 				cfg.DataDir = b.TempDir()
+			case "mmap":
+				// Same three-level shape, middle tier on the arena store: its
+				// rows land between heap and per-file disk in cost.
+				cfg.DataDir = b.TempDir()
+				cfg.Tiers = []TierSpec{
+					{Name: "memory", Backend: "heap", Capacity: cfg.MemCapacity, Latency: cfg.MemLatency},
+					{Name: "mmap", Backend: "mmap", Capacity: cfg.DiskCapacity, Latency: cfg.DiskLatency},
+					{Name: "tertiary", Backend: "segment", Capacity: 0, Latency: cfg.TertiaryLatency},
+				}
 			}
 			m, err := NewManager(cfg)
 			if err != nil {
@@ -65,7 +75,7 @@ func BenchmarkAccessByTier(b *testing.B) {
 			}
 			for tier := Memory; tier < numTiers; tier++ {
 				id := ids[tier]
-				b.Run(fmt.Sprintf("backing=%s/size=%s/tier=%s/mode=fetch", backing, size.label, tier), func(b *testing.B) {
+				b.Run(fmt.Sprintf("backing=%s/size=%s/tier=%s/mode=fetch", backing, size.label, m.TierName(tier)), func(b *testing.B) {
 					b.ReportAllocs()
 					b.SetBytes(size.bytes)
 					for i := 0; i < b.N; i++ {
@@ -77,7 +87,7 @@ func BenchmarkAccessByTier(b *testing.B) {
 				// The streaming rows move the same bytes through Open +
 				// WriteTo instead of materializing a []byte: B/op must stay
 				// flat as the payload grows, on every backend.
-				b.Run(fmt.Sprintf("backing=%s/size=%s/tier=%s/mode=stream", backing, size.label, tier), func(b *testing.B) {
+				b.Run(fmt.Sprintf("backing=%s/size=%s/tier=%s/mode=stream", backing, size.label, m.TierName(tier)), func(b *testing.B) {
 					b.ReportAllocs()
 					b.SetBytes(size.bytes)
 					for i := 0; i < b.N; i++ {

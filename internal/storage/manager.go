@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -11,12 +12,16 @@ import (
 
 // Manager is the storage manager. Safe for concurrent use.
 type Manager struct {
-	mu      sync.RWMutex
-	cfg     Config
+	mu  sync.RWMutex
+	cfg Config
+	// tiers is the live tier table, fastest first. The slice itself is
+	// immutable after construction (Name/Backend/Latency never change);
+	// Capacity is retargeted under mu by ResizeTiers.
+	tiers   []TierSpec
 	objects map[core.ObjectID]*object
-	// backends hold the actual payload bytes, one store per tier.
-	backends [numTiers]BlobStore
-	used     [numTiers]core.Bytes
+	// backends hold the actual payload bytes, one store per tier-table row.
+	backends []BlobStore
+	used     []core.Bytes
 	stats    Stats
 	// memGen counts memory-residency changes; memDirty is the coalesced set
 	// of objects whose memory-tier copy changed since the last drain. The
@@ -26,33 +31,101 @@ type Manager struct {
 	memDirty map[core.ObjectID]struct{}
 }
 
-// NewManager returns an empty manager. Capacities must be positive and
-// latencies non-decreasing down the hierarchy. With cfg.DataDir set, the
-// disk and tertiary backends are opened (created) under it; RecoverFromDisk
-// re-adopts whatever a previous process left there.
+// NewManager returns an empty manager. The tier table comes from
+// Config.Tiers when set, else the classic memory/disk/tertiary stack from
+// the legacy capacity/latency fields. With cfg.DataDir set, the persistent
+// backends are opened (created) under it; RecoverFromDisk re-adopts
+// whatever a previous process left there.
 func NewManager(cfg Config) (*Manager, error) {
-	if cfg.MemCapacity <= 0 || cfg.DiskCapacity <= 0 {
-		return nil, fmt.Errorf("storage: %w: capacities must be positive", core.ErrInvalid)
-	}
-	if cfg.MemLatency > cfg.DiskLatency || cfg.DiskLatency > cfg.TertiaryLatency {
-		return nil, fmt.Errorf("storage: %w: latencies must grow down the hierarchy", core.ErrInvalid)
-	}
 	if cfg.SummaryRatio < 0 || cfg.SummaryRatio >= 1 {
 		return nil, fmt.Errorf("storage: %w: summary ratio %v outside [0,1)", core.ErrInvalid, cfg.SummaryRatio)
 	}
 	if cfg.SummaryThreshold == 0 {
 		cfg.SummaryThreshold = 0.25
 	}
-	backends, err := openBackends(cfg)
+	tiers, err := cfg.tierTable()
 	if err != nil {
 		return nil, err
 	}
-	return &Manager{
+	backends, err := openBackends(cfg, tiers)
+	if err != nil {
+		return nil, err
+	}
+	m := &Manager{
 		cfg:      cfg,
+		tiers:    tiers,
 		objects:  make(map[core.ObjectID]*object),
 		backends: backends,
+		used:     make([]core.Bytes, len(tiers)),
 		memDirty: make(map[core.ObjectID]struct{}),
-	}, nil
+	}
+	m.stats.MovedBytes = make([]core.Bytes, len(tiers))
+	m.stats.DemotedBytes = make([]core.Bytes, len(tiers))
+	return m, nil
+}
+
+// numTiers returns the live depth of the hierarchy as a Tier bound.
+func (m *Manager) numTiers() Tier { return Tier(len(m.tiers)) }
+
+// last returns the anchor tier: the unbounded bottom of the table.
+func (m *Manager) last() Tier { return Tier(len(m.tiers) - 1) }
+
+// newObject allocates an object record sized for the live tier table.
+func (m *Manager) newObject(id core.ObjectID, size core.Bytes, version int, prio core.Priority, hasPayload bool) *object {
+	return &object{
+		id: id, size: size, version: version, priority: prio,
+		hasPayload: hasPayload,
+		copies:     make([]copyState, len(m.tiers)),
+	}
+}
+
+// NumTiers returns the depth of the live tier table.
+func (m *Manager) NumTiers() int { return len(m.tiers) }
+
+// TierName names tier t per the live table ("memory", "mmap", "disk", ...).
+func (m *Manager) TierName(t Tier) string {
+	if t < 0 || t >= m.numTiers() {
+		return t.String()
+	}
+	return m.tiers[t].Name
+}
+
+// TierByName resolves a tier-table name to its index.
+func (m *Manager) TierByName(name string) (Tier, bool) {
+	for t, ts := range m.tiers {
+		if ts.Name == name {
+			return Tier(t), true
+		}
+	}
+	return 0, false
+}
+
+// Tiers returns a snapshot of the live tier table with occupancy and
+// movement counters — the /stats storage section and the admin-resize
+// response body.
+func (m *Manager) Tiers() []TierInfo {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]TierInfo, len(m.tiers))
+	for t, ts := range m.tiers {
+		out[t] = TierInfo{
+			Name:     ts.Name,
+			Backend:  ts.Backend,
+			Capacity: ts.Capacity,
+			Used:     m.used[t],
+			Moved:    m.stats.MovedBytes[t],
+			Demoted:  m.stats.DemotedBytes[t],
+			Latency:  ts.Latency,
+		}
+	}
+	for _, o := range m.objects {
+		for t := range m.tiers {
+			if o.copies[t].present {
+				out[t].Objects++
+			}
+		}
+	}
+	return out
 }
 
 // Backend exposes the blob store behind one tier (read-mostly: tests and
@@ -102,19 +175,12 @@ func (m *Manager) ResidentAt(id core.ObjectID, t Tier) bool {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
 	o, ok := m.objects[id]
-	return ok && t >= Memory && t < numTiers && o.copies[t].present
+	return ok && t >= 0 && t < m.numTiers() && o.copies[t].present
 }
 
 // latency returns the access latency of tier t.
 func (m *Manager) latency(t Tier) core.Duration {
-	switch t {
-	case Memory:
-		return m.cfg.MemLatency
-	case Disk:
-		return m.cfg.DiskLatency
-	default:
-		return m.cfg.TertiaryLatency
-	}
+	return m.tiers[t].Latency
 }
 
 // Admit stores a new object with the given size, content version and
@@ -127,7 +193,7 @@ func (m *Manager) Admit(id core.ObjectID, size core.Bytes, version int, prio cor
 }
 
 // AdmitBytes admits an object together with its content. The payload
-// lands in the tertiary backend first (the unbounded level), then the
+// lands in the anchor backend first (the unbounded level), then the
 // placement pass copies it upward as far as its priority earns. The
 // manager owns the slice afterwards.
 func (m *Manager) AdmitBytes(id core.ObjectID, size core.Bytes, version int, prio core.Priority, payload []byte) error {
@@ -146,18 +212,19 @@ func (m *Manager) admit(id core.ObjectID, size core.Bytes, version int, prio cor
 	if _, dup := m.objects[id]; dup {
 		return fmt.Errorf("storage: admit %v: %w", id, core.ErrExists)
 	}
-	o := &object{id: id, size: size, version: version, priority: prio, hasPayload: hasPayload}
-	// Everything lands in tertiary first (the unbounded level), then the
-	// placement pass promotes it as far as its priority earns.
+	anchor := m.last()
+	o := m.newObject(id, size, version, prio, hasPayload)
+	// Everything lands in the anchor tier first (the unbounded level), then
+	// the placement pass promotes it as far as its priority earns.
 	if hasPayload {
-		if err := m.backends[Tertiary].Put(BlobKey{ID: id, Version: version}, payload); err != nil {
+		if err := m.backends[anchor].Put(BlobKey{ID: id, Version: version}, payload); err != nil {
 			return fmt.Errorf("storage: admit %v: %w", id, err)
 		}
 	}
-	o.copies[Tertiary] = copyState{present: true, version: version}
+	o.copies[anchor] = copyState{present: true, version: version}
 	m.objects[id] = o
-	m.used[Tertiary] += size
-	m.stats.MovedBytes[Tertiary] += size
+	m.used[anchor] += size
+	m.stats.MovedBytes[anchor] += size
 	m.placeLocked()
 	return nil
 }
@@ -178,6 +245,7 @@ type Admission struct {
 func (m *Manager) AdmitAll(batch []Admission) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	anchor := m.last()
 	for _, a := range batch {
 		if a.Size <= 0 {
 			return fmt.Errorf("storage: admit %v: %w: size %v", a.ID, core.ErrInvalid, a.Size)
@@ -189,16 +257,16 @@ func (m *Manager) AdmitAll(batch []Admission) error {
 		if v < 1 {
 			v = 1
 		}
-		o := &object{id: a.ID, size: a.Size, version: v, priority: a.Priority, hasPayload: a.Payload != nil}
+		o := m.newObject(a.ID, a.Size, v, a.Priority, a.Payload != nil)
 		if o.hasPayload {
-			if err := m.backends[Tertiary].Put(BlobKey{ID: a.ID, Version: v}, a.Payload); err != nil {
+			if err := m.backends[anchor].Put(BlobKey{ID: a.ID, Version: v}, a.Payload); err != nil {
 				return fmt.Errorf("storage: admit %v: %w", a.ID, err)
 			}
 		}
-		o.copies[Tertiary] = copyState{present: true, version: v}
+		o.copies[anchor] = copyState{present: true, version: v}
 		m.objects[a.ID] = o
-		m.used[Tertiary] += a.Size
-		m.stats.MovedBytes[Tertiary] += a.Size
+		m.used[anchor] += a.Size
+		m.stats.MovedBytes[anchor] += a.Size
 	}
 	m.placeLocked()
 	return nil
@@ -214,7 +282,7 @@ func (m *Manager) Remove(id core.ObjectID) error {
 	if !ok {
 		return fmt.Errorf("storage: remove %v: %w", id, core.ErrNotFound)
 	}
-	for t := Memory; t < numTiers; t++ {
+	for t := Tier(0); t < m.numTiers(); t++ {
 		m.used[t] -= o.footprint(t, m.cfg.SummaryRatio)
 		if o.hasPayload && o.copies[t].present {
 			m.backends[t].Delete(o.copies[t].key(id))
@@ -247,14 +315,44 @@ func (m *Manager) Fetch(id core.ObjectID) (AccessResult, []byte, error) {
 		return res, nil, err
 	}
 	// The backend read happens outside the manager lock: the blob stores
-	// are internally synchronized, and a concurrent placement that deletes
-	// the copy between unlock and read surfaces as ErrNotFound, which the
-	// caller handles like a miss.
+	// are internally synchronized. A concurrent placement (a resize
+	// mid-migration) may delete the copy between unlock and read; the copy
+	// then lives at some other tier, so re-resolve and retry rather than
+	// reporting a missing blob that the manager still holds.
 	data, err := m.backends[res.Tier].Get(BlobKey{ID: id, Version: res.Version})
+	for retry := 0; err != nil && errors.Is(err, core.ErrNotFound) && retry < relocateRetries; retry++ {
+		tier, ver, ok := m.fullCopy(id)
+		if !ok {
+			break
+		}
+		res.Tier, res.Version = tier, ver
+		res.Latency = m.latency(tier)
+		data, err = m.backends[tier].Get(BlobKey{ID: id, Version: ver})
+	}
 	if err != nil {
 		return res, nil, err
 	}
 	return res, data, nil
+}
+
+// relocateRetries bounds how often the streaming read paths chase a blob
+// that a concurrent resize moved between tier resolution and backend open.
+const relocateRetries = 4
+
+// fullCopy locates the fastest full copy of id right now (no stats).
+func (m *Manager) fullCopy(id core.ObjectID) (Tier, int, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	o, ok := m.objects[id]
+	if !ok {
+		return 0, 0, false
+	}
+	for t := Tier(0); t < m.numTiers(); t++ {
+		if c := o.copies[t]; c.present && !c.summaryOnly {
+			return t, c.version, true
+		}
+	}
+	return 0, 0, false
 }
 
 // FetchStream serves the object like Fetch — identical placement and
@@ -270,8 +368,18 @@ func (m *Manager) FetchStream(id core.ObjectID) (AccessResult, BlobReader, error
 		return res, nil, err
 	}
 	// As with Fetch, the backend open happens outside the manager lock; a
-	// concurrent placement that deletes the copy surfaces as ErrNotFound.
+	// copy deleted by a concurrent resize is re-resolved from its new tier
+	// so a mid-migration blob serves from either its old or new home.
 	br, err := m.backends[res.Tier].Open(BlobKey{ID: id, Version: res.Version})
+	for retry := 0; err != nil && errors.Is(err, core.ErrNotFound) && retry < relocateRetries; retry++ {
+		tier, ver, ok := m.fullCopy(id)
+		if !ok {
+			break
+		}
+		res.Tier, res.Version = tier, ver
+		res.Latency = m.latency(tier)
+		br, err = m.backends[tier].Open(BlobKey{ID: id, Version: ver})
+	}
 	if err != nil {
 		return res, nil, err
 	}
@@ -284,30 +392,24 @@ func (m *Manager) FetchStream(id core.ObjectID) (AccessResult, BlobReader, error
 func (m *Manager) PeekStream(id core.ObjectID) (BlobReader, int, error) {
 	m.mu.RLock()
 	o, ok := m.objects[id]
-	if !ok || !o.hasPayload {
-		m.mu.RUnlock()
+	hasPayload := ok && o.hasPayload
+	m.mu.RUnlock()
+	if !hasPayload {
 		return nil, 0, fmt.Errorf("storage: peek %v: %w", id, core.ErrNotFound)
 	}
-	var (
-		tier  Tier
-		ver   int
-		found bool
-	)
-	for t := Memory; t < numTiers; t++ {
-		if c := o.copies[t]; c.present && !c.summaryOnly {
-			tier, ver, found = t, c.version, true
-			break
+	for attempt := 0; ; attempt++ {
+		tier, ver, found := m.fullCopy(id)
+		if !found {
+			return nil, 0, fmt.Errorf("storage: peek %v: no full copy resident: %w", id, core.ErrNotFound)
+		}
+		br, err := m.backends[tier].Open(BlobKey{ID: id, Version: ver})
+		if err == nil {
+			return br, ver, nil
+		}
+		if !errors.Is(err, core.ErrNotFound) || attempt >= relocateRetries {
+			return nil, 0, err
 		}
 	}
-	m.mu.RUnlock()
-	if !found {
-		return nil, 0, fmt.Errorf("storage: peek %v: no full copy resident: %w", id, core.ErrNotFound)
-	}
-	br, err := m.backends[tier].Open(BlobKey{ID: id, Version: ver})
-	if err != nil {
-		return nil, 0, err
-	}
-	return br, ver, nil
 }
 
 // Peek returns the payload bytes and content version of the fastest full
@@ -316,30 +418,24 @@ func (m *Manager) PeekStream(id core.ObjectID) (BlobReader, int, error) {
 func (m *Manager) Peek(id core.ObjectID) ([]byte, int, error) {
 	m.mu.RLock()
 	o, ok := m.objects[id]
-	if !ok || !o.hasPayload {
-		m.mu.RUnlock()
+	hasPayload := ok && o.hasPayload
+	m.mu.RUnlock()
+	if !hasPayload {
 		return nil, 0, fmt.Errorf("storage: peek %v: %w", id, core.ErrNotFound)
 	}
-	var (
-		tier  Tier
-		ver   int
-		found bool
-	)
-	for t := Memory; t < numTiers; t++ {
-		if c := o.copies[t]; c.present && !c.summaryOnly {
-			tier, ver, found = t, c.version, true
-			break
+	for attempt := 0; ; attempt++ {
+		tier, ver, found := m.fullCopy(id)
+		if !found {
+			return nil, 0, fmt.Errorf("storage: peek %v: no full copy resident: %w", id, core.ErrNotFound)
+		}
+		data, err := m.backends[tier].Get(BlobKey{ID: id, Version: ver})
+		if err == nil {
+			return data, ver, nil
+		}
+		if !errors.Is(err, core.ErrNotFound) || attempt >= relocateRetries {
+			return nil, 0, err
 		}
 	}
-	m.mu.RUnlock()
-	if !found {
-		return nil, 0, fmt.Errorf("storage: peek %v: no full copy resident: %w", id, core.ErrNotFound)
-	}
-	data, err := m.backends[tier].Get(BlobKey{ID: id, Version: ver})
-	if err != nil {
-		return nil, 0, err
-	}
-	return data, ver, nil
 }
 
 // accessLocked is the shared body of Access and Fetch. Requires m.mu.
@@ -350,7 +446,7 @@ func (m *Manager) accessLocked(id core.ObjectID) (AccessResult, *object, error) 
 	}
 	var res AccessResult
 	served := false
-	for t := Memory; t < numTiers; t++ {
+	for t := Tier(0); t < m.numTiers(); t++ {
 		c := o.copies[t]
 		if !c.present {
 			continue
@@ -386,7 +482,7 @@ func (m *Manager) Contains(id core.ObjectID) (Tier, bool) {
 	if !ok {
 		return 0, false
 	}
-	for t := Memory; t < numTiers; t++ {
+	for t := Tier(0); t < m.numTiers(); t++ {
 		if o.copies[t].present {
 			return t, true
 		}
@@ -422,11 +518,11 @@ func (m *Manager) ApplyPriorities(prios map[core.ObjectID]core.Priority) {
 	m.placeLocked()
 }
 
-// Update records a new content version: the fast copies (memory, disk)
-// are rewritten in place; the tertiary copy goes stale until the next
-// Backup. An object resident only in tertiary is updated there directly.
-// Payload-carrying objects must use UpdateBytes so the rewritten copies
-// have the bytes their new version label claims.
+// Update records a new content version: the fast copies are rewritten in
+// place; the anchor copy goes stale until the next Backup. An object
+// resident only in the anchor is updated there directly. Payload-carrying
+// objects must use UpdateBytes so the rewritten copies have the bytes
+// their new version label claims.
 func (m *Manager) Update(id core.ObjectID, newVersion int) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -460,8 +556,9 @@ func (m *Manager) updateLocked(o *object, newVersion int, payload []byte) error 
 		return fmt.Errorf("storage: update %v: %w: version %d <= current %d", o.id, core.ErrInvalid, newVersion, o.version)
 	}
 	o.version = newVersion
+	anchor := m.last()
 	fastCopy := false
-	for t := Memory; t < Tertiary; t++ {
+	for t := Tier(0); t < anchor; t++ {
 		c := &o.copies[t]
 		if !c.present {
 			continue
@@ -481,13 +578,13 @@ func (m *Manager) updateLocked(o *object, newVersion int, payload []byte) error 
 		fastCopy = true
 	}
 	if !fastCopy {
-		c := &o.copies[Tertiary]
+		c := &o.copies[anchor]
 		if o.hasPayload {
-			m.backends[Tertiary].Delete(c.key(o.id))
-			if err := m.backends[Tertiary].Put(BlobKey{ID: o.id, Version: newVersion}, payload); err != nil {
+			m.backends[anchor].Delete(c.key(o.id))
+			if err := m.backends[anchor].Put(BlobKey{ID: o.id, Version: newVersion}, payload); err != nil {
 				return fmt.Errorf("storage: update %v: %w", o.id, err)
 			}
-			m.stats.MovedBytes[Tertiary] += core.Bytes(len(payload))
+			m.stats.MovedBytes[anchor] += core.Bytes(len(payload))
 		}
 		c.version = newVersion
 	}
@@ -506,16 +603,17 @@ func (m *Manager) summarize(payload []byte, target core.Bytes) []byte {
 	return payload[:target]
 }
 
-// Backup refreshes every stale or missing tertiary copy from the current
+// Backup refreshes every stale or missing anchor copy from the current
 // content — the periodic process the paper's copy-control rule assumes —
-// and then offers the tertiary backend a compaction pass. For an object
+// and then offers the anchor backend a compaction pass. For an object
 // whose current bytes no longer exist on a fast tier (demotion already
-// dropped them), the stale tertiary copy is left as-is: backup copies
+// dropped them), the stale anchor copy is left as-is: backup copies
 // data, it does not invent it.
 func (m *Manager) Backup() {
 	m.mu.Lock()
+	anchor := m.last()
 	for _, o := range m.objects {
-		ct := &o.copies[Tertiary]
+		ct := &o.copies[anchor]
 		if ct.present && ct.version >= o.version {
 			continue
 		}
@@ -529,39 +627,41 @@ func (m *Manager) Backup() {
 				continue
 			}
 			if ct.present {
-				m.backends[Tertiary].Delete(ct.key(o.id))
+				m.backends[anchor].Delete(ct.key(o.id))
 			}
 			n := br.Len()
-			err := m.backends[Tertiary].PutFrom(BlobKey{ID: o.id, Version: ver}, br, n)
+			err := m.backends[anchor].PutFrom(BlobKey{ID: o.id, Version: ver}, br, n)
 			br.Close()
 			if err != nil {
 				continue // leave the old copy standing; retried next sweep
 			}
-			m.stats.MovedBytes[Tertiary] += core.Bytes(n)
+			m.stats.MovedBytes[anchor] += core.Bytes(n)
 			if !ct.present {
-				m.used[Tertiary] += o.size
+				m.used[anchor] += o.size
 			}
 			*ct = copyState{present: true, version: ver}
 			continue
 		}
 		if !ct.present {
 			*ct = copyState{present: true, version: o.version}
-			m.used[Tertiary] += o.size
+			m.used[anchor] += o.size
 		} else {
 			ct.version = o.version
 		}
 	}
 	m.stats.Backups++
 	m.mu.Unlock()
-	if c, ok := m.backends[Tertiary].(compacter); ok {
-		c.MaybeCompact()
+	for t := m.numTiers() - 1; t >= 0; t-- {
+		if c, ok := m.backends[t].(compacter); ok {
+			c.MaybeCompact()
+		}
 	}
 }
 
 // Sync flushes every backend to stable storage.
 func (m *Manager) Sync() error {
-	for t := Memory; t < numTiers; t++ {
-		if err := m.backends[t].Sync(); err != nil {
+	for _, b := range m.backends {
+		if err := b.Sync(); err != nil {
 			return err
 		}
 	}
@@ -572,8 +672,8 @@ func (m *Manager) Sync() error {
 // afterwards.
 func (m *Manager) Close() error {
 	var first error
-	for t := Memory; t < numTiers; t++ {
-		if err := m.backends[t].Close(); err != nil && first == nil {
+	for _, b := range m.backends {
+		if err := b.Close(); err != nil && first == nil {
 			first = err
 		}
 	}
@@ -610,35 +710,69 @@ func (m *Manager) ResidentIDs(t Tier) []core.ObjectID {
 	return out
 }
 
-// Resize retargets the finite tiers' capacities at runtime and
-// immediately re-places the whole population under the new targets —
-// shrinking demotes the lowest-priority residents (their fast copies are
-// deleted; the tertiary copy always survives), growing promotes the
-// highest-priority spillovers back up. This is the capacity-shrink-
-// mid-workload lever the scenario matrix exercises.
+// Resize retargets the classic finite tiers — tier 0 and the
+// second-to-last tier ("memory" and "disk" on the default table) — and
+// incrementally re-solves placement. Kept as the two-argument legacy
+// surface; ResizeTiers addresses any tier by name.
 func (m *Manager) Resize(mem, disk core.Bytes) error {
 	if mem < 0 || disk < 0 {
 		return fmt.Errorf("storage: resize: %w: capacities %v/%v", core.ErrInvalid, mem, disk)
 	}
+	targets := map[string]core.Bytes{m.tiers[0].Name: mem}
+	if d := m.last() - 1; d > 0 {
+		targets[m.tiers[d].Name] = disk
+	}
+	return m.ResizeTiers(targets)
+}
+
+// ResizeTiers retargets any subset of the finite tiers' capacities by
+// tier-table name and re-solves placement *incrementally*: only the delta
+// set of blobs moves. Shrinking a tier demotes its lowest-priority
+// residents (invalidating the fast copies — free in I/O terms, counted in
+// DemotedBytes); growing promotes the highest-priority candidates that
+// hold a copy one tier down, streaming bytes upward (counted in
+// MovedBytes). A resize never sweeps or re-materializes the whole
+// population the way admission-time placement does.
+func (m *Manager) ResizeTiers(targets map[string]core.Bytes) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.cfg.MemCapacity, m.cfg.DiskCapacity = mem, disk
-	m.placeLocked()
+	for name, c := range targets {
+		t, ok := m.TierByName(name)
+		if !ok {
+			return fmt.Errorf("storage: resize: %w: unknown tier %q", core.ErrInvalid, name)
+		}
+		if t == m.last() {
+			return fmt.Errorf("storage: resize: %w: tier %q is the unbounded anchor", core.ErrInvalid, name)
+		}
+		if c < 0 {
+			return fmt.Errorf("storage: resize: %w: tier %q capacity %v", core.ErrInvalid, name, c)
+		}
+	}
+	for name, c := range targets {
+		t, _ := m.TierByName(name)
+		m.tiers[t].Capacity = c
+	}
+	m.stats.Resizes++
+	m.resizeLocked()
 	return nil
 }
 
-// Capacities returns the current finite-tier capacity targets.
+// Capacities returns the current capacity targets of the classic finite
+// tiers (tier 0 and the second-to-last tier).
 func (m *Manager) Capacities() (mem, disk core.Bytes) {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
-	return m.cfg.MemCapacity, m.cfg.DiskCapacity
+	return m.tiers[0].Capacity, m.tiers[m.last()-1].Capacity
 }
 
 // Stats returns a copy of the activity counters.
 func (m *Manager) Stats() Stats {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
-	return m.stats
+	s := m.stats
+	s.MovedBytes = append([]core.Bytes(nil), m.stats.MovedBytes...)
+	s.DemotedBytes = append([]core.Bytes(nil), m.stats.DemotedBytes...)
+	return s
 }
 
 // Priority returns the object's current priority.

@@ -172,9 +172,20 @@ func (m *Manager) RecoverFromDisk() (int, RecoveryReport, error) {
 	}
 
 	// Index each persistent backend's surviving full copies: best (newest
-	// not exceeding the manifest's version) full blob per object.
+	// not exceeding the manifest's version) full blob per object. Tiers on
+	// the heap backend died with the process and are never adopted.
+	anchor := m.last()
+	persistent := make([]Tier, 0, len(m.tiers))
+	for t, ts := range m.tiers {
+		if ts.Backend != "heap" {
+			persistent = append(persistent, Tier(t))
+		}
+	}
 	type best map[core.ObjectID]int
-	bestAt := map[Tier]best{Disk: {}, Tertiary: {}}
+	bestAt := make(map[Tier]best, len(persistent))
+	for _, t := range persistent {
+		bestAt[t] = best{}
+	}
 	current := make(map[core.ObjectID]int, len(entries))
 	for _, e := range entries {
 		current[e.id] = e.version
@@ -195,28 +206,42 @@ func (m *Manager) RecoverFromDisk() (int, RecoveryReport, error) {
 		o := &object{
 			id: e.id, size: e.size, version: e.version, priority: e.priority,
 			tertiaryPos: e.tertiaryPos, hasPayload: e.hasPayload,
+			copies: make([]copyState, len(m.tiers)),
 		}
 		if e.hasPayload {
-			// Adopt only copies whose bytes actually survived.
-			for _, t := range []Tier{Disk, Tertiary} {
-				if v, ok := bestAt[t][e.id]; ok {
-					o.copies[t] = copyState{present: true, version: v}
+			// Adopt only copies whose bytes actually survived, slowest tier
+			// first. The anchor boundary tolerates version drift (backups
+			// lag); between finite tiers the exact-copy rule holds, so a
+			// faster tier's blob is adopted only when it matches the
+			// version adopted one tier down — otherwise it is swept and
+			// re-promoted by placement.
+			adopted := false
+			for i := len(persistent) - 1; i >= 0; i-- {
+				t := persistent[i]
+				v, ok := bestAt[t][e.id]
+				if !ok {
+					continue
 				}
+				if t < anchor-1 && (!o.copies[t+1].present || o.copies[t+1].version != v) {
+					continue
+				}
+				o.copies[t] = copyState{present: true, version: v}
+				adopted = true
 			}
-			if !o.copies[Disk].present && !o.copies[Tertiary].present {
+			if !adopted {
 				continue // lost entirely; the warehouse refetches on access
 			}
 		} else {
-			// Metadata-only objects have no bytes to lose: their tertiary
-			// anchor is notional and survives with the manifest.
-			o.copies[Tertiary] = copyState{present: true, version: e.version}
+			// Metadata-only objects have no bytes to lose: their anchor
+			// copy is notional and survives with the manifest.
+			o.copies[anchor] = copyState{present: true, version: e.version}
 		}
 		m.objects[e.id] = o
 	}
 
 	// Sweep orphans: blobs not referenced by any adopted copy (summaries
 	// are always regenerated, stray versions are superseded garbage).
-	for _, t := range []Tier{Disk, Tertiary} {
+	for _, t := range persistent {
 		for _, k := range m.backends[t].Keys() {
 			o, ok := m.objects[k.ID]
 			if ok && !k.Summary && o.copies[t].present && o.copies[t].version == k.Version {
@@ -226,12 +251,11 @@ func (m *Manager) RecoverFromDisk() (int, RecoveryReport, error) {
 		}
 	}
 
-	m.used = [numTiers]core.Bytes{}
+	m.used = make([]core.Bytes, len(m.tiers))
 	for _, o := range m.objects {
-		if o.copies[Tertiary].present {
-			m.used[Tertiary] += o.size
+		for t := range m.tiers {
+			m.used[t] += o.footprint(Tier(t), m.cfg.SummaryRatio)
 		}
-		// Disk usage is recomputed by the placement pass in recoverLocked.
 	}
 	rep := m.recoverLocked()
 	return len(m.objects), rep, nil

@@ -7,8 +7,10 @@ import (
 )
 
 // placeLocked recomputes the whole placement: objects sorted by priority
-// (descending; ties by ID for determinism) water-fill memory then disk;
-// everyone keeps/earns copies per the copy-control rules. Requires m.mu.
+// (descending; ties by ID for determinism) water-fill the finite tiers
+// top-down; everyone keeps/earns copies per the copy-control rules, which
+// generalize from the Figure-3 stack to any tier table as "a copy at tier
+// t requires a copy at tier t+1". Requires m.mu.
 func (m *Manager) placeLocked() {
 	ids := make([]core.ObjectID, 0, len(m.objects))
 	for id := range m.objects {
@@ -22,41 +24,171 @@ func (m *Manager) placeLocked() {
 		return a.id < b.id
 	})
 
-	var memUsed, diskUsed core.Bytes
+	anchor := m.last()
+	var usedNow [maxTiers]core.Bytes
+	var want, asSummary [maxTiers]bool
 	for _, id := range ids {
 		o := m.objects[id]
-		wantMem := false
-		memAsSummary := false
-		// Memory placement: a large document (§4.3 problem (3)) keeps only
-		// its summary in memory; a normal one gets a full copy if it fits.
-		// Small objects that simply don't fit go to disk — summaries are a
-		// levels-of-detail device for big documents, not a universal
-		// fallback.
-		big := float64(o.size) > m.cfg.SummaryThreshold*float64(m.cfg.MemCapacity)
-		switch {
-		case big && m.cfg.SummaryRatio > 0 &&
-			memUsed+o.summarySize(m.cfg.SummaryRatio) <= m.cfg.MemCapacity:
-			wantMem, memAsSummary = true, true
-		case !big && memUsed+o.size <= m.cfg.MemCapacity:
-			wantMem = true
+		// Decide bottom-up so the nesting rule composes: a tier only wants
+		// the object if the next slower tier does too (the anchor always
+		// holds it). Intermediate tiers hold full bodies; the summary
+		// device applies at tier 0 only — "an object too large for the
+		// tier its priority deserves keeps a small summary at that tier
+		// while the full body stays one level down".
+		for t := anchor - 1; t >= 1; t-- {
+			below := t == anchor-1 || want[t+1]
+			want[t] = below && usedNow[t]+o.size <= m.tiers[t].Capacity
+			asSummary[t] = false
 		}
-		// Disk fills by the same priority order until capacity. The disk
-		// copy carries the full body even when memory holds a summary.
-		wantDisk := diskUsed+o.size <= m.cfg.DiskCapacity
-		if wantMem && !wantDisk {
-			// Cannot satisfy the exact-copy invariant: demote from memory.
-			wantMem, memAsSummary = false, false
+		memCap := m.tiers[0].Capacity
+		big := float64(o.size) > m.cfg.SummaryThreshold*float64(memCap)
+		below := anchor == 1 || want[1]
+		want[0], asSummary[0] = false, false
+		switch {
+		case !below:
+			// Cannot satisfy the exact-copy invariant: stay demoted.
+		case big && m.cfg.SummaryRatio > 0 &&
+			usedNow[0]+o.summarySize(m.cfg.SummaryRatio) <= memCap:
+			want[0], asSummary[0] = true, true
+		case !big && usedNow[0]+o.size <= memCap:
+			want[0] = true
 		}
 
-		m.applyPlacement(o, Memory, wantMem, memAsSummary)
-		m.applyPlacement(o, Disk, wantDisk, false)
+		// Apply bottom-up so promotions find their source one tier down
+		// already materialized (the cheapest copy distance).
+		for t := anchor - 1; t >= 0; t-- {
+			m.applyPlacement(o, t, want[t], asSummary[t])
+		}
 		// footprint, not the wanted state, feeds the accounting: a payload
 		// promotion that found no source bytes leaves the copy absent.
-		memUsed += o.footprint(Memory, m.cfg.SummaryRatio)
-		diskUsed += o.footprint(Disk, m.cfg.SummaryRatio)
+		for t := Tier(0); t < anchor; t++ {
+			usedNow[t] += o.footprint(t, m.cfg.SummaryRatio)
+		}
 	}
-	m.used[Memory] = memUsed
-	m.used[Disk] = diskUsed
+	for t := Tier(0); t < anchor; t++ {
+		m.used[t] = usedNow[t]
+	}
+}
+
+// resizeLocked re-solves placement incrementally after a capacity
+// retarget: only the delta set of blobs moves. Requires m.mu.
+//
+// Shrink pass (slowest tier first): a tier over its new target demotes
+// its lowest-priority residents, cascading the invalidation to every
+// faster tier so the nesting invariant survives. Demotion deletes bytes,
+// it never writes them — the anchor copy is the durable source — so a
+// shrink costs no I/O and is visible in DemotedBytes, not MovedBytes.
+//
+// Grow pass (slowest tier first, so a promotion can cascade upward in one
+// call): a tier under its target promotes the highest-priority objects
+// that hold a copy one tier down and none here, streaming bytes upward
+// through the normal applyPlacement/copyBlobLocked path (MovedBytes).
+func (m *Manager) resizeLocked() {
+	anchor := m.last()
+
+	for t := anchor - 1; t >= 0; t-- {
+		if m.used[t] <= m.tiers[t].Capacity {
+			continue
+		}
+		// Ascending priority: the mirror image of the water-fill order, so
+		// the demoted frontier is exactly the set a full sweep would evict.
+		resid := m.residentsLocked(t)
+		sort.Slice(resid, func(i, j int) bool {
+			a, b := resid[i], resid[j]
+			if a.priority != b.priority {
+				return a.priority < b.priority
+			}
+			return a.id > b.id
+		})
+		for _, o := range resid {
+			if m.used[t] <= m.tiers[t].Capacity {
+				break
+			}
+			for u := Tier(0); u <= t; u++ {
+				m.demoteLocked(o, u)
+			}
+		}
+	}
+
+	for t := anchor - 1; t >= 0; t-- {
+		if m.used[t] >= m.tiers[t].Capacity {
+			continue
+		}
+		// Promotion candidates hold a full copy one tier down and either
+		// nothing here or (tier 0 only) a summary that a grown capacity
+		// may now upgrade to the full body.
+		cands := make([]*object, 0)
+		for _, o := range m.objects {
+			if !o.copies[t+1].present || o.copies[t+1].summaryOnly {
+				continue
+			}
+			if !o.copies[t].present || (t == 0 && o.copies[t].summaryOnly) {
+				cands = append(cands, o)
+			}
+		}
+		sort.Slice(cands, func(i, j int) bool {
+			a, b := cands[i], cands[j]
+			if a.priority != b.priority {
+				return a.priority > b.priority
+			}
+			return a.id < b.id
+		})
+		for _, o := range cands {
+			summaryOnly := false
+			fp := o.size
+			if t == 0 {
+				big := float64(o.size) > m.cfg.SummaryThreshold*float64(m.tiers[0].Capacity)
+				if big {
+					if m.cfg.SummaryRatio <= 0 {
+						continue
+					}
+					summaryOnly = true
+					fp = o.summarySize(m.cfg.SummaryRatio)
+				}
+			}
+			prev := o.footprint(t, m.cfg.SummaryRatio)
+			if o.copies[t].present && o.copies[t].summaryOnly == summaryOnly {
+				continue // already in the deserved shape
+			}
+			if m.used[t]-prev+fp > m.tiers[t].Capacity {
+				continue // a smaller, lower-priority object may still fit
+			}
+			m.applyPlacement(o, t, true, summaryOnly)
+			m.used[t] += o.footprint(t, m.cfg.SummaryRatio) - prev
+		}
+	}
+}
+
+// residentsLocked lists the objects with a copy at tier t. Requires m.mu.
+func (m *Manager) residentsLocked(t Tier) []*object {
+	out := make([]*object, 0)
+	for _, o := range m.objects {
+		if o.copies[t].present {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// demoteLocked invalidates o's copy at tier t (a no-op when absent):
+// bytes are deleted, never moved, and the loss is counted in
+// DemotedBytes. Requires m.mu.
+func (m *Manager) demoteLocked(o *object, t Tier) {
+	c := &o.copies[t]
+	if !c.present {
+		return
+	}
+	fp := o.footprint(t, m.cfg.SummaryRatio)
+	if o.hasPayload {
+		m.backends[t].Delete(c.key(o.id))
+	}
+	*c = copyState{}
+	m.used[t] -= fp
+	m.stats.DemotedBytes[t] += fp
+	m.stats.Migrations++
+	if t == 0 {
+		m.noteMemLocked(o.id)
+	}
 }
 
 // applyPlacement transitions one object's copy at tier t to the desired
@@ -64,8 +196,9 @@ func (m *Manager) placeLocked() {
 // created by promotion carries its source's version (upgrade copies
 // data, so a copy promoted from a stale backup is honestly stale too);
 // an invalidated copy simply disappears (downgrade is free, its bytes
-// are deleted). For metadata-only objects there are no bytes to move and
-// the promoted copy is labeled with the current version, as before.
+// are deleted and counted in DemotedBytes). For metadata-only objects
+// there are no bytes to move and the promoted copy is labeled with the
+// current version, as before.
 func (m *Manager) applyPlacement(o *object, t Tier, want, summaryOnly bool) {
 	moved := o.size
 	if summaryOnly {
@@ -101,6 +234,7 @@ func (m *Manager) applyPlacement(o *object, t Tier, want, summaryOnly bool) {
 		c.version = ver
 		m.stats.MovedBytes[t] += moved
 	case !want && c.present:
+		m.stats.DemotedBytes[t] += o.footprint(t, m.cfg.SummaryRatio)
 		if o.hasPayload {
 			m.backends[t].Delete(c.key(o.id))
 		}
@@ -109,7 +243,7 @@ func (m *Manager) applyPlacement(o *object, t Tier, want, summaryOnly bool) {
 		return // no change: nothing to count or note
 	}
 	m.stats.Migrations++
-	if t == Memory {
+	if t == 0 {
 		m.noteMemLocked(o.id)
 	}
 }
@@ -147,7 +281,7 @@ func (m *Manager) copyBlobLocked(o *object, t Tier, summaryOnly bool) (int, bool
 
 // readFullLocked reads the bytes of o's fastest full copy. Requires m.mu.
 func (m *Manager) readFullLocked(o *object) ([]byte, int, bool) {
-	for t := Memory; t < numTiers; t++ {
+	for t := Tier(0); t < m.numTiers(); t++ {
 		c := o.copies[t]
 		if !c.present || c.summaryOnly {
 			continue
@@ -161,7 +295,7 @@ func (m *Manager) readFullLocked(o *object) ([]byte, int, bool) {
 
 // openFullLocked opens a stream over o's fastest full copy. Requires m.mu.
 func (m *Manager) openFullLocked(o *object) (BlobReader, int, bool) {
-	for t := Memory; t < numTiers; t++ {
+	for t := Tier(0); t < m.numTiers(); t++ {
 		c := o.copies[t]
 		if !c.present || c.summaryOnly {
 			continue

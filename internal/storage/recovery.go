@@ -19,10 +19,10 @@ type RecoveryReport struct {
 }
 
 // DropTier simulates the failure of one tier: every copy there vanishes,
-// metadata and bytes both. Dropping Tertiary is allowed (a tape library
+// metadata and bytes both. Dropping the anchor is allowed (a tape library
 // can burn down too).
 func (m *Manager) DropTier(t Tier) error {
-	if t < Memory || t >= numTiers {
+	if t < 0 || t >= m.numTiers() {
 		return fmt.Errorf("storage: drop: %w: tier %d", core.ErrInvalid, int(t))
 	}
 	m.mu.Lock()
@@ -30,7 +30,7 @@ func (m *Manager) DropTier(t Tier) error {
 	for id, o := range m.objects {
 		if o.copies[t].present {
 			o.copies[t] = copyState{}
-			if t == Memory {
+			if t == 0 {
 				m.noteMemLocked(id)
 			}
 		}
@@ -58,25 +58,26 @@ func (m *Manager) Recover() RecoveryReport {
 // Requires m.mu.
 func (m *Manager) recoverLocked() RecoveryReport {
 	var rep RecoveryReport
+	anchor := m.last()
 
 	for id, o := range m.objects {
 		if o.hasPayload {
 			// A copy whose bytes are gone is no copy at all: trust the
 			// backends over the metadata (the metadata may have outlived a
 			// crash the bytes did not).
-			for t := Memory; t < numTiers; t++ {
+			for t := Tier(0); t < m.numTiers(); t++ {
 				c := &o.copies[t]
 				if c.present && !m.backends[t].Contains(c.key(id)) {
 					m.used[t] -= o.footprint(t, m.cfg.SummaryRatio)
 					*c = copyState{}
-					if t == Memory {
+					if t == 0 {
 						m.noteMemLocked(id)
 					}
 				}
 			}
 		}
 		bestVersion := -1
-		for t := Memory; t < numTiers; t++ {
+		for t := Tier(0); t < m.numTiers(); t++ {
 			c := o.copies[t]
 			if c.present && !c.summaryOnly && c.version > bestVersion {
 				bestVersion = c.version
@@ -84,7 +85,7 @@ func (m *Manager) recoverLocked() RecoveryReport {
 		}
 		if bestVersion < 0 {
 			// No full copy survived anywhere.
-			for t := Memory; t < numTiers; t++ {
+			for t := Tier(0); t < m.numTiers(); t++ {
 				m.used[t] -= o.footprint(t, m.cfg.SummaryRatio)
 				if o.hasPayload && o.copies[t].present {
 					m.backends[t].Delete(o.copies[t].key(id))
@@ -104,7 +105,7 @@ func (m *Manager) recoverLocked() RecoveryReport {
 			// content are dropped (payload: their bytes describe content
 			// that no longer exists) or refreshed from the restored body.
 			o.version = bestVersion
-			for t := Memory; t < numTiers; t++ {
+			for t := Tier(0); t < m.numTiers(); t++ {
 				c := &o.copies[t]
 				if !c.present || c.version <= bestVersion {
 					continue
@@ -113,7 +114,7 @@ func (m *Manager) recoverLocked() RecoveryReport {
 					m.used[t] -= o.footprint(t, m.cfg.SummaryRatio)
 					m.backends[t].Delete(c.key(id))
 					*c = copyState{}
-					if t == Memory {
+					if t == 0 {
 						m.noteMemLocked(id)
 					}
 				} else {
@@ -121,31 +122,31 @@ func (m *Manager) recoverLocked() RecoveryReport {
 				}
 			}
 		}
-		// Ensure the tertiary anchor exists so placement invariants hold.
-		if !o.copies[Tertiary].present {
+		// Ensure the anchor copy exists so placement invariants hold.
+		if !o.copies[anchor].present {
 			if o.hasPayload {
 				data, ver, ok := m.readFullLocked(o)
 				if !ok {
 					continue // unreachable: bestVersion proved a readable copy
 				}
-				if err := m.backends[Tertiary].Put(BlobKey{ID: id, Version: ver}, data); err != nil {
+				if err := m.backends[anchor].Put(BlobKey{ID: id, Version: ver}, data); err != nil {
 					continue
 				}
-				o.copies[Tertiary] = copyState{present: true, version: ver}
+				o.copies[anchor] = copyState{present: true, version: ver}
 			} else {
-				o.copies[Tertiary] = copyState{present: true, version: bestVersion}
+				o.copies[anchor] = copyState{present: true, version: bestVersion}
 			}
 			rep.Restored++
 		}
 	}
-	// Recompute used[Tertiary] from scratch (objects may have been lost).
-	var tert core.Bytes
+	// Recompute the anchor's usage from scratch (objects may have been lost).
+	var bottom core.Bytes
 	for _, o := range m.objects {
-		if o.copies[Tertiary].present {
-			tert += o.size
+		if o.copies[anchor].present {
+			bottom += o.size
 		}
 	}
-	m.used[Tertiary] = tert
+	m.used[anchor] = bottom
 
 	// Re-place: promotions here are the restorations of fast copies.
 	before := m.stats.Migrations
@@ -156,64 +157,80 @@ func (m *Manager) recoverLocked() RecoveryReport {
 
 // CheckInvariants verifies the copy-control and capacity invariants; it
 // returns nil when all hold. Tests and property checks call this after
-// every mutation sequence. For payload-carrying objects it additionally
-// verifies that every advertised copy's bytes exist in its tier backend
-// and that the memory tier's full copies are byte-exact duplicates of
-// their disk copies.
+// every mutation sequence. The Figure-3 rules generalize to any tier
+// table: a copy at finite tier t requires a copy at t+1, and a full copy
+// at tier t is an exact (same-version, byte-identical) duplicate of the
+// t+1 copy — except across the anchor boundary, where the backup "may not
+// be an exact copy due to the periodical back-up process". For
+// payload-carrying objects it additionally verifies that every advertised
+// copy's bytes exist in its tier backend.
 func (m *Manager) CheckInvariants() error {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
-	var mem, disk core.Bytes
+	anchor := m.last()
+	recount := make([]core.Bytes, len(m.tiers))
 	for id, o := range m.objects {
-		cm, cd, ct := o.copies[Memory], o.copies[Disk], o.copies[Tertiary]
-		if cm.present && !cd.present {
-			return fmt.Errorf("storage: %v in memory without disk copy", id)
-		}
-		if cm.present && !cm.summaryOnly {
-			if cd.summaryOnly {
-				return fmt.Errorf("storage: %v full in memory over summary on disk", id)
+		resident := false
+		for t := Tier(0); t < m.numTiers(); t++ {
+			c := o.copies[t]
+			if !c.present {
+				continue
 			}
-			if cm.version != cd.version {
-				return fmt.Errorf("storage: %v memory v%d != disk v%d (exact-copy rule)", id, cm.version, cd.version)
+			resident = true
+			if c.version > o.version {
+				return fmt.Errorf("storage: %v has copy newer than current version at %s", id, m.TierName(t))
 			}
+			recount[t] += o.footprint(t, m.cfg.SummaryRatio)
 		}
-		if cm.present && cm.version > o.version || cd.present && cd.version > o.version || ct.present && ct.version > o.version {
-			return fmt.Errorf("storage: %v has copy newer than current version", id)
-		}
-		if !cm.present && !cd.present && !ct.present {
+		if !resident {
 			return fmt.Errorf("storage: %v resident nowhere", id)
 		}
-		if o.hasPayload {
-			for t := Memory; t < numTiers; t++ {
-				if c := o.copies[t]; c.present && !m.backends[t].Contains(c.key(id)) {
-					return fmt.Errorf("storage: %v copy at %v has no bytes (%v)", id, t, c.key(id))
+		for t := Tier(0); t < anchor-1; t++ {
+			c, next := o.copies[t], o.copies[t+1]
+			if !c.present {
+				continue
+			}
+			if !next.present {
+				return fmt.Errorf("storage: %v at %s without %s copy", id, m.TierName(t), m.TierName(t+1))
+			}
+			if !c.summaryOnly {
+				if next.summaryOnly {
+					return fmt.Errorf("storage: %v full at %s over summary at %s", id, m.TierName(t), m.TierName(t+1))
+				}
+				if c.version != next.version {
+					return fmt.Errorf("storage: %v %s v%d != %s v%d (exact-copy rule)", id, m.TierName(t), c.version, m.TierName(t+1), next.version)
 				}
 			}
-			if cm.present && !cm.summaryOnly {
-				a, err1 := m.backends[Memory].Get(cm.key(id))
-				b, err2 := m.backends[Disk].Get(cd.key(id))
+		}
+		if o.hasPayload {
+			for t := Tier(0); t < m.numTiers(); t++ {
+				if c := o.copies[t]; c.present && !m.backends[t].Contains(c.key(id)) {
+					return fmt.Errorf("storage: %v copy at %s has no bytes (%v)", id, m.TierName(t), c.key(id))
+				}
+			}
+			for t := Tier(0); t < anchor-1; t++ {
+				c, next := o.copies[t], o.copies[t+1]
+				if !c.present || c.summaryOnly {
+					continue
+				}
+				a, err1 := m.backends[t].Get(c.key(id))
+				b, err2 := m.backends[t+1].Get(next.key(id))
 				if err1 != nil || err2 != nil {
 					return fmt.Errorf("storage: %v exact-copy bytes unreadable: %v / %v", id, err1, err2)
 				}
 				if !bytes.Equal(a, b) {
-					return fmt.Errorf("storage: %v memory bytes differ from disk bytes (exact-copy rule)", id)
+					return fmt.Errorf("storage: %v %s bytes differ from %s bytes (exact-copy rule)", id, m.TierName(t), m.TierName(t+1))
 				}
 			}
 		}
-		mem += o.footprint(Memory, m.cfg.SummaryRatio)
-		disk += o.footprint(Disk, m.cfg.SummaryRatio)
 	}
-	if mem != m.used[Memory] {
-		return fmt.Errorf("storage: memory accounting %v != recount %v", m.used[Memory], mem)
-	}
-	if disk != m.used[Disk] {
-		return fmt.Errorf("storage: disk accounting %v != recount %v", m.used[Disk], disk)
-	}
-	if m.used[Memory] > m.cfg.MemCapacity {
-		return fmt.Errorf("storage: memory over capacity: %v > %v", m.used[Memory], m.cfg.MemCapacity)
-	}
-	if m.used[Disk] > m.cfg.DiskCapacity {
-		return fmt.Errorf("storage: disk over capacity: %v > %v", m.used[Disk], m.cfg.DiskCapacity)
+	for t := Tier(0); t < anchor; t++ {
+		if recount[t] != m.used[t] {
+			return fmt.Errorf("storage: %s accounting %v != recount %v", m.TierName(t), m.used[t], recount[t])
+		}
+		if m.used[t] > m.tiers[t].Capacity {
+			return fmt.Errorf("storage: %s over capacity: %v > %v", m.TierName(t), m.used[t], m.tiers[t].Capacity)
+		}
 	}
 	return nil
 }

@@ -39,14 +39,54 @@ type SegmentStore struct {
 
 	mu    sync.RWMutex
 	index map[BlobKey]segLoc
-	files map[int]*os.File // open segment handles, by segment number
+	files map[int]*segFile // open segment handles, by segment number
 	segs  []int            // segment numbers, ascending; last is active
+	// refMu guards the refs/retired fields of every segFile. Ordered
+	// after mu: Open pins under the read lock, Compact retires under the
+	// write lock, and a reader's Close takes only refMu.
+	refMu sync.Mutex
 	// active append state.
 	activeSize int64
 	// live/dead record bytes (including headers), for the garbage ratio.
 	liveBytes, deadBytes int64
 	// Compactions counts completed compaction passes (for tests/stats).
 	Compactions int
+}
+
+// segFile is one shared, refcounted segment file handle. Stream readers
+// pin it (refs) instead of opening their own descriptor; Compact retires
+// superseded segments, deferring the close — and the unlink, when set —
+// until the last in-flight reader drains.
+type segFile struct {
+	f       *os.File
+	refs    int    // in-flight stream readers
+	retired bool   // superseded by Compact or Close
+	unlink  string // path to remove at teardown ("" = close only)
+}
+
+// releaseSegFile drops one reader's pin, performing the deferred
+// teardown when the segment is retired and this was the last pin.
+func (s *SegmentStore) releaseSegFile(sf *segFile) error {
+	s.refMu.Lock()
+	sf.refs--
+	drained := sf.refs == 0 && sf.retired
+	s.refMu.Unlock()
+	if drained {
+		return sf.teardown()
+	}
+	return nil
+}
+
+// teardown closes the handle and removes the file when marked for
+// unlinking. Called with no pins outstanding.
+func (sf *segFile) teardown() error {
+	err := sf.f.Close()
+	if sf.unlink != "" {
+		if rmErr := os.Remove(sf.unlink); rmErr != nil && err == nil {
+			err = rmErr
+		}
+	}
+	return err
 }
 
 type segLoc struct {
@@ -78,7 +118,7 @@ func OpenSegmentStore(dir string, maxSize core.Bytes) (*SegmentStore, error) {
 		dir:     dir,
 		maxSize: maxSize,
 		index:   make(map[BlobKey]segLoc),
-		files:   make(map[int]*os.File),
+		files:   make(map[int]*segFile),
 	}
 	ents, err := os.ReadDir(dir)
 	if err != nil {
@@ -113,7 +153,7 @@ func (s *SegmentStore) replaySegment(n int, active bool) error {
 	if err != nil {
 		return fmt.Errorf("storage: replay segment %d: %w", n, err)
 	}
-	s.files[n] = f
+	s.files[n] = &segFile{f: f}
 	var off int64
 	hdr := make([]byte, segHeaderLen)
 	for {
@@ -178,7 +218,7 @@ func (s *SegmentStore) rotateLocked() error {
 		return fmt.Errorf("storage: rotate segment: %w", err)
 	}
 	s.segs = append(s.segs, next)
-	s.files[next] = f
+	s.files[next] = &segFile{f: f}
 	s.activeSize = 0
 	return nil
 }
@@ -192,7 +232,7 @@ func (s *SegmentStore) appendLocked(kind byte, k BlobKey, payload []byte) (seg i
 		}
 	}
 	seg = s.segs[len(s.segs)-1]
-	f := s.files[seg]
+	f := s.files[seg].f
 	rec := make([]byte, segHeaderLen+len(payload)+segTrailerLen)
 	rec[0] = segMagic
 	rec[1] = kind
@@ -238,7 +278,7 @@ func (s *SegmentStore) Get(k BlobKey) ([]byte, error) {
 		return nil, fmt.Errorf("storage: segment get %v: %w", k, core.ErrNotFound)
 	}
 	data := make([]byte, loc.n)
-	if _, err := s.files[loc.seg].ReadAt(data, loc.off); err != nil {
+	if _, err := s.files[loc.seg].f.ReadAt(data, loc.off); err != nil {
 		return nil, fmt.Errorf("storage: segment get %v: %w", k, err)
 	}
 	return data, nil
@@ -289,23 +329,36 @@ func (s *SegmentStore) Sync() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if len(s.segs) > 0 {
-		if err := s.files[s.segs[len(s.segs)-1]].Sync(); err != nil {
+		if err := s.files[s.segs[len(s.segs)-1]].f.Sync(); err != nil {
 			return fmt.Errorf("storage: segment sync: %w", err)
 		}
 	}
 	return syncDir(s.dir)
 }
 
+// Close releases the store's segment handles. Handles pinned by
+// in-flight stream readers are retired instead: their close happens when
+// the last reader drains, so shutdown never yanks bytes out from under a
+// stream.
 func (s *SegmentStore) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	var drained []*segFile
+	s.refMu.Lock()
+	for _, sf := range s.files {
+		sf.retired = true
+		if sf.refs == 0 {
+			drained = append(drained, sf)
+		}
+	}
+	s.refMu.Unlock()
 	var first error
-	for _, f := range s.files {
-		if err := f.Close(); err != nil && first == nil {
+	for _, sf := range drained {
+		if err := sf.teardown(); err != nil && first == nil {
 			first = err
 		}
 	}
-	s.files = make(map[int]*os.File)
+	s.files = make(map[int]*segFile)
 	return first
 }
 
@@ -328,11 +381,11 @@ func (s *SegmentStore) MaybeCompact() error {
 	return nil
 }
 
-// Compact rewrites the live records into fresh segments and deletes the
+// Compact rewrites the live records into fresh segments and retires the
 // old files — stop-the-world for writers and new opens, but safe against
-// in-flight streams: Open hands each reader its own descriptor on the
-// segment file, so closing and unlinking the store's handles here leaves
-// those readers on the (now anonymous) old bytes until they Close.
+// in-flight streams: readers hold refcounted pins on the shared segment
+// handles, so a retired segment's close and unlink are deferred until its
+// last reader drains. Segments with no pins are torn down immediately.
 func (s *SegmentStore) Compact() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -346,23 +399,32 @@ func (s *SegmentStore) Compact() error {
 	for i, k := range keys {
 		loc := s.index[k]
 		data := make([]byte, loc.n)
-		if _, err := s.files[loc.seg].ReadAt(data, loc.off); err != nil {
+		if _, err := s.files[loc.seg].f.ReadAt(data, loc.off); err != nil {
 			return fmt.Errorf("storage: compact read %v: %w", k, err)
 		}
 		blobs[i] = data
 	}
-	// Drop the old segments.
-	for n, f := range s.files {
-		f.Close()
-		if err := os.Remove(filepath.Join(s.dir, segName(n))); err != nil {
-			return fmt.Errorf("storage: compact remove segment %d: %w", n, err)
+	// Retire the old segments: unlink now when unpinned, else at drain.
+	var drained []*segFile
+	s.refMu.Lock()
+	for n, sf := range s.files {
+		sf.retired = true
+		sf.unlink = filepath.Join(s.dir, segName(n))
+		if sf.refs == 0 {
+			drained = append(drained, sf)
+		}
+	}
+	s.refMu.Unlock()
+	for _, sf := range drained {
+		if err := sf.teardown(); err != nil {
+			return fmt.Errorf("storage: compact remove segment: %w", err)
 		}
 	}
 	nextSeg := 0
 	if len(s.segs) > 0 {
 		nextSeg = s.segs[len(s.segs)-1] + 1 // never reuse numbers: replay order stays honest
 	}
-	s.files = make(map[int]*os.File)
+	s.files = make(map[int]*segFile)
 	s.segs = nil
 	s.index = make(map[BlobKey]segLoc)
 	s.liveBytes, s.deadBytes, s.activeSize = 0, 0, 0
@@ -372,7 +434,7 @@ func (s *SegmentStore) Compact() error {
 		return fmt.Errorf("storage: compact: %w", err)
 	}
 	s.segs = append(s.segs, nextSeg)
-	s.files[nextSeg] = f
+	s.files[nextSeg] = &segFile{f: f}
 	for i, k := range keys {
 		seg, off, err := s.appendLocked(segKindPut, k, blobs[i])
 		if err != nil {

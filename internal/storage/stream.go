@@ -100,18 +100,16 @@ func (r *fileReader) WriteTo(w io.Writer) (int64, error) {
 func (r *fileReader) Len() int64   { return r.size }
 func (r *fileReader) Close() error { return r.f.Close() }
 
-// sectionReader is the segment store's BlobReader: a pread window over a
-// segment file descriptor the reader owns (Open reopens the segment by
-// path rather than sharing the store's handle, so Compact closing and
-// unlinking the store's files cannot truncate an in-flight stream — the
-// owned descriptor keeps the unlinked bytes readable, exactly like the
-// disk tier). Close releases the descriptor. WriteTo moves bytes through
-// a pooled chunk buffer, so the only per-stream allocation beyond the fd
-// is the reader itself.
+// sectionReader is the segment store's BlobReader: a pread window over
+// the store's shared, refcounted segment file handle (see segFile). Open
+// pins the segment; Close releases the pin, and the last release of a
+// segment Compact has retired performs the deferred close+unlink. WriteTo
+// moves bytes through a pooled chunk buffer, so there is no per-stream
+// descriptor at all — just the reader itself.
 type sectionReader struct {
-	f    *os.File
-	sr   *io.SectionReader
-	size int64
+	sr      *io.SectionReader
+	size    int64
+	release func() error
 }
 
 func (r *sectionReader) Read(p []byte) (int, error) { return r.sr.Read(p) }
@@ -141,8 +139,16 @@ func (r *sectionReader) WriteTo(w io.Writer) (int64, error) {
 	}
 }
 
-func (r *sectionReader) Len() int64   { return r.size }
-func (r *sectionReader) Close() error { return r.f.Close() }
+func (r *sectionReader) Len() int64 { return r.size }
+
+func (r *sectionReader) Close() error {
+	rel := r.release
+	r.release = nil
+	if rel == nil {
+		return nil
+	}
+	return rel()
+}
 
 // --- memStore streaming ---
 
@@ -240,35 +246,43 @@ func (s *DiskStore) PutFrom(k BlobKey, r io.Reader, n int64) error {
 // window over the payload. Verification streams through a pooled chunk
 // buffer — the body is never materialized — and any mismatch (torn
 // header, truncated payload, bad checksum) surfaces as core.ErrCorrupt
-// rather than a short read at serve time. The reader gets its own
-// descriptor on the segment file (opened by path under the read lock, so
-// Compact — which needs the write lock — cannot remove the file first);
-// once Open returns, that owned descriptor keeps the window readable
-// even if Compact closes and unlinks the store's shared handles while
-// the stream is still in flight.
+// rather than a short read at serve time. The reader pins the store's
+// shared segment handle (a refcount taken under the read lock, so
+// Compact — which needs the write lock — cannot retire the file first);
+// once Open returns, the pin keeps the window readable even if Compact
+// retires the segment while the stream is still in flight: the close and
+// unlink are deferred until the last reader drains. Verification itself
+// runs after the lock is dropped — the pin alone keeps the bytes stable,
+// since old segment bytes are never overwritten.
 func (s *SegmentStore) Open(k BlobKey) (BlobReader, error) {
 	s.mu.RLock()
-	defer s.mu.RUnlock()
 	loc, ok := s.index[k]
+	var sf *segFile
+	if ok {
+		sf = s.files[loc.seg]
+		s.refMu.Lock()
+		sf.refs++
+		s.refMu.Unlock()
+	}
+	s.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("storage: segment open %v: %w", k, core.ErrNotFound)
 	}
-	f, err := os.Open(filepath.Join(s.dir, segName(loc.seg)))
-	if err != nil {
-		return nil, fmt.Errorf("storage: segment open %v: %w", k, err)
+	fail := func(err error) error {
+		s.releaseSegFile(sf)
+		return err
 	}
+	f := sf.f
 	var hdr [segHeaderLen]byte
 	if _, err := f.ReadAt(hdr[:], loc.off-segHeaderLen); err != nil {
-		f.Close()
-		return nil, fmt.Errorf("storage: segment open %v: torn header: %w", k, core.ErrCorrupt)
+		return nil, fail(fmt.Errorf("storage: segment open %v: torn header: %w", k, core.ErrCorrupt))
 	}
 	if hdr[0] != segMagic || hdr[1] != segKindPut ||
 		core.ObjectID(binary.BigEndian.Uint64(hdr[3:11])) != k.ID ||
 		int(binary.BigEndian.Uint32(hdr[11:15])) != k.Version ||
 		(hdr[2] == 1) != k.Summary ||
 		int(binary.BigEndian.Uint32(hdr[15:19])) != loc.n {
-		f.Close()
-		return nil, fmt.Errorf("storage: segment open %v: frame mismatch: %w", k, core.ErrCorrupt)
+		return nil, fail(fmt.Errorf("storage: segment open %v: frame mismatch: %w", k, core.ErrCorrupt))
 	}
 	crc := crc32.NewIEEE()
 	crc.Write(hdr[:])
@@ -276,23 +290,20 @@ func (s *SegmentStore) Open(k BlobKey) (BlobReader, error) {
 	sec := io.NewSectionReader(f, loc.off, int64(loc.n))
 	if _, err := io.CopyBuffer(onlyWriter{crc}, sec, buf); err != nil {
 		PutCopyBuffer(buf)
-		f.Close()
-		return nil, fmt.Errorf("storage: segment open %v: torn payload: %w", k, core.ErrCorrupt)
+		return nil, fail(fmt.Errorf("storage: segment open %v: torn payload: %w", k, core.ErrCorrupt))
 	}
 	PutCopyBuffer(buf)
 	var trailer [segTrailerLen]byte
 	if _, err := f.ReadAt(trailer[:], loc.off+int64(loc.n)); err != nil {
-		f.Close()
-		return nil, fmt.Errorf("storage: segment open %v: torn trailer: %w", k, core.ErrCorrupt)
+		return nil, fail(fmt.Errorf("storage: segment open %v: torn trailer: %w", k, core.ErrCorrupt))
 	}
 	if binary.BigEndian.Uint32(trailer[:]) != crc.Sum32() {
-		f.Close()
-		return nil, fmt.Errorf("storage: segment open %v: checksum mismatch: %w", k, core.ErrCorrupt)
+		return nil, fail(fmt.Errorf("storage: segment open %v: checksum mismatch: %w", k, core.ErrCorrupt))
 	}
 	return &sectionReader{
-		f:    f,
-		sr:   io.NewSectionReader(f, loc.off, int64(loc.n)),
-		size: int64(loc.n),
+		sr:      io.NewSectionReader(f, loc.off, int64(loc.n)),
+		size:    int64(loc.n),
+		release: func() error { return s.releaseSegFile(sf) },
 	}, nil
 }
 
@@ -315,7 +326,7 @@ func (s *SegmentStore) PutFrom(k BlobKey, r io.Reader, n int64) error {
 		}
 	}
 	seg := s.segs[len(s.segs)-1]
-	f := s.files[seg]
+	f := s.files[seg].f
 	start := s.activeSize
 	fail := func(err error) error {
 		f.Truncate(start)

@@ -23,8 +23,12 @@ func streamBackends(t *testing.T) map[string]BlobStore {
 	if err != nil {
 		t.Fatalf("OpenSegmentStore: %v", err)
 	}
-	t.Cleanup(func() { disk.Close(); seg.Close() })
-	return map[string]BlobStore{"mem": newMemStore(), "disk": disk, "segment": seg}
+	mm, err := OpenMmapStore(filepath.Join(t.TempDir(), "mmap"))
+	if err != nil {
+		t.Fatalf("OpenMmapStore: %v", err)
+	}
+	t.Cleanup(func() { disk.Close(); seg.Close(); mm.Close() })
+	return map[string]BlobStore{"mem": newMemStore(), "disk": disk, "segment": seg, "mmap": mm}
 }
 
 func streamPayload(n int) []byte {

@@ -29,20 +29,56 @@ package storage
 
 import (
 	"fmt"
+	"os"
 
 	"cbfww/internal/core"
 )
 
-// Tier is one level of the storage hierarchy.
+// Tier is one level of the storage hierarchy: an index into the
+// manager's tier table. Tier 0 is always the fastest level (the one the
+// hierarchy-of-indices layer watches); the last tier is always the
+// unbounded anchor every object has a copy in.
 type Tier int
 
-// The three levels of Figure 3. Smaller is faster.
+// The three levels of Figure 3 — the indices of the default tier table.
+// Smaller is faster. A manager built from an explicit Config.Tiers table
+// may have more levels (e.g. an mmap-backed warm tier between memory
+// and disk); code that must work against any stack asks the manager
+// (NumTiers, TierName) instead of using these constants.
 const (
 	Memory Tier = iota
 	Disk
 	Tertiary
+	// numTiers is the default stack's depth. The live depth of a manager
+	// is len(m.tiers); this constant only sizes the classic table.
 	numTiers
 )
+
+// maxTiers bounds a tier table so placement scratch state can live on
+// the stack.
+const maxTiers = 8
+
+// TierSpec declares one level of the hierarchy: the row of the
+// declarative tier table the manager iterates instead of hardcoding the
+// three Figure-3 levels.
+type TierSpec struct {
+	// Name identifies the tier in ResizeTiers targets, /stats sections
+	// and scenario metrics (e.g. "memory", "mmap", "disk", "tertiary").
+	Name string
+	// Backend picks the blob store when Config.DataDir is set: "heap",
+	// "mmap" (arena mapping, the NVM-shaped tier), "disk" (file per
+	// blob) or "segment" (append-only log). With no DataDir every tier
+	// is heap-backed regardless.
+	Backend string
+	// Capacity is the placement target. 0 means unbounded, required on
+	// (exactly) the last tier.
+	Capacity core.Bytes
+	// Latency is the per-access cost in ticks; must be non-decreasing
+	// down the table.
+	Latency core.Duration
+}
+
+var knownBackends = map[string]bool{"heap": true, "mmap": true, "disk": true, "segment": true}
 
 // String names the tier.
 func (t Tier) String() string {
@@ -86,6 +122,77 @@ type Config struct {
 	// SegmentSize is the tertiary segment-file rotation threshold. Zero
 	// defaults to 4 MB.
 	SegmentSize core.Bytes
+
+	// Tiers, when non-empty, declares the hierarchy explicitly — ordered
+	// fastest to slowest — and overrides MemCapacity, DiskCapacity and
+	// the per-tier latency fields above. The last entry must be
+	// unbounded (Capacity 0), every other entry finite. Empty builds
+	// the classic memory/disk/tertiary table from the legacy fields.
+	Tiers []TierSpec
+}
+
+// WithMmapTier returns cfg with an explicit four-tier table: the classic
+// stack plus an mmap-backed "mmap" tier between memory and disk, sized
+// warm, at an access cost a quarter of the way from memory to disk. The
+// serve daemon's -mmap-tier flag, the scenario matrix's backend=mmap
+// cells and the bench harness's -tiers flag all build their stacks here.
+func (cfg Config) WithMmapTier(warm core.Bytes) Config {
+	cfg.Tiers = []TierSpec{
+		{Name: "memory", Backend: "heap", Capacity: cfg.MemCapacity, Latency: cfg.MemLatency},
+		{Name: "mmap", Backend: "mmap", Capacity: warm, Latency: cfg.MemLatency + (cfg.DiskLatency-cfg.MemLatency)/4},
+		{Name: "disk", Backend: "disk", Capacity: cfg.DiskCapacity, Latency: cfg.DiskLatency},
+		{Name: "tertiary", Backend: "segment", Capacity: 0, Latency: cfg.TertiaryLatency},
+	}
+	return cfg
+}
+
+// tierTable derives the manager's tier table from the configuration,
+// validating it. The CBFWW_MMAP_TIER environment hook (the storage-mmap
+// CI job) swaps the classic table's disk tier onto the mmap backend so
+// the whole suite exercises the arena store without touching fixtures.
+func (cfg Config) tierTable() ([]TierSpec, error) {
+	if len(cfg.Tiers) == 0 {
+		if cfg.MemCapacity <= 0 || cfg.DiskCapacity <= 0 {
+			return nil, fmt.Errorf("storage: %w: capacities must be positive", core.ErrInvalid)
+		}
+		if cfg.MemLatency > cfg.DiskLatency || cfg.DiskLatency > cfg.TertiaryLatency {
+			return nil, fmt.Errorf("storage: %w: latencies must grow down the hierarchy", core.ErrInvalid)
+		}
+		diskBackend := "disk"
+		if os.Getenv("CBFWW_MMAP_TIER") != "" {
+			diskBackend = "mmap"
+		}
+		return []TierSpec{
+			{Name: "memory", Backend: "heap", Capacity: cfg.MemCapacity, Latency: cfg.MemLatency},
+			{Name: "disk", Backend: diskBackend, Capacity: cfg.DiskCapacity, Latency: cfg.DiskLatency},
+			{Name: "tertiary", Backend: "segment", Capacity: 0, Latency: cfg.TertiaryLatency},
+		}, nil
+	}
+	if len(cfg.Tiers) < 2 || len(cfg.Tiers) > maxTiers {
+		return nil, fmt.Errorf("storage: %w: tier table must have 2..%d entries, got %d", core.ErrInvalid, maxTiers, len(cfg.Tiers))
+	}
+	table := append([]TierSpec(nil), cfg.Tiers...)
+	seen := make(map[string]bool, len(table))
+	for i, ts := range table {
+		if ts.Name == "" || seen[ts.Name] {
+			return nil, fmt.Errorf("storage: %w: tier %d name %q empty or duplicate", core.ErrInvalid, i, ts.Name)
+		}
+		seen[ts.Name] = true
+		if !knownBackends[ts.Backend] {
+			return nil, fmt.Errorf("storage: %w: tier %q backend %q (want heap, mmap, disk or segment)", core.ErrInvalid, ts.Name, ts.Backend)
+		}
+		if i == len(table)-1 {
+			if ts.Capacity != 0 {
+				return nil, fmt.Errorf("storage: %w: last tier %q must be unbounded (capacity 0)", core.ErrInvalid, ts.Name)
+			}
+		} else if ts.Capacity <= 0 {
+			return nil, fmt.Errorf("storage: %w: tier %q capacity must be positive", core.ErrInvalid, ts.Name)
+		}
+		if i > 0 && table[i-1].Latency > ts.Latency {
+			return nil, fmt.Errorf("storage: %w: latencies must grow down the hierarchy", core.ErrInvalid)
+		}
+	}
+	return table, nil
 }
 
 // DefaultConfig models the 2003-era ratios the paper argues from: memory
@@ -121,7 +228,7 @@ type object struct {
 	size     core.Bytes
 	version  int // current (latest known) content version
 	priority core.Priority
-	copies   [numTiers]copyState
+	copies   []copyState // one entry per tier-table row
 	// hasPayload marks objects admitted with real bytes (AdmitBytes):
 	// placement moves their content between the tier backends. Objects
 	// admitted metadata-only (Admit) are tracked and placed identically
@@ -180,11 +287,33 @@ type Stats struct {
 	Accesses   int
 	Migrations int
 	Backups    int
+	// Resizes counts capacity retargets (Resize/ResizeTiers calls).
+	Resizes int
 	// CostTotal accumulates access latency, the E-F3 metric.
 	CostTotal core.Duration
 	// MovedBytes accumulates, per tier, the bytes written into that tier
 	// by admissions, placement copies, updates and backups (downgrades
-	// delete bytes and move nothing). Indexed by Memory/Disk/Tertiary —
-	// the scenario matrix's bytes-moved-per-tier metric.
-	MovedBytes [numTiers]core.Bytes
+	// delete bytes and move nothing). Indexed by tier-table position
+	// (Memory/Disk/Tertiary on the default stack) — the scenario
+	// matrix's bytes-moved-per-tier metric.
+	MovedBytes []core.Bytes
+	// DemotedBytes accumulates, per tier, the bytes invalidated at that
+	// tier by downgrades. A downgrade deletes the fast copy — free in
+	// I/O terms, invisible to MovedBytes — so this is the counter that
+	// makes a capacity shrink observable: shrinking a tier by X demotes
+	// ≈X bytes (± one blob) here.
+	DemotedBytes []core.Bytes
+}
+
+// TierInfo is one row of the manager's live tier table: the /stats
+// storage section and the admin-resize response body.
+type TierInfo struct {
+	Name     string        `json:"name"`
+	Backend  string        `json:"backend"`
+	Capacity core.Bytes    `json:"capacity"`
+	Used     core.Bytes    `json:"used"`
+	Moved    core.Bytes    `json:"moved_bytes"`
+	Demoted  core.Bytes    `json:"demoted_bytes"`
+	Latency  core.Duration `json:"latency"`
+	Objects  int           `json:"objects"`
 }

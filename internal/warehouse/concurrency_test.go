@@ -6,11 +6,13 @@ package warehouse
 
 import (
 	"context"
+	"io"
 	"sync"
 	"testing"
 	"time"
 
 	"cbfww/internal/core"
+	"cbfww/internal/storage"
 	"cbfww/internal/workload"
 )
 
@@ -85,6 +87,75 @@ func TestConcurrentReadersAndWriters(t *testing.T) {
 
 	if got := w.Stats().Requests; got == 0 {
 		t.Fatal("no requests recorded")
+	}
+}
+
+// TestResizeRacesGetBody oscillates the memory tier's capacity while
+// readers stream bodies through GetBodyCtx: a page mid-migration must be
+// served from whichever tier still holds it — full bytes, never a short
+// read — and the storage invariants must hold when the dust settles.
+func TestResizeRacesGetBody(t *testing.T) {
+	w, g := newConcurrencyWarehouse(t)
+	urls := g.PageURLs
+
+	// Warm every page in and record the authoritative bodies.
+	bodies := make(map[string]string, len(urls))
+	for _, url := range urls {
+		res, err := w.Get("user", url)
+		if err != nil {
+			t.Fatalf("warm-up Get %s: %v", url, err)
+		}
+		bodies[url] = res.Page.Body
+	}
+	mgr := w.StorageManager()
+	memCap := storage.DefaultConfig().MemCapacity
+
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; ; j++ {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				url := urls[(i*5+j)%len(urls)]
+				_, bs, err := w.GetBodyCtx(context.Background(), "user", url)
+				if err != nil {
+					t.Errorf("GetBodyCtx %s: %v", url, err)
+					return
+				}
+				data, err := io.ReadAll(bs)
+				bs.Close()
+				if err != nil {
+					t.Errorf("read %s: %v", url, err)
+					return
+				}
+				if string(data) != bodies[url] {
+					t.Errorf("%s: streamed %d bytes, want %d", url, len(data), len(bodies[url]))
+					return
+				}
+			}
+		}(i)
+	}
+	// Oscillate: a tiny memory tier demotes nearly every page; restoring
+	// the default re-promotes them — migrations in both directions.
+	for i := 0; i < 40; i++ {
+		target := core.Bytes(8 * core.KB)
+		if i%2 == 0 {
+			target = memCap
+		}
+		if err := mgr.ResizeTiers(map[string]core.Bytes{"memory": target}); err != nil {
+			t.Fatalf("ResizeTiers: %v", err)
+		}
+	}
+	close(done)
+	wg.Wait()
+	if err := mgr.CheckInvariants(); err != nil {
+		t.Fatal(err)
 	}
 }
 
